@@ -1,0 +1,87 @@
+"""Ablation: analytic model vs. concrete discrete-event execution.
+
+The figures are produced with the paper-style parameter-driven model;
+this bench cross-validates it against real executions of materialized
+federations (same parameter sets, scaled object counts).  Absolute times
+differ by a bounded calibration factor; the *orderings* the paper reports
+must agree: per parameter set, whichever of CA/BL wins on total time in
+the DES also wins in the model, and the localized response-time advantage
+shows in both.
+"""
+
+import random
+
+from bench_common import run_once, write_result
+
+from repro.analytic.model import AnalyticModel
+from repro.bench.reporting import format_table
+from repro.core.engine import GlobalQueryEngine
+from repro.workload.generator import generate
+from repro.workload.params import sample_params
+
+SEEDS = (41, 42, 43, 44, 45, 46)
+SCALE = 0.05
+
+
+def run_both():
+    rows = []
+    for seed in SEEDS:
+        rng = random.Random(seed)
+        params = sample_params(rng)
+        params.seed = seed
+        # Analytic model at the same (scaled) object counts as the DES.
+        for cls in params.classes:
+            for db_params in cls.per_db.values():
+                db_params.n_objects = max(1, int(db_params.n_objects * SCALE))
+        workload = generate(params, scale=1.0)
+        engine = GlobalQueryEngine(workload.system)
+        des = {
+            name: engine.execute(workload.query, name)
+            for name in ("CA", "BL", "PL")
+        }
+        model = AnalyticModel(params).evaluate_all()
+        rows.append((seed, des, model))
+    return rows
+
+
+def test_model_matches_des_orderings(benchmark):
+    runs = run_once(benchmark, run_both)
+
+    table_rows = []
+    for seed, des, model in runs:
+        for name in ("CA", "BL", "PL"):
+            table_rows.append(
+                [
+                    str(seed), name,
+                    f"{des[name].total_time:.3f}",
+                    f"{model[name].total_time:.3f}",
+                    f"{des[name].response_time:.3f}",
+                    f"{model[name].response_time:.3f}",
+                ]
+            )
+    text = format_table(
+        ["seed", "strategy", "DES total(s)", "model total(s)",
+         "DES resp(s)", "model resp(s)"],
+        table_rows,
+    )
+    write_result("ablation_model_vs_des", text)
+
+    agree = 0
+    for _seed, des, model in runs:
+        des_winner = min(("CA", "BL"), key=lambda n: des[n].total_time)
+        model_winner = min(("CA", "BL"), key=lambda n: model[n].total_time)
+        agree += des_winner == model_winner
+        # Response-time advantage of BL over CA shows in both worlds.
+        des_adv = des["BL"].response_time < des["CA"].response_time
+        model_adv = model["BL"].response_time < model["CA"].response_time
+        if des_adv and not model_adv:
+            raise AssertionError("model lost BL's response advantage")
+    # The CA-vs-BL total-time winner agrees on a clear majority of sets.
+    assert agree >= len(runs) - 1
+
+    # Calibration: per-strategy model totals within one order of
+    # magnitude of the DES (they share the cost constants).
+    for _seed, des, model in runs:
+        for name in ("CA", "BL", "PL"):
+            ratio = model[name].total_time / des[name].total_time
+            assert 0.2 < ratio < 5.0, (name, ratio)

@@ -1,0 +1,59 @@
+"""Ablation: shared vs. uncontended network channel.
+
+The paper attributes part of the localized strategies' N_db sensitivity
+to "the transfer time gets longer when more component databases transfer
+data simultaneously" — i.e. network contention.  This ablation re-runs
+the Figure 10 sweep with one private channel per site pair: total
+execution time is unchanged (it sums raw durations) while CA's response
+time, dominated by serialized bulk transfers, improves the most.
+"""
+
+from bench_common import SAMPLES, run_once, write_result
+
+from repro.bench.experiments import figure10
+from repro.bench.reporting import format_table
+
+ABLATION_SAMPLES = max(30, SAMPLES // 3)
+
+
+def test_network_contention_ablation(benchmark):
+    def sweep():
+        shared = figure10(samples=ABLATION_SAMPLES, db_counts=(3, 6))
+        private = figure10(
+            samples=ABLATION_SAMPLES, db_counts=(3, 6), shared_network=False
+        )
+        return shared, private
+
+    shared, private = run_once(benchmark, sweep)
+
+    rows = []
+    for p_shared, p_private in zip(shared.points, private.points):
+        for strategy in ("CA", "BL", "PL"):
+            rows.append(
+                [
+                    f"{p_shared.x:g}",
+                    strategy,
+                    f"{p_shared.response_time[strategy]:.3f}",
+                    f"{p_private.response_time[strategy]:.3f}",
+                ]
+            )
+    text = format_table(
+        ["N_db", "strategy", "response shared(s)", "response private(s)"], rows
+    )
+    write_result("ablation_network", text)
+
+    for p_shared, p_private in zip(shared.points, private.points):
+        for strategy in ("CA", "BL", "PL"):
+            # Totals are contention-free sums: unchanged.
+            assert p_private.total_time[strategy] == (
+                p_shared.total_time[strategy]
+            )
+            # Removing contention can only help response time.
+            assert (
+                p_private.response_time[strategy]
+                <= p_shared.response_time[strategy] + 1e-9
+            )
+        # CA benefits the most in absolute terms: it moves all the data.
+        ca_gain = p_shared.response_time["CA"] - p_private.response_time["CA"]
+        bl_gain = p_shared.response_time["BL"] - p_private.response_time["BL"]
+        assert ca_gain >= bl_gain

@@ -1,0 +1,43 @@
+"""Shared benchmark helpers (importable without conftest name clashes).
+
+Set ``REPRO_SAMPLES`` to control how many Table 2 parameter sets each
+figure sweep averages (the paper uses 500; the default of 150 keeps a
+full benchmark run under a couple of minutes).  Every figure bench
+writes its reproduced rows to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+#: Parameter sets averaged per x-axis setting (paper: 500).
+SAMPLES = int(os.environ.get("REPRO_SAMPLES", "150"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    """Persist one experiment's reproduced rows for inspection."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def run_once(benchmark, fn):
+    """Benchmark *fn* with a single timed round (sweeps are long)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def make_workload(seed: int, scale: float = 0.03, **kwargs):
+    """One generated workload, deterministic in *seed*."""
+    import random
+
+    from repro.workload.generator import generate
+    from repro.workload.params import sample_params
+
+    rng = random.Random(seed)
+    params = sample_params(rng, **kwargs)
+    params.seed = seed
+    return generate(params, scale=scale)

@@ -1,0 +1,45 @@
+"""Figure 10: total execution time and response time vs. N_db.
+
+Paper claims reproduced here (Section 4.2, second experiment):
+
+* the ratio of objects with isomeric copies (R_iso) grows with N_db, so
+  the number of assistant objects to check grows — BL and PL's total
+  execution time grows at a higher *rate* than CA's;
+* 10(a): PL's total execution time eventually passes CA's;
+* 10(b): parallel local processing keeps BL/PL response times below CA's
+  at every database count.
+"""
+
+from bench_common import SAMPLES, run_once, write_result
+
+from repro.bench.experiments import figure10
+from repro.bench.reporting import series_table
+
+
+def test_figure10_total_and_response(benchmark):
+    series = run_once(benchmark, lambda: figure10(samples=SAMPLES))
+    text = (
+        "Figure 10(a) — total execution time\n"
+        + series_table(series, "total")
+        + "\n\nFigure 10(b) — response time\n"
+        + series_table(series, "response")
+    )
+    write_result("figure10", text)
+
+    first, last = series.points[0], series.points[-1]
+
+    # Localized strategies grow at a higher rate than CA.
+    ca_growth = last.total_time["CA"] / first.total_time["CA"]
+    bl_growth = last.total_time["BL"] / first.total_time["BL"]
+    pl_growth = last.total_time["PL"] / first.total_time["PL"]
+    assert bl_growth > ca_growth
+    assert pl_growth > bl_growth
+
+    # 10(a): PL starts below CA and passes it at high N_db.
+    assert first.total_time["PL"] < first.total_time["CA"]
+    assert last.total_time["PL"] > last.total_time["CA"]
+
+    # 10(b): localized response stays below CA everywhere.
+    for point in series.points:
+        assert point.response_time["BL"] < point.response_time["CA"]
+        assert point.response_time["PL"] < point.response_time["CA"]

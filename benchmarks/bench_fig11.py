@@ -1,0 +1,47 @@
+"""Figure 11: total execution time and response time vs. local selectivity.
+
+Paper claims reproduced here (Section 4.2, third experiment; N_o drawn
+from [1000, 2000]):
+
+* varying the selectivity does not influence CA at all;
+* BL's and PL's times increase with the selectivity (fewer objects are
+  eliminated locally, so more data transfers and integrates);
+* the effect on BL is stronger than on PL (BL's assistant checking also
+  scales with the surviving rows; PL's does not).
+"""
+
+from bench_common import SAMPLES, run_once, write_result
+
+from repro.bench.experiments import figure11
+from repro.bench.reporting import series_table
+
+
+def test_figure11_total_and_response(benchmark):
+    series = run_once(benchmark, lambda: figure11(samples=SAMPLES))
+    text = (
+        "Figure 11(a) — total execution time\n"
+        + series_table(series, "total")
+        + "\n\nFigure 11(b) — response time\n"
+        + series_table(series, "response")
+    )
+    write_result("figure11", text)
+
+    ca = series.totals("CA")
+    bl = series.totals("BL")
+    pl = series.totals("PL")
+
+    # CA flat across the sweep.
+    assert max(ca) - min(ca) < 1e-9 * max(ca) + 1e-6
+
+    # BL and PL strictly increase with selectivity.
+    assert all(b2 > b1 for b1, b2 in zip(bl, bl[1:]))
+    assert all(p2 > p1 for p1, p2 in zip(pl, pl[1:]))
+
+    # The growth of BL exceeds the growth of PL.
+    assert (bl[-1] - bl[0]) > (pl[-1] - pl[0])
+
+    # Same ordering facts for response time.
+    ca_r = series.responses("CA")
+    bl_r = series.responses("BL")
+    assert max(ca_r) - min(ca_r) < 1e-9 * max(ca_r) + 1e-6
+    assert bl_r[-1] > bl_r[0]

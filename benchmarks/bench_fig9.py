@@ -1,0 +1,43 @@
+"""Figure 9: total execution time and response time vs. objects per class.
+
+Paper claims reproduced here (Section 4.2, first experiment):
+
+* 9(a): total execution time of BL and PL is shorter than CA's, and BL
+  beats PL (phase-O overhead does not pay off at N_db = 3);
+* 9(b): the response time of BL and PL is much shorter than CA's thanks
+  to inter-site parallelism;
+* all curves grow with the number of objects.
+"""
+
+from bench_common import SAMPLES, run_once, write_result
+
+from repro.bench.experiments import figure9
+from repro.bench.reporting import series_table, shape_report
+
+
+def test_figure9_total_and_response(benchmark):
+    series = run_once(benchmark, lambda: figure9(samples=SAMPLES))
+    text = (
+        "Figure 9(a) — total execution time\n"
+        + series_table(series, "total")
+        + "\n\nFigure 9(b) — response time\n"
+        + series_table(series, "response")
+    )
+    write_result("figure9", text)
+
+    for point in series.points:
+        # 9(a): BL < PL < CA in total execution time.
+        assert point.total_time["BL"] < point.total_time["CA"]
+        assert point.total_time["PL"] < point.total_time["CA"]
+        assert point.total_time["BL"] <= point.total_time["PL"]
+        # 9(b): localized response times well below CA's.
+        assert point.response_time["BL"] < point.response_time["CA"] * 0.8
+        assert point.response_time["PL"] < point.response_time["CA"] * 0.8
+
+    facts = shape_report(series)
+    assert facts["CA_total_monotone_up"]
+    assert facts["BL_total_monotone_up"]
+    assert facts["PL_total_monotone_up"]
+    assert facts["CA_response_monotone_up"]
+    assert facts["localized_response_beats_ca_everywhere"]
+    assert facts["bl_total_below_pl_everywhere"]

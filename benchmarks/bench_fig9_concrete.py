@@ -1,0 +1,66 @@
+"""Figure 9 rechecked with *concrete* executions (no analytic model).
+
+The figure benches drive the paper's own parameter-driven methodology;
+this bench materializes real federations at three object scales, runs
+the actual CA/BL/PL implementations on the DES, and re-asserts Figure
+9's orderings on measured executions — closing the loop between the
+model and the system.
+"""
+
+from bench_common import make_workload, run_once, write_result
+
+from repro.bench.reporting import format_table
+from repro.core.engine import GlobalQueryEngine
+
+#: Object-count scales (x Table 2's 5000-6000) and averaging seeds.
+SCALES = (0.02, 0.06, 0.1)
+SEEDS = (201, 202, 203, 204)
+
+
+def sweep():
+    points = []
+    for scale in SCALES:
+        totals = {"CA": 0.0, "BL": 0.0, "PL": 0.0}
+        responses = {"CA": 0.0, "BL": 0.0, "PL": 0.0}
+        for seed in SEEDS:
+            workload = make_workload(
+                seed=seed, scale=scale, n_classes_range=(2, 3)
+            )
+            engine = GlobalQueryEngine(workload.system)
+            outcomes = engine.compare(workload.query)  # checks agreement
+            for name, outcome in outcomes.items():
+                totals[name] += outcome.total_time / len(SEEDS)
+                responses[name] += outcome.response_time / len(SEEDS)
+        points.append((scale, totals, responses))
+    return points
+
+
+def test_figure9_shape_holds_on_concrete_des(benchmark):
+    points = run_once(benchmark, sweep)
+
+    rows = []
+    for scale, totals, responses in points:
+        approx_objects = int(5500 * scale)
+        rows.append(
+            [f"~{approx_objects}"]
+            + [f"{totals[n]:.3f}" for n in ("CA", "BL", "PL")]
+            + [f"{responses[n]:.3f}" for n in ("CA", "BL", "PL")]
+        )
+    text = format_table(
+        ["objects/class", "CA total(s)", "BL total(s)", "PL total(s)",
+         "CA resp(s)", "BL resp(s)", "PL resp(s)"],
+        rows,
+    )
+    write_result("figure9_concrete", text)
+
+    for _scale, totals, responses in points:
+        # 9(a): localized totals beat CA, BL <= PL (averaged).
+        assert totals["BL"] < totals["CA"]
+        assert totals["BL"] <= totals["PL"] * 1.001
+        # 9(b): localized response beats CA.
+        assert responses["BL"] < responses["CA"]
+        assert responses["PL"] < responses["CA"]
+    # Growth with object count, every strategy.
+    for name in ("CA", "BL", "PL"):
+        series = [totals[name] for _s, totals, _r in points]
+        assert series[0] < series[-1]

@@ -1,0 +1,68 @@
+"""Extension figure: the signature variants across the Figure 10 sweep.
+
+The paper's Section 5 proposes object signatures for "reducing the
+amount of data transfer" in the localized approaches, and Table 2
+already carries the filter's selectivity (R_ss) — so this is the figure
+the authors sketched but never plotted: BL vs BL-S and PL vs PL-S total
+execution time as the number of component databases (and with it the
+volume of assistant checking) grows.
+"""
+
+import random
+
+from bench_common import SAMPLES, run_once, write_result
+
+from repro.analytic.model import AnalyticModel
+from repro.bench.reporting import format_table
+from repro.workload.params import sample_params
+
+DB_COUNTS = (2, 4, 6, 8)
+VARIANTS = ("BL", "BL-S", "PL", "PL-S")
+
+
+def sweep():
+    points = []
+    for n_dbs in DB_COUNTS:
+        totals = {name: 0.0 for name in VARIANTS}
+        net = {name: 0.0 for name in VARIANTS}
+        rng = random.Random(55)
+        samples = max(30, SAMPLES // 2)
+        for _ in range(samples):
+            params = sample_params(rng, n_dbs=n_dbs)
+            model = AnalyticModel(params)
+            for name in VARIANTS:
+                outcome = model.evaluate(name)
+                totals[name] += outcome.total_time / samples
+                net[name] += outcome.work.bytes_network / samples
+        points.append((n_dbs, totals, net))
+    return points
+
+
+def test_signature_variants_figure(benchmark):
+    points = run_once(benchmark, sweep)
+
+    rows = [
+        [str(n_dbs)]
+        + [f"{totals[name]:.2f}" for name in VARIANTS]
+        + [f"{net[name] / 1024:.0f}" for name in VARIANTS]
+        for n_dbs, totals, net in points
+    ]
+    text = format_table(
+        ["N_db"]
+        + [f"{name} total(s)" for name in VARIANTS]
+        + [f"{name} net(KiB)" for name in VARIANTS],
+        rows,
+    )
+    write_result("figure_signatures", text)
+
+    for n_dbs, totals, net in points:
+        # Signatures never hurt total time or transfer volume...
+        assert totals["BL-S"] <= totals["BL"] * 1.001
+        assert totals["PL-S"] <= totals["PL"] * 1.001
+        assert net["BL-S"] <= net["BL"]
+        assert net["PL-S"] <= net["PL"]
+    # ...and the PL-S saving grows with N_db (more checking to filter).
+    first, last = points[0], points[-1]
+    saving_first = first[1]["PL"] - first[1]["PL-S"]
+    saving_last = last[1]["PL"] - last[1]["PL-S"]
+    assert saving_last > saving_first

@@ -1,0 +1,55 @@
+"""Soak test: strategy equivalence fuzzing over many random federations.
+
+Runs a batch of generated federations (random N_db, class-chain depth,
+predicate mixes, null ratios) through all five strategies and fails on
+the first disagreement.  This is the repository's widest single sweep of
+the equivalence oracle; the unit suite runs a smaller version.
+"""
+
+import random
+
+from bench_common import make_workload, run_once, write_result
+
+from repro.bench.reporting import format_table
+from repro.core.engine import GlobalQueryEngine
+from repro.core.results import same_answers
+
+BATCH = 60
+STRATEGIES = ("CA", "BL", "PL", "BL-S", "PL-S")
+
+
+def soak():
+    rng = random.Random(9999)
+    stats = {"runs": 0, "entities": 0, "certain": 0, "maybe": 0}
+    for _ in range(BATCH):
+        seed = rng.randrange(1_000_000)
+        n_dbs = rng.choice((2, 3, 3, 4, 5))
+        workload = make_workload(
+            seed=seed, scale=0.015, n_dbs=n_dbs,
+        )
+        engine = GlobalQueryEngine(workload.system)
+        baseline = engine.execute(workload.query, "CA")
+        for name in STRATEGIES[1:]:
+            outcome = engine.execute(workload.query, name)
+            if not same_answers(baseline.results, outcome.results):
+                raise AssertionError(
+                    f"{name} disagrees with CA on seed={seed} n_dbs={n_dbs}"
+                )
+        stats["runs"] += 1
+        stats["entities"] += workload.entities_per_class[0]
+        stats["certain"] += len(baseline.results.certain)
+        stats["maybe"] += len(baseline.results.maybe)
+    return stats
+
+
+def test_equivalence_soak(benchmark):
+    stats = run_once(benchmark, soak)
+    text = format_table(
+        ["runs", "root entities", "certain answers", "maybe answers"],
+        [[str(stats["runs"]), str(stats["entities"]),
+          str(stats["certain"]), str(stats["maybe"])]],
+    )
+    write_result("soak", text)
+    assert stats["runs"] == BATCH
+    assert stats["maybe"] > 0  # the fuzz actually exercised missing data
+    assert stats["certain"] > 0

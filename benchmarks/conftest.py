@@ -1,0 +1,10 @@
+"""Benchmark fixtures; see bench_common for the shared helpers."""
+
+import pytest
+
+from bench_common import SAMPLES
+
+
+@pytest.fixture()
+def samples():
+    return SAMPLES

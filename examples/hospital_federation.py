@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Build a custom federation from scratch with the public API.
+
+A two-hospital scenario: both hospitals store patients, but with
+heterogeneous schemas — the city clinic records insurance and the ward a
+patient stays in; the university hospital records blood type and the
+treating physician.  Some patients visit both hospitals (isomeric
+objects, discovered by matching the national id).  The example shows:
+
+* declaring component schemas and inserting objects (with nulls);
+* integrating them into a global schema with a multi-valued attribute
+  (``phone`` collects the numbers each hospital has on file);
+* a disjunctive (OR) query over missing data;
+* how an assistant object turns a maybe result into a certain one.
+
+Run:  python examples/hospital_federation.py
+"""
+
+from repro import DistributedSystem, GlobalQueryEngine
+from repro.integration.global_schema import ClassCorrespondence
+from repro.objectdb.database import ComponentDatabase
+from repro.objectdb.ids import LOid
+from repro.objectdb.objects import LocalObject
+from repro.objectdb.schema import ClassDef, ComponentSchema, complex_attr, primitive
+from repro.objectdb.values import NULL
+
+
+def build_city_clinic() -> ComponentDatabase:
+    schema = ComponentSchema.of(
+        "CityClinic",
+        [
+            ClassDef.of(
+                "Patient",
+                [
+                    primitive("national_id"),
+                    primitive("name"),
+                    primitive("phone"),
+                    primitive("insurance"),
+                    complex_attr("ward", "Ward"),
+                ],
+            ),
+            ClassDef.of("Ward", [primitive("label"), primitive("floor")]),
+        ],
+    )
+    db = ComponentDatabase(schema)
+    db.insert(LocalObject(LOid("CityClinic", "w1"), "Ward",
+                          {"label": "cardiology", "floor": 3}))
+    db.insert(LocalObject(LOid("CityClinic", "w2"), "Ward",
+                          {"label": "oncology", "floor": 5}))
+    patients = [
+        ("p1", 1001, "Iris", "555-0101", "ACME Health", "w1"),
+        ("p2", 1002, "Ben", "555-0102", NULL, "w2"),       # insurance unknown
+        ("p3", 1003, "Cora", "555-0103", "MediCo", "w1"),
+    ]
+    for pid, nid, name, phone, insurance, ward in patients:
+        db.insert(
+            LocalObject(
+                LOid("CityClinic", pid), "Patient",
+                {
+                    "national_id": nid, "name": name, "phone": phone,
+                    "insurance": insurance,
+                    "ward": LOid("CityClinic", ward),
+                },
+            )
+        )
+    return db
+
+
+def build_university_hospital() -> ComponentDatabase:
+    schema = ComponentSchema.of(
+        "UniHospital",
+        [
+            ClassDef.of(
+                "Person",  # same semantics, different class name
+                [
+                    primitive("national_id"),
+                    primitive("name"),
+                    primitive("phone"),
+                    primitive("blood_type"),
+                    complex_attr("physician", "Physician"),
+                ],
+            ),
+            ClassDef.of(
+                "Physician", [primitive("name"), primitive("speciality")]
+            ),
+        ],
+    )
+    db = ComponentDatabase(schema)
+    db.insert(LocalObject(LOid("UniHospital", "d1"), "Physician",
+                          {"name": "Dr. Wu", "speciality": "cardiology"}))
+    patients = [
+        # Ben also visits the university hospital: his insurance is
+        # unknown at the clinic, but his blood type lives here.
+        ("u1", 1002, "Ben", "555-9902", "O+", "d1"),
+        ("u2", 1004, "Dana", "555-9904", "AB-", "d1"),
+    ]
+    for pid, nid, name, phone, blood, doc in patients:
+        db.insert(
+            LocalObject(
+                LOid("UniHospital", pid), "Person",
+                {
+                    "national_id": nid, "name": name, "phone": phone,
+                    "blood_type": blood,
+                    "physician": LOid("UniHospital", doc),
+                },
+            )
+        )
+    return db
+
+
+def main() -> None:
+    system = DistributedSystem.build(
+        [build_city_clinic(), build_university_hospital()],
+        [
+            ClassCorrespondence.of(
+                "Patient",
+                [("CityClinic", "Patient"), ("UniHospital", "Person")],
+                key_attribute="national_id",
+                multi_valued_attributes=["phone"],
+            ),
+            ClassCorrespondence.of(
+                "Ward", [("CityClinic", "Ward")], key_attribute="label"
+            ),
+            ClassCorrespondence.of(
+                "Physician", [("UniHospital", "Physician")], key_attribute="name"
+            ),
+        ],
+    )
+    engine = GlobalQueryEngine(system)
+
+    print("Global Patient class integrates both hospitals:")
+    print(" ", system.global_schema.cls("Patient").attribute_names())
+    print("Missing at CityClinic:",
+          system.global_schema.missing_attribute_names("CityClinic", "Patient"))
+    print("Missing at UniHospital:",
+          system.global_schema.missing_attribute_names("UniHospital", "Patient"))
+    print()
+
+    print("Q1: who has blood type O+?  (blood_type is missing at the clinic)")
+    outcome = engine.execute(
+        "Select X.name, X.blood_type From Patient X Where X.blood_type = 'O+'",
+        strategy="BL",
+    )
+    print("  certain:", outcome.results.certain_rows())
+    print("  maybe:  ", outcome.results.maybe_rows())
+    print("  (Ben is certain — his university record assists his clinic "
+          "record;\n   Iris and Cora stay maybe: nobody knows their blood type.)")
+    print()
+
+    print("Q2 (disjunctive): cardiology patients — by ward OR by physician")
+    outcome = engine.execute(
+        "Select X.name From Patient X "
+        "Where X.ward.label = cardiology or "
+        "X.physician.speciality = cardiology",
+        strategy="PL",
+    )
+    print("  certain:", outcome.results.certain_rows())
+    print("  maybe:  ", outcome.results.maybe_rows())
+    print()
+
+    print("Q3 (multi-valued): who can be reached at 555-9902?")
+    outcome = engine.execute(
+        "Select X.name, X.phone From Patient X "
+        "Where X.phone contains '555-9902'",
+        strategy="CA",
+    )
+    for result in outcome.results.certain:
+        row = result.row(outcome.results.targets)
+        print(f"  certain: {row[0]} with phones {sorted(row[1])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare CA / BL / PL / BL-S / PL-S on a synthetic Table 2 federation.
+
+Generates a concrete three-site federation from the paper's workload
+parameters (scaled down so it runs in seconds), executes the query under
+all five strategies, verifies they agree, and prints a cost comparison:
+total execution time, response time, bytes moved, assistants checked.
+
+Run:  python examples/strategy_comparison.py [seed]
+"""
+
+import random
+import sys
+
+from repro import GlobalQueryEngine
+from repro.bench.reporting import format_table
+from repro.workload.generator import generate
+from repro.workload.params import sample_params
+
+STRATEGIES = ("CA", "BL", "PL", "BL-S", "PL-S")
+
+
+def main(seed: int = 2026) -> None:
+    rng = random.Random(seed)
+    params = sample_params(rng, n_classes_range=(2, 3))
+    params.seed = seed
+    workload = generate(params, scale=0.1)
+
+    print(f"Federation: {params.n_dbs} sites, {params.n_classes} global "
+          f"classes, ~{sum(c.per_db[d].n_objects for c in params.classes for d in params.db_names) // 10} objects (scaled)")
+    print(f"Query: {workload.query}\n")
+
+    engine = GlobalQueryEngine(workload.system)
+    outcomes = engine.compare(workload.query, strategies=list(STRATEGIES))
+
+    first = outcomes["CA"].results
+    print(f"Answer (identical under every strategy): {first.summary()}\n")
+
+    rows = []
+    for name in STRATEGIES:
+        outcome = outcomes[name]
+        work = outcome.metrics.work
+        rows.append(
+            [
+                name,
+                f"{outcome.total_time:.3f}",
+                f"{outcome.response_time:.3f}",
+                f"{work.bytes_network}",
+                f"{work.bytes_disk}",
+                f"{work.assistants_checked}",
+                f"{work.signature_comparisons}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "strategy", "total (s)", "response (s)", "net bytes",
+                "disk bytes", "assistants checked", "sig comparisons",
+            ],
+            rows,
+        )
+    )
+
+    bl, pl, ca = outcomes["BL"], outcomes["PL"], outcomes["CA"]
+    print()
+    if bl.total_time < ca.total_time:
+        print("* BL beats CA on total work: local filtering cuts transfers.")
+    else:
+        print("* CA beats BL on total work here: the local predicates are "
+              "unselective (Figure 11's regime).")
+    print(f"* Localized response advantage over CA: "
+          f"{ca.response_time / bl.response_time:.2f}x (inter-site parallelism).")
+    print(f"* PL checked {pl.metrics.work.assistants_checked} assistants vs "
+          f"BL's {bl.metrics.work.assistants_checked} — PL dispatches before "
+          "filtering (its characteristic overhead).")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2026)

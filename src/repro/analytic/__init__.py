@@ -1,0 +1,5 @@
+"""Parameter-driven (analytic) simulation — the paper's own methodology."""
+
+from repro.analytic.model import GLOBAL_SITE, REACH, AnalyticModel, AnalyticOutcome, SiteLoad
+
+__all__ = ["AnalyticModel", "AnalyticOutcome", "GLOBAL_SITE", "REACH", "SiteLoad"]

@@ -1,0 +1,33 @@
+"""Experiment sweeps (Figures 9-11) and plain-text reporting."""
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    PAPER_SAMPLES,
+    STRATEGIES,
+    SweepPoint,
+    SweepSeries,
+    figure9,
+    figure10,
+    figure11,
+)
+from repro.bench.reporting import (
+    ascii_chart,
+    format_table,
+    series_table,
+    shape_report,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "PAPER_SAMPLES",
+    "STRATEGIES",
+    "SweepPoint",
+    "SweepSeries",
+    "ascii_chart",
+    "figure10",
+    "figure11",
+    "figure9",
+    "format_table",
+    "series_table",
+    "shape_report",
+]

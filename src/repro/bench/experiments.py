@@ -1,0 +1,146 @@
+"""The paper's experiments (Figures 9-11) as reusable sweep drivers.
+
+Each experiment fixes Table 2 defaults, adjusts one knob, draws
+``samples`` parameter sets per setting (the paper uses 500), evaluates
+CA/BL/PL with the analytic model, and averages total execution time and
+response time — exactly the methodology of Section 4.1.
+
+The drivers return plain data (:class:`SweepSeries`) so the benchmark
+harness, tests and examples can all consume them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analytic.model import AnalyticModel
+from repro.workload.params import WorkloadParams, sample_params
+
+STRATEGIES = ("CA", "BL", "PL")
+
+#: The paper's sample count per setting.
+PAPER_SAMPLES = 500
+
+
+@dataclass
+class SweepPoint:
+    """Averaged times of all strategies at one x-axis setting."""
+
+    x: float
+    total_time: Dict[str, float] = field(default_factory=dict)
+    response_time: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SweepSeries:
+    """One experiment's full sweep."""
+
+    name: str
+    x_label: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def totals(self, strategy: str) -> List[float]:
+        return [p.total_time[strategy] for p in self.points]
+
+    def responses(self, strategy: str) -> List[float]:
+        return [p.response_time[strategy] for p in self.points]
+
+    def xs(self) -> List[float]:
+        return [p.x for p in self.points]
+
+
+def _run_sweep(
+    name: str,
+    x_label: str,
+    xs: Sequence[float],
+    make_model: Callable[[random.Random, float], AnalyticModel],
+    samples: int,
+    seed: int,
+) -> SweepSeries:
+    series = SweepSeries(name=name, x_label=x_label)
+    for x in xs:
+        totals = {s: 0.0 for s in STRATEGIES}
+        responses = {s: 0.0 for s in STRATEGIES}
+        rng = random.Random(seed)  # same parameter stream at every x
+        for _ in range(samples):
+            model = make_model(rng, x)
+            for strategy, outcome in model.evaluate_all().items():
+                totals[strategy] += outcome.total_time
+                responses[strategy] += outcome.response_time
+        series.points.append(
+            SweepPoint(
+                x=x,
+                total_time={s: totals[s] / samples for s in STRATEGIES},
+                response_time={s: responses[s] / samples for s in STRATEGIES},
+            )
+        )
+    return series
+
+
+def figure9(
+    samples: int = PAPER_SAMPLES,
+    object_counts: Sequence[int] = (1000, 3000, 5000, 7000, 9000),
+    seed: int = 9,
+    shared_network: bool = True,
+) -> SweepSeries:
+    """Figure 9: vary the average number of objects per constituent class."""
+
+    def make(rng: random.Random, x: float) -> AnalyticModel:
+        params = sample_params(rng, n_objects_range=(int(x), int(x) + 1000))
+        return AnalyticModel(params, shared_network=shared_network)
+
+    return _run_sweep(
+        "figure9", "objects per constituent class", object_counts, make,
+        samples, seed,
+    )
+
+
+def figure10(
+    samples: int = PAPER_SAMPLES,
+    db_counts: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+    seed: int = 10,
+    shared_network: bool = True,
+) -> SweepSeries:
+    """Figure 10: vary the number of component databases."""
+
+    def make(rng: random.Random, x: float) -> AnalyticModel:
+        params = sample_params(rng, n_dbs=int(x))
+        return AnalyticModel(params, shared_network=shared_network)
+
+    return _run_sweep(
+        "figure10", "component databases", db_counts, make, samples, seed
+    )
+
+
+def figure11(
+    samples: int = PAPER_SAMPLES,
+    selectivities: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    seed: int = 11,
+    shared_network: bool = True,
+) -> SweepSeries:
+    """Figure 11: vary the selectivity of the local predicates.
+
+    The paper fixes N_o in [1000, 2000] for this experiment and sweeps
+    the selectivity of one local predicate; we override the combined
+    local selectivity on the root class.
+    """
+
+    def make(rng: random.Random, x: float) -> AnalyticModel:
+        params = sample_params(rng, n_objects_range=(1000, 2000))
+        return AnalyticModel(
+            params, shared_network=shared_network, root_selectivity=x
+        )
+
+    return _run_sweep(
+        "figure11", "local predicate selectivity", selectivities, make,
+        samples, seed,
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[..., SweepSeries]] = {
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+}

@@ -1,0 +1,91 @@
+"""Plain-text rendering of experiment sweeps (tables + ASCII series).
+
+The benchmark harness prints, for every figure, the same rows/series the
+paper plots, so runs can be eyeballed against the paper's charts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.bench.experiments import STRATEGIES, SweepSeries
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Render a padded text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def series_table(series: SweepSeries, metric: str = "total") -> str:
+    """One figure's data as a table: x column + one column per strategy."""
+    headers = [series.x_label] + [f"{s} {metric}(s)" for s in STRATEGIES]
+    rows = []
+    for point in series.points:
+        values = (
+            point.total_time if metric == "total" else point.response_time
+        )
+        rows.append(
+            [f"{point.x:g}"] + [f"{values[s]:.3f}" for s in STRATEGIES]
+        )
+    return format_table(headers, rows)
+
+
+def ascii_chart(
+    series: SweepSeries, metric: str = "total", width: int = 50
+) -> str:
+    """A crude horizontal bar chart, one bar group per x setting."""
+    values = {
+        s: (series.totals(s) if metric == "total" else series.responses(s))
+        for s in STRATEGIES
+    }
+    peak = max(max(vals) for vals in values.values()) or 1.0
+    lines = [f"{series.name} — {metric} time"]
+    for index, point in enumerate(series.points):
+        lines.append(f"  {series.x_label} = {point.x:g}")
+        for strategy in STRATEGIES:
+            value = values[strategy][index]
+            bar = "#" * max(1, int(round(value / peak * width)))
+            lines.append(f"    {strategy:<3} {bar} {value:.3f}s")
+    return "\n".join(lines)
+
+
+def shape_report(series: SweepSeries) -> Dict[str, bool]:
+    """Machine-checkable shape facts about one sweep (used by benches)."""
+    facts: Dict[str, bool] = {}
+    for strategy in STRATEGIES:
+        totals = series.totals(strategy)
+        responses = series.responses(strategy)
+        facts[f"{strategy}_total_monotone_up"] = all(
+            b >= a * 0.98 for a, b in zip(totals, totals[1:])
+        )
+        facts[f"{strategy}_response_monotone_up"] = all(
+            b >= a * 0.98 for a, b in zip(responses, responses[1:])
+        )
+    last = series.points[-1]
+    first = series.points[0]
+    facts["localized_response_beats_ca_everywhere"] = all(
+        p.response_time["BL"] < p.response_time["CA"]
+        and p.response_time["PL"] < p.response_time["CA"]
+        for p in series.points
+    )
+    facts["bl_total_below_pl_everywhere"] = all(
+        p.total_time["BL"] <= p.total_time["PL"] * 1.02
+        for p in series.points
+    )
+    facts["growth_BL_total"] = last.total_time["BL"] > first.total_time["BL"]
+    facts["growth_CA_total"] = last.total_time["CA"] > first.total_time["CA"]
+    return facts

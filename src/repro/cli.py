@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``     — run the paper's Q1 on the school federation (all
+  strategies) and print answers + simulated costs;
+* ``query``    — run an arbitrary SQL/X query against the school
+  federation with a chosen strategy;
+* ``study``    — regenerate the paper's performance study (Figures 9-11)
+  as tables;
+* ``compare``  — generate a synthetic Table 2 federation and compare all
+  five strategies on it;
+* ``tables``   — print Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import figure9, figure10, figure11
+from repro.bench.reporting import format_table, series_table
+from repro.core.engine import GlobalQueryEngine
+from repro.sim.costs import table1_rows
+from repro.workload.generator import generate
+from repro.workload.paper_example import Q1_TEXT, build_school_federation
+from repro.workload.params import sample_params, table2_rows
+
+STRATEGY_CHOICES = ("CA", "BL", "PL", "BL-S", "PL-S")
+#: Names accepted by --strategy (adds the adaptive selector).
+QUERY_STRATEGIES = STRATEGY_CHOICES + ("AUTO",)
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    engine = GlobalQueryEngine(build_school_federation())
+    print(f"Q1: {Q1_TEXT}\n")
+    for name in ("CA", "BL", "PL"):
+        outcome = engine.execute(Q1_TEXT, name)
+        print(
+            f"{name}: certain={outcome.results.certain_rows()} "
+            f"maybe={outcome.results.maybe_rows()} "
+            f"total={outcome.total_time * 1000:.2f}ms "
+            f"response={outcome.response_time * 1000:.2f}ms"
+        )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    engine = GlobalQueryEngine(build_school_federation())
+    outcome = engine.execute(args.sql, strategy=args.strategy)
+    print(f"strategy: {args.strategy}")
+    print(f"certain:  {outcome.results.certain_rows()}")
+    print(f"maybe:    {outcome.results.maybe_rows()}")
+    for maybe in outcome.results.maybe:
+        unsolved = ", ".join(str(p) for p in maybe.unsolved)
+        print(f"  {maybe.goid}: unsolved {unsolved}")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    figures = {
+        "9": (figure9, "Figure 9 — objects per constituent class"),
+        "10": (figure10, "Figure 10 — component databases"),
+        "11": (figure11, "Figure 11 — local predicate selectivity"),
+    }
+    wanted = args.figures.split(",") if args.figures else list(figures)
+    for key in wanted:
+        if key not in figures:
+            print(f"unknown figure {key!r}; choose from 9,10,11",
+                  file=sys.stderr)
+            return 2
+        build, title = figures[key]
+        series = build(samples=args.samples)
+        print(f"\n{title} (n={args.samples} samples/point)")
+        print("(a) total execution time")
+        print(series_table(series, "total"))
+        print("(b) response time")
+        print(series_table(series, "response"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    params = sample_params(rng)
+    params.seed = args.seed
+    workload = generate(params, scale=args.scale)
+    engine = GlobalQueryEngine(workload.system)
+    print(f"query: {workload.query}")
+    outcomes = engine.compare(workload.query, strategies=list(STRATEGY_CHOICES))
+    print(f"answer: {outcomes['CA'].results.summary()}\n")
+    rows = [
+        [
+            name,
+            f"{outcomes[name].total_time:.3f}",
+            f"{outcomes[name].response_time:.3f}",
+            str(outcomes[name].metrics.work.bytes_network),
+            str(outcomes[name].metrics.work.assistants_checked),
+        ]
+        for name in STRATEGY_CHOICES
+    ]
+    print(format_table(
+        ["strategy", "total (s)", "response (s)", "net bytes", "checked"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    print("Table 1 — system parameters")
+    print(format_table(["parameter", "description", "setting"], table1_rows()))
+    print("\nTable 2 — database and query parameters")
+    print(format_table(
+        ["parameter", "description", "default setting"], table2_rows()
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Koh & Chen (ICDCS 1996) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run Q1 on the school federation")
+
+    query = sub.add_parser("query", help="run SQL/X on the school federation")
+    query.add_argument("sql", help="SQL/X query text")
+    query.add_argument(
+        "--strategy", default="BL", choices=QUERY_STRATEGIES
+    )
+
+    study = sub.add_parser("study", help="regenerate Figures 9-11")
+    study.add_argument("--samples", type=int, default=100)
+    study.add_argument(
+        "--figures", default="", help="comma-separated subset, e.g. 9,11"
+    )
+
+    compare = sub.add_parser("compare", help="compare strategies on a "
+                                             "synthetic federation")
+    compare.add_argument("--seed", type=int, default=2026)
+    compare.add_argument("--scale", type=float, default=0.05)
+
+    sub.add_parser("tables", help="print Tables 1 and 2")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "query": _cmd_query,
+        "study": _cmd_study,
+        "compare": _cmd_compare,
+        "tables": _cmd_tables,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

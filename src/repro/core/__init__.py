@@ -1,0 +1,66 @@
+"""The paper's primary contribution: maybe-aware global query execution.
+
+Query model, three-valued logic, decomposition into local queries, the
+certification engine, the CA/BL/PL execution strategies, and the
+:class:`~repro.core.engine.GlobalQueryEngine` facade.
+
+Re-exports are lazy (PEP 562) to keep package initialization cycle-free
+(see :mod:`repro.objectdb` for the rationale).
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_EXPORTS = {
+    "CertificationStats": "repro.core.certification",
+    "ConjunctionOutcome": "repro.core.predicates",
+    "DecomposedQuery": "repro.core.decompose",
+    "DistributedSystem": "repro.core.system",
+    "DnfOutcome": "repro.core.predicates",
+    "EvalMeter": "repro.core.predicates",
+    "GLOBAL_SITE": "repro.core.system",
+    "GlobalQueryEngine": "repro.core.engine",
+    "GlobalResult": "repro.core.results",
+    "MissingAt": "repro.core.predicates",
+    "Op": "repro.core.query",
+    "Path": "repro.core.query",
+    "PathOutcome": "repro.core.predicates",
+    "Predicate": "repro.core.query",
+    "PredicateOutcome": "repro.core.predicates",
+    "Query": "repro.core.query",
+    "ResultKind": "repro.core.results",
+    "ResultSet": "repro.core.results",
+    "SATISFIED": "repro.core.certification",
+    "TV": "repro.core.tvl",
+    "UNKNOWN_VERDICT": "repro.core.certification",
+    "VIOLATED": "repro.core.certification",
+    "VerdictIndex": "repro.core.certification",
+    "all3": "repro.core.tvl",
+    "any3": "repro.core.tvl",
+    "certify": "repro.core.certification",
+    "compare_values": "repro.core.predicates",
+    "decompose": "repro.core.decompose",
+    "evaluate_conjunction": "repro.core.predicates",
+    "evaluate_dnf": "repro.core.predicates",
+    "evaluate_predicate": "repro.core.predicates",
+    "from_bool": "repro.core.tvl",
+    "missing_depth": "repro.core.decompose",
+    "same_answers": "repro.core.results",
+    "walk_path": "repro.core.predicates",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        module = importlib.import_module(_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

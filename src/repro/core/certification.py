@@ -1,0 +1,308 @@
+"""The certification engine: turning local maybe results into final answers.
+
+Implements the paper's Certification Rule (Section 2.3):
+
+    "An unsolved object o can be turned into a solved object if its
+    assistant objects jointly satisfy all the unsolved predicates on o.
+    Object o is eliminated when any of its assistant object violates an
+    unsolved predicate."
+
+together with the surrounding machinery observable in the paper's worked
+example:
+
+* local results from different sites describing the same entity (same
+  GOid) are merged — a predicate TRUE anywhere is TRUE for the entity;
+* a maybe root object is **eliminated** when one of its isomeric objects
+  exists in another site's local root class but is absent from that
+  site's local results (it violated a local predicate there — the paper's
+  s1/John case);
+* unsolved items resolve through assistant-object check verdicts, with
+  violation taking precedence over satisfaction;
+* the final answer re-evaluates the query's ``Where`` clause (conjunctive
+  or DNF) over the merged per-predicate statuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.query import Path, Predicate, Query
+from repro.core.results import GlobalResult, ResultKind, ResultSet
+from repro.core.tvl import TV, all3, any3
+from repro.errors import MappingError
+from repro.integration.global_schema import GlobalSchema
+from repro.integration.mapping import MappingCatalog
+from repro.objectdb.ids import GOid, LOid
+from repro.objectdb.local_query import (
+    CheckReport,
+    LocalResultRow,
+    LocalResultSet,
+)
+from repro.objectdb.values import MultiValue, NULL, Value, is_null
+
+#: Assistant-check verdict labels.
+SATISFIED = "satisfied"
+VIOLATED = "violated"
+UNKNOWN_VERDICT = "unknown"
+
+
+class VerdictIndex:
+    """Lookup of assistant-check verdicts by (assistant LOid, predicate).
+
+    Populated from :class:`~repro.objectdb.local_query.CheckReport`
+    responses and, for the signature variants, from definitive local
+    signature verdicts.  Violation takes precedence when the same pair is
+    reported twice (the certification rule eliminates on any violation).
+    """
+
+    def __init__(self) -> None:
+        self._verdicts: Dict[Tuple[LOid, Predicate], str] = {}
+
+    def add(self, loid: LOid, predicate: Predicate, verdict: str) -> None:
+        key = (loid, predicate)
+        existing = self._verdicts.get(key)
+        if existing == VIOLATED:
+            return
+        if verdict == VIOLATED or existing is None or existing == UNKNOWN_VERDICT:
+            self._verdicts[key] = verdict
+
+    def add_report(self, report: CheckReport) -> None:
+        for predicate, loids in report.satisfied.items():
+            for loid in loids:
+                self.add(loid, predicate, SATISFIED)
+        for predicate, loids in report.violated.items():
+            for loid in loids:
+                self.add(loid, predicate, VIOLATED)
+        for predicate, loids in report.unknown.items():
+            for loid in loids:
+                self.add(loid, predicate, UNKNOWN_VERDICT)
+
+    def get(self, loid: LOid, predicate: Predicate) -> Optional[str]:
+        return self._verdicts.get((loid, predicate))
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+
+@dataclass
+class CertificationStats:
+    """Work performed and outcomes produced by certification."""
+
+    groups: int = 0
+    comparisons: int = 0
+    eliminated_by_absence: int = 0
+    eliminated_by_violation: int = 0
+    promoted_to_certain: int = 0
+    remained_maybe: int = 0
+
+
+def certify(
+    query: Query,
+    global_schema: GlobalSchema,
+    catalog: MappingCatalog,
+    local_results: Mapping[str, LocalResultSet],
+    verdicts: VerdictIndex,
+    stats: Optional[CertificationStats] = None,
+) -> ResultSet:
+    """Merge per-site local results into the final global answer.
+
+    Args:
+        query: the original global query.
+        local_results: db name -> that site's local result set.  Every
+            site that received a local query must appear (even with zero
+            rows) — absence detection depends on it.
+        verdicts: assistant-check verdicts collected by the strategy.
+    """
+    stats = stats if stats is not None else CertificationStats()
+    root_table = catalog.table(query.range_class)
+    queried_dbs = tuple(local_results)
+
+    groups: Dict[GOid, Dict[str, LocalResultRow]] = {}
+    for db_name, result in local_results.items():
+        for row in result.rows:
+            goid = root_table.goid_of(row.loid)
+            if goid is None:
+                raise MappingError(
+                    f"local result row {row.loid} has no GOid for root "
+                    f"class {query.range_class!r}"
+                )
+            groups.setdefault(goid, {})[db_name] = row
+
+    answer = ResultSet(targets=query.targets)
+    for goid in sorted(groups, key=lambda g: g.value):
+        rows = groups[goid]
+        stats.groups += 1
+        if _eliminated_by_absence(goid, rows, root_table, queried_dbs, stats):
+            stats.eliminated_by_absence += 1
+            continue
+        status = _merge_statuses(query, rows.values(), stats)
+        _apply_assistant_verdicts(
+            rows.values(), global_schema, catalog, verdicts, status, stats
+        )
+        tv = _where_tv(query, status)
+        if tv is TV.FALSE:
+            stats.eliminated_by_violation += 1
+            continue
+        bindings = _merge_bindings(query.targets, rows.values())
+        if tv is TV.TRUE:
+            stats.promoted_to_certain += 1
+            answer.add(
+                GlobalResult(
+                    goid=goid, kind=ResultKind.CERTAIN, bindings=bindings
+                )
+            )
+        else:
+            stats.remained_maybe += 1
+            answer.add(
+                GlobalResult(
+                    goid=goid,
+                    kind=ResultKind.MAYBE,
+                    bindings=bindings,
+                    unsolved=_still_unsolved(query, status),
+                )
+            )
+    return answer
+
+
+def _eliminated_by_absence(
+    goid: GOid,
+    rows: Mapping[str, LocalResultRow],
+    root_table,
+    queried_dbs: Tuple[str, ...],
+    stats: CertificationStats,
+) -> bool:
+    """Root-presence rule: an isomeric root object filtered out elsewhere.
+
+    If the entity has a representative in the local root class of a
+    queried site but that site returned no row for it, the representative
+    violated a local predicate there — the entity certainly fails the
+    query and is eliminated (the paper's s1 example).
+    """
+    placements = root_table.loids_of(goid)
+    for db_name in queried_dbs:
+        stats.comparisons += 1
+        if db_name in placements and db_name not in rows:
+            return True
+    return False
+
+
+def _merge_statuses(
+    query: Query,
+    rows: Iterable[LocalResultRow],
+    stats: CertificationStats,
+) -> Dict[Predicate, TV]:
+    """Combine per-site predicate statuses for one entity.
+
+    FALSE anywhere wins (some site evaluated real data and it failed),
+    then TRUE anywhere, then UNKNOWN.
+    """
+    status: Dict[Predicate, TV] = {}
+    for predicate in query.all_predicates():
+        merged = TV.UNKNOWN
+        for row in rows:
+            tv = row.predicate_status.get(predicate, TV.UNKNOWN)
+            stats.comparisons += 1
+            if tv is TV.FALSE:
+                merged = TV.FALSE
+                break
+            if tv is TV.TRUE:
+                merged = TV.TRUE
+        status[predicate] = merged
+    return status
+
+
+def _apply_assistant_verdicts(
+    rows: Iterable[LocalResultRow],
+    global_schema: GlobalSchema,
+    catalog: MappingCatalog,
+    verdicts: VerdictIndex,
+    status: Dict[Predicate, TV],
+    stats: CertificationStats,
+) -> None:
+    """Resolve UNKNOWN predicates through unsolved-item assistant checks.
+
+    For every unsolved item of every merged row, look up the verdicts of
+    its assistant objects on the item's relative predicates and fold them
+    into the original predicate's status.  Violation has precedence:
+    "object o is eliminated when any of its assistant objects violates an
+    unsolved predicate".
+    """
+    for row in rows:
+        for item in row.unsolved_items:
+            global_class = global_schema.global_class_of(
+                item.loid.db, item.class_name
+            )
+            if global_class is None:
+                continue
+            assistants = catalog.assistants_of(global_class, item.loid)
+            for unsolved in item.unsolved:
+                original = unsolved.original
+                if status.get(original) is TV.FALSE:
+                    continue
+                for assistant in assistants:
+                    stats.comparisons += 1
+                    verdict = verdicts.get(
+                        assistant, unsolved.relative_predicate
+                    )
+                    if verdict == VIOLATED:
+                        status[original] = TV.FALSE
+                        break
+                    if verdict == SATISFIED and status[original] is not TV.TRUE:
+                        status[original] = TV.TRUE
+
+
+def _where_tv(query: Query, status: Mapping[Predicate, TV]) -> TV:
+    """Evaluate the query's Where clause over merged predicate statuses."""
+    if not query.where:
+        return TV.TRUE
+    return any3(
+        all3(status.get(p, TV.UNKNOWN) for p in conjunct)
+        for conjunct in query.where
+    )
+
+
+def _still_unsolved(
+    query: Query, status: Mapping[Predicate, TV]
+) -> Tuple[Predicate, ...]:
+    """Predicates keeping the entity a maybe result.
+
+    UNKNOWN predicates appearing in conjuncts that are not already FALSE.
+    """
+    unsolved: List[Predicate] = []
+    for conjunct in query.where:
+        tv = all3(status.get(p, TV.UNKNOWN) for p in conjunct)
+        if tv is TV.FALSE:
+            continue
+        for predicate in conjunct:
+            if status.get(predicate, TV.UNKNOWN) is TV.UNKNOWN:
+                if predicate not in unsolved:
+                    unsolved.append(predicate)
+    return tuple(unsolved)
+
+
+def _merge_bindings(
+    targets: Tuple[Path, ...], rows: Iterable[LocalResultRow]
+) -> Dict[Path, Value]:
+    """Merge target bindings across isomeric rows (first non-null wins;
+    multi-values union)."""
+    bindings: Dict[Path, Value] = {}
+    for target in targets:
+        collected: List[Value] = []
+        multi = False
+        for row in rows:
+            value = row.bindings.get(target, NULL)
+            if is_null(value):
+                continue
+            if isinstance(value, MultiValue):
+                multi = True
+                collected.extend(value)
+            else:
+                collected.append(value)
+        if not collected:
+            bindings[target] = NULL
+        elif multi:
+            bindings[target] = MultiValue(collected)
+        else:
+            bindings[target] = collected[0]
+    return bindings

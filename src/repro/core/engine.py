@@ -1,0 +1,134 @@
+"""The public query engine facade.
+
+:class:`GlobalQueryEngine` is the main entry point for library users: it
+accepts a :class:`~repro.core.query.Query` (or an SQL/X string), executes
+it with a chosen strategy, and returns the answer plus metrics.  It also
+runs head-to-head strategy comparisons, which is how the paper's
+experiments are driven.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from repro.core.query import Query
+from repro.core.results import same_answers
+from repro.core.strategies import (
+    PAPER_STRATEGIES,
+    Strategy,
+    StrategyResult,
+    strategy_by_name,
+)
+from repro.core.system import DistributedSystem
+from repro.errors import ReproError
+
+
+class GlobalQueryEngine:
+    """Executes global queries against a federation."""
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        default_strategy: Union[str, Strategy] = "BL",
+    ) -> None:
+        self.system = system
+        self.default_strategy = self._resolve(default_strategy)
+
+    @staticmethod
+    def _resolve(strategy: Union[str, Strategy]) -> Strategy:
+        if isinstance(strategy, Strategy):
+            return strategy
+        return strategy_by_name(strategy)
+
+    def parse(self, text: str) -> Query:
+        """Parse an SQL/X query string against the global schema."""
+        from repro.sqlx import parse_query
+
+        return parse_query(text)
+
+    def execute(
+        self,
+        query: Union[Query, str],
+        strategy: Optional[Union[str, Strategy]] = None,
+    ) -> StrategyResult:
+        """Run *query* (Query object or SQL/X text) and return the answer.
+
+        Signature strategies require :meth:`DistributedSystem
+        .build_signatures` to have been called; the engine does it on
+        demand.
+        """
+        if isinstance(query, str):
+            query = self.parse(query)
+        chosen = (
+            self.default_strategy if strategy is None else self._resolve(strategy)
+        )
+        if getattr(chosen, "use_signatures", False) and self.system.signatures is None:
+            self.system.build_signatures()
+        return chosen.execute(self.system, query)
+
+    def explain(
+        self,
+        query: Union[Query, str],
+        strategy: Optional[Union[str, Strategy]] = None,
+        width: int = 48,
+    ) -> str:
+        """Execute *query* and render the simulated schedule as text.
+
+        Returns a report with the answer summary, the per-phase busy
+        times, and a timeline of every scheduled activity/transfer —
+        useful for seeing *where* a strategy spends its time (e.g. PL's
+        checks overlapping local evaluation).
+        """
+        from repro.sim.trace import format_timeline, phase_summary
+
+        outcome = self.execute(query, strategy)
+        metrics = outcome.metrics
+        header = (
+            f"strategy {metrics.strategy}: "
+            f"{outcome.results.summary()}; "
+            f"total={metrics.total_time * 1000:.3f} ms, "
+            f"response={metrics.response_time * 1000:.3f} ms"
+        )
+        return "\n".join(
+            [
+                header,
+                "",
+                phase_summary(metrics.trace),
+                "",
+                format_timeline(metrics.trace, width=width),
+            ]
+        )
+
+    def compare(
+        self,
+        query: Union[Query, str],
+        strategies: Optional[Sequence[Union[str, Strategy]]] = None,
+        check_agreement: bool = True,
+    ) -> Dict[str, StrategyResult]:
+        """Execute *query* under several strategies (default: CA, BL, PL).
+
+        With ``check_agreement`` (the default) a :class:`ReproError` is
+        raised if any two strategies return different answers — they
+        implement the same query semantics and may only differ in cost.
+        """
+        if isinstance(query, str):
+            query = self.parse(query)
+        chosen = (
+            [cls() for cls in PAPER_STRATEGIES]
+            if strategies is None
+            else [self._resolve(s) for s in strategies]
+        )
+        outcomes: Dict[str, StrategyResult] = {}
+        for strategy in chosen:
+            outcomes[strategy.name] = self.execute(query, strategy)
+        if check_agreement and len(outcomes) > 1:
+            names = list(outcomes)
+            baseline = outcomes[names[0]]
+            for name in names[1:]:
+                if not same_answers(baseline.results, outcomes[name].results):
+                    raise ReproError(
+                        f"strategies {names[0]} and {name} disagree: "
+                        f"{baseline.results.summary()} vs "
+                        f"{outcomes[name].results.summary()}"
+                    )
+        return outcomes

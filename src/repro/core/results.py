@@ -1,0 +1,157 @@
+"""Global query answers: certain and maybe results.
+
+A query over missing data has a two-part answer (paper, Section 1):
+**certain results**, whose predicates are all TRUE, and **maybe results**,
+which satisfy every evaluable predicate but have at least one UNKNOWN
+predicate caused by missing data.  Presenting both gives the user "more
+informative answers".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.query import Path, Predicate
+from repro.objectdb.ids import GOid
+from repro.objectdb.values import NULL, Value, is_null
+
+
+class ResultKind(enum.Enum):
+    CERTAIN = "certain"
+    MAYBE = "maybe"
+
+
+@dataclass
+class GlobalResult:
+    """One answer object of a global query.
+
+    Attributes:
+        goid: the real-world entity answered.
+        kind: certain or maybe.
+        bindings: target path -> value (NULL when the data is missing
+            everywhere in the federation).
+        unsolved: for maybe results, the global predicates whose truth is
+            still UNKNOWN after all certification.
+    """
+
+    goid: GOid
+    kind: ResultKind
+    bindings: Dict[Path, Value] = field(default_factory=dict)
+    unsolved: Tuple[Predicate, ...] = ()
+
+    @property
+    def is_certain(self) -> bool:
+        return self.kind is ResultKind.CERTAIN
+
+    def value(self, target: Path) -> Value:
+        return self.bindings.get(target, NULL)
+
+    def row(self, targets: Iterable[Path]) -> Tuple[Value, ...]:
+        """Project this result on *targets*, in order."""
+        return tuple(self.bindings.get(t, NULL) for t in targets)
+
+
+@dataclass
+class ResultSet:
+    """The full answer of a global query."""
+
+    targets: Tuple[Path, ...] = ()
+    certain: List[GlobalResult] = field(default_factory=list)
+    maybe: List[GlobalResult] = field(default_factory=list)
+
+    def add(self, result: GlobalResult) -> None:
+        if result.is_certain:
+            self.certain.append(result)
+        else:
+            self.maybe.append(result)
+
+    def __len__(self) -> int:
+        return len(self.certain) + len(self.maybe)
+
+    def all_results(self) -> List[GlobalResult]:
+        return list(self.certain) + list(self.maybe)
+
+    def certain_rows(self) -> List[Tuple[Value, ...]]:
+        """Sorted projected rows of the certain results."""
+        return sorted(
+            (r.row(self.targets) for r in self.certain), key=_row_key
+        )
+
+    def maybe_rows(self) -> List[Tuple[Value, ...]]:
+        """Sorted projected rows of the maybe results."""
+        return sorted((r.row(self.targets) for r in self.maybe), key=_row_key)
+
+    def find(self, goid: GOid) -> Optional[GlobalResult]:
+        for result in self.all_results():
+            if result.goid == goid:
+                return result
+        return None
+
+    def sort(self) -> "ResultSet":
+        """Normalize ordering (by GOid) for comparisons in tests."""
+        self.certain.sort(key=lambda r: r.goid)
+        self.maybe.sort(key=lambda r: r.goid)
+        return self
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.certain)} certain, {len(self.maybe)} maybe "
+            f"result(s)"
+        )
+
+    # --- export -------------------------------------------------------------
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Export every result as a plain dict (JSON-friendly values).
+
+        Each dict carries the entity's GOid, its kind, one key per target
+        path (NULL exported as ``None``, multi-values as sorted lists)
+        and, for maybe results, the unsolved predicates as strings.
+        """
+        from repro.objectdb.values import MultiValue
+
+        rows: List[Dict[str, object]] = []
+        for result in self.all_results():
+            row: Dict[str, object] = {
+                "goid": result.goid.value,
+                "kind": result.kind.value,
+            }
+            for target in self.targets:
+                value = result.value(target)
+                if is_null(value):
+                    exported: object = None
+                elif isinstance(value, MultiValue):
+                    exported = sorted(value, key=repr)
+                else:
+                    exported = value
+                row[str(target)] = exported
+            if result.unsolved:
+                row["unsolved"] = [str(p) for p in result.unsolved]
+            rows.append(row)
+        return rows
+
+    def to_json(self, indent: int = 2) -> str:
+        """The :meth:`to_dicts` export as a JSON string."""
+        import json
+
+        return json.dumps(self.to_dicts(), indent=indent, default=str)
+
+
+def _row_key(row: Tuple[Value, ...]) -> Tuple:
+    """Sort key tolerant of NULLs and mixed types."""
+    return tuple((is_null(v), str(type(v).__name__), str(v)) for v in row)
+
+
+def same_answers(left: ResultSet, right: ResultSet) -> bool:
+    """True when two result sets contain the same certain and maybe GOids.
+
+    Strategy-equivalence check: CA, BL and PL must compute identical
+    answers; only their costs differ.
+    """
+    left_certain = {r.goid for r in left.certain}
+    right_certain = {r.goid for r in right.certain}
+    left_maybe = {r.goid for r in left.maybe}
+    right_maybe = {r.goid for r in right.maybe}
+    return left_certain == right_certain and left_maybe == right_maybe

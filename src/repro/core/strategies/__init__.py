@@ -1,0 +1,73 @@
+"""The paper's query-execution strategies.
+
+* :class:`CentralizedStrategy` (CA) — ship everything, outerjoin, evaluate.
+* :class:`BasicLocalizedStrategy` (BL) — evaluate locally, then check
+  assistants for surviving maybe results.
+* :class:`ParallelLocalizedStrategy` (PL) — dispatch assistant checks
+  first, overlap them with local evaluation.
+* ``BL-S`` / ``PL-S`` — signature-filtered variants (future-work
+  extension).
+"""
+
+from repro.core.strategies.adaptive import AdaptiveStrategy, extract_params
+from repro.core.strategies.base import (
+    DispatchPlan,
+    Strategy,
+    StrategyResult,
+    collect_verdicts,
+    plan_dispatch,
+    run_checks,
+)
+from repro.core.strategies.centralized import CentralizedStrategy
+from repro.core.strategies.localized import (
+    BasicLocalizedStrategy,
+    ParallelLocalizedStrategy,
+    SignatureBasicLocalizedStrategy,
+    SignatureParallelLocalizedStrategy,
+)
+
+#: The paper's three algorithms, in presentation order.
+PAPER_STRATEGIES = (
+    CentralizedStrategy,
+    BasicLocalizedStrategy,
+    ParallelLocalizedStrategy,
+)
+
+#: All implemented strategies, including the signature variants.
+ALL_STRATEGIES = PAPER_STRATEGIES + (
+    SignatureBasicLocalizedStrategy,
+    SignatureParallelLocalizedStrategy,
+)
+
+
+def strategy_by_name(name: str) -> Strategy:
+    """Instantiate a strategy from its short name (case-insensitive)."""
+    if name.lower() == "auto":
+        return AdaptiveStrategy()
+    for cls in ALL_STRATEGIES:
+        if cls.name.lower() == name.lower():
+            return cls()
+    raise ValueError(
+        f"unknown strategy {name!r}; choose from "
+        f"{[cls.name for cls in ALL_STRATEGIES] + ['AUTO']}"
+    )
+
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "AdaptiveStrategy",
+    "BasicLocalizedStrategy",
+    "CentralizedStrategy",
+    "DispatchPlan",
+    "PAPER_STRATEGIES",
+    "ParallelLocalizedStrategy",
+    "SignatureBasicLocalizedStrategy",
+    "SignatureParallelLocalizedStrategy",
+    "Strategy",
+    "StrategyResult",
+    "collect_verdicts",
+    "extract_params",
+    "plan_dispatch",
+    "run_checks",
+    "strategy_by_name",
+]

@@ -1,0 +1,360 @@
+"""Strategy interface and machinery shared by the localized strategies.
+
+A strategy executes a global query against a
+:class:`~repro.core.system.DistributedSystem` and returns both the answer
+(certain + maybe results) and the simulated execution metrics.  The three
+paper strategies (CA, BL, PL) and the signature variants (BL-S, PL-S) all
+implement :class:`Strategy`.
+
+The shared machinery here covers phase O's dispatch planning: given the
+unsolved items discovered at a site, find their assistant objects in the
+replicated GOid mapping tables, drop assistants whose home schema cannot
+provide the missing data (paper: assistants are found "by checking the
+GOid mapping tables and the other component schemas"), optionally
+pre-filter through object signatures, and group what remains into
+per-site check requests.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.certification import SATISFIED, VIOLATED, VerdictIndex
+from repro.core.decompose import missing_depth
+from repro.core.query import Predicate, Query
+from repro.core.results import ResultSet
+from repro.core.system import DistributedSystem
+from repro.errors import QueryError
+from repro.objectdb.ids import LOid
+from repro.objectdb.local_query import CheckReport, CheckRequest, UnsolvedItem
+from repro.sim.metrics import ExecutionMetrics, WorkCounters
+
+
+@dataclass
+class StrategyResult:
+    """Answer plus measured execution of one strategy run."""
+
+    results: ResultSet
+    metrics: ExecutionMetrics
+
+    @property
+    def total_time(self) -> float:
+        return self.metrics.total_time
+
+    @property
+    def response_time(self) -> float:
+        return self.metrics.response_time
+
+
+class Strategy(abc.ABC):
+    """A query-execution strategy over a distributed federation."""
+
+    #: Short name used in reports ("CA", "BL", "PL", "BL-S", "PL-S").
+    name: str = "?"
+
+    @abc.abstractmethod
+    def execute(self, system: DistributedSystem, query: Query) -> StrategyResult:
+        """Run *query* on *system*; return answer and metrics."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+@dataclass
+class DispatchPlan:
+    """Phase O output at one site: grouped check requests + accounting."""
+
+    requests: List[CheckRequest] = field(default_factory=list)
+    mapping_lookups: int = 0
+    assistants_found: int = 0
+    assistants_dispatched: int = 0
+    signature_comparisons: int = 0
+    # Definitive verdicts derived locally from signatures (BL-S / PL-S).
+    signature_verdicts: List[Tuple[LOid, Predicate, str]] = field(
+        default_factory=list
+    )
+
+
+def plan_dispatch(
+    site: str,
+    items: Iterable[UnsolvedItem],
+    system: DistributedSystem,
+    use_signatures: bool = False,
+) -> DispatchPlan:
+    """Plan the assistant checks for the unsolved items found at *site*.
+
+    For every unsolved item, the site probes the replicated GOid mapping
+    table for isomeric objects, keeps the assistants whose home schema
+    defines the missing data, and groups the survivors into one
+    :class:`CheckRequest` per (home site, class, predicate set).
+
+    With ``use_signatures`` the site first tests each assistant against
+    the replicated signature catalog: assistants that provably violate a
+    predicate yield a local VIOLATED verdict and are not shipped.
+    """
+    plan = DispatchPlan()
+    signatures = system.signatures if use_signatures else None
+    if use_signatures and signatures is None:
+        raise QueryError(
+            "signature strategy requested but system.build_signatures() "
+            "was never called"
+        )
+    # (db, class, predicates) -> ordered unique loids
+    buckets: Dict[Tuple[str, str, Tuple[Predicate, ...]], List[LOid]] = {}
+    for item in items:
+        global_class = system.global_schema.global_class_of(
+            item.loid.db, item.class_name
+        )
+        if global_class is None:
+            continue
+        plan.mapping_lookups += 1
+        assistants = system.catalog.assistants_of(global_class, item.loid)
+        plan.assistants_found += len(assistants)
+        for assistant in assistants:
+            plan.mapping_lookups += 1
+            answerable = _answerable_predicates(
+                assistant, global_class, item, system
+            )
+            if not answerable:
+                continue
+            if signatures is not None:
+                target_class = system.global_schema.constituent_class(
+                    assistant.db, global_class
+                )
+                precheck = signatures.precheck_assistants(
+                    target_class or item.class_name,
+                    (assistant,),
+                    [up.relative_predicate for up in answerable],
+                )
+                plan.signature_comparisons += precheck.comparisons
+                for predicate, loids in precheck.violated.items():
+                    for loid in loids:
+                        plan.signature_verdicts.append(
+                            (loid, predicate, VIOLATED)
+                        )
+                if not precheck.to_check:
+                    continue
+                # Ship only the predicates not already settled locally.
+                answerable = [
+                    up
+                    for up in answerable
+                    if assistant
+                    not in precheck.violated.get(up.relative_predicate, ())
+                ]
+                if not answerable:
+                    continue
+            target_class = system.global_schema.constituent_class(
+                assistant.db, global_class
+            )
+            if target_class is None:  # pragma: no cover - mapping implies it
+                continue
+            key = (
+                assistant.db,
+                target_class,
+                tuple(sorted(
+                    {up.relative_predicate for up in answerable}, key=str
+                )),
+            )
+            bucket = buckets.setdefault(key, [])
+            if assistant not in bucket:
+                bucket.append(assistant)
+                plan.assistants_dispatched += 1
+    for (db_name, class_name, predicates), loids in sorted(
+        buckets.items(), key=lambda kv: (kv[0][0], kv[0][1], repr(kv[0][2]))
+    ):
+        plan.requests.append(
+            CheckRequest(
+                db_name=db_name,
+                class_name=class_name,
+                loids=tuple(loids),
+                predicates=predicates,
+            )
+        )
+    return plan
+
+
+def _answerable_predicates(
+    assistant: LOid,
+    global_class: str,
+    item: UnsolvedItem,
+    system: DistributedSystem,
+):
+    """The item's unsolved predicates the assistant's site can advance.
+
+    A site can *provide* the missing data when its schema defines the
+    whole relative path from the assistant's class; it can still
+    *advance* a nested path when it defines a prefix (its reference hop
+    feeds a chase round that continues at the referenced object's own
+    isomeric copies).  Only assistants whose class lacks even the first
+    step are useless — the paper's "no assistant object can provide the
+    data" case.
+    """
+    answerable = []
+    for unsolved in item.unsolved:
+        depth = missing_depth(
+            system.global_schema,
+            assistant.db,
+            global_class,
+            unsolved.relative_path,
+        )
+        if depth is None or depth >= 1:
+            answerable.append(unsolved)
+    return answerable
+
+
+def run_checks(
+    requests: Sequence[CheckRequest], system: DistributedSystem
+) -> List[CheckReport]:
+    """Execute check requests at their home databases (steps BL_C3/PL_C3)."""
+    return [
+        system.db(request.db_name).check_assistants(request)
+        for request in requests
+    ]
+
+
+@dataclass
+class ChaseRound:
+    """One follow-up check round issued by the global processing site."""
+
+    requests: List[CheckRequest] = field(default_factory=list)
+    reports: List[CheckReport] = field(default_factory=list)
+    mapping_lookups: int = 0
+
+
+def chase_blocked(
+    initial_reports: Sequence[CheckReport],
+    system: DistributedSystem,
+    verdicts: VerdictIndex,
+    max_rounds: int,
+) -> List[ChaseRound]:
+    """Resolve multi-hop missing-reference chains by iterated checking.
+
+    A check that walks a nested relative predicate can get stuck at an
+    object other than the checked assistant (a dangling or locally absent
+    reference step).  The global site — which holds the replicated GOid
+    mapping tables and receives all check reports — then issues follow-up
+    checks against the blocking object's own isomeric copies, repeating
+    until every chain is resolved or the path runs out.  Verdicts
+    propagate back to the *original* (assistant, predicate) pair that the
+    certification rule looks up.
+
+    Each hop strictly shortens the remaining relative path, so the loop
+    terminates within the query's maximum path length.
+    """
+    # Each entry tracks the original pair a chain must report back to:
+    # (original assistant, original relative predicate, blocker loid,
+    #  blocker class, remaining predicate).
+    pending = [
+        (b.checked, b.predicate, b.holder, b.holder_class, b.remaining)
+        for report in initial_reports
+        for b in report.blocked
+    ]
+    rounds: List[ChaseRound] = []
+    while pending and len(rounds) < max_rounds:
+        round_data = ChaseRound()
+        buckets: Dict[Tuple[str, str, Predicate], List[LOid]] = {}
+        entries = []
+        for orig_loid, orig_pred, holder, holder_class, remaining in pending:
+            global_class = system.global_schema.global_class_of(
+                holder.db, holder_class
+            )
+            if global_class is None:
+                continue
+            round_data.mapping_lookups += 1
+            assistants = system.catalog.assistants_of(global_class, holder)
+            answerable: List[LOid] = []
+            for assistant in assistants:
+                round_data.mapping_lookups += 1
+                depth = missing_depth(
+                    system.global_schema,
+                    assistant.db,
+                    global_class,
+                    remaining.path,
+                )
+                if depth is not None and depth == 0:
+                    continue  # cannot even start the walk there
+                answerable.append(assistant)
+                target_class = system.global_schema.constituent_class(
+                    assistant.db, global_class
+                )
+                if target_class is None:  # pragma: no cover
+                    continue
+                bucket = buckets.setdefault(
+                    (assistant.db, target_class, remaining), []
+                )
+                if assistant not in bucket:
+                    bucket.append(assistant)
+            if answerable:
+                entries.append((orig_loid, orig_pred, remaining, tuple(answerable)))
+        if not entries:
+            break
+        for (db_name, class_name, predicate), loids in sorted(
+            buckets.items(), key=lambda kv: (kv[0][0], kv[0][1], str(kv[0][2]))
+        ):
+            round_data.requests.append(
+                CheckRequest(
+                    db_name=db_name,
+                    class_name=class_name,
+                    loids=tuple(loids),
+                    predicates=(predicate,),
+                )
+            )
+        round_data.reports = run_checks(round_data.requests, system)
+        rounds.append(round_data)
+
+        # Index this round's verdicts and blocks.
+        verdict_of: Dict[Tuple[LOid, Predicate], str] = {}
+        blocked_of: Dict[Tuple[LOid, Predicate], List] = {}
+        for report in round_data.reports:
+            for predicate, loids in report.violated.items():
+                for loid in loids:
+                    verdict_of[(loid, predicate)] = VIOLATED
+            for predicate, loids in report.satisfied.items():
+                for loid in loids:
+                    verdict_of.setdefault((loid, predicate), SATISFIED)
+            for block in report.blocked:
+                blocked_of.setdefault(
+                    (block.checked, block.predicate), []
+                ).append(block)
+
+        next_pending = []
+        for orig_loid, orig_pred, remaining, assistants in entries:
+            resolved = [
+                verdict_of.get((assistant, remaining)) for assistant in assistants
+            ]
+            if VIOLATED in resolved:
+                verdicts.add(orig_loid, orig_pred, VIOLATED)
+                continue
+            if SATISFIED in resolved:
+                verdicts.add(orig_loid, orig_pred, SATISFIED)
+                # Keep chasing blocked branches: a later hop can still
+                # surface a violation under inconsistent data; with
+                # consistent data it simply confirms.
+            for assistant in assistants:
+                for block in blocked_of.get((assistant, remaining), ()):
+                    next_pending.append(
+                        (
+                            orig_loid,
+                            orig_pred,
+                            block.holder,
+                            block.holder_class,
+                            block.remaining,
+                        )
+                    )
+        pending = next_pending
+    return rounds
+
+
+def collect_verdicts(
+    reports: Iterable[CheckReport],
+    signature_verdicts: Iterable[Tuple[LOid, Predicate, str]] = (),
+) -> VerdictIndex:
+    """Fold check reports and local signature verdicts into one index."""
+    verdicts = VerdictIndex()
+    for loid, predicate, verdict in signature_verdicts:
+        verdicts.add(loid, predicate, verdict)
+    for report in reports:
+        verdicts.add_report(report)
+    return verdicts

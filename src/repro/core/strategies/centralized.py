@@ -1,0 +1,166 @@
+"""CA — the centralized approach (phase order O -> I -> P).
+
+Every object of the local root and branch classes is shipped to the
+global processing site (projected on the LOid and the attributes the
+query involves, step CA_C1).  The site outerjoins the constituent extents
+of each global class over GOid (phases O and I fused, step CA_G2) and
+evaluates the predicates on the materialized global classes (phase P,
+step CA_G3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.decompose import attributes_needed
+from repro.core.predicates import EvalMeter, evaluate_dnf, walk_path
+from repro.core.query import Query
+from repro.core.results import GlobalResult, ResultKind, ResultSet
+from repro.core.strategies.base import Strategy, StrategyResult
+from repro.core.system import DistributedSystem
+from repro.core.tvl import TV
+from repro.integration.outerjoin import IntegrationStats, materialize
+from repro.objectdb.objects import LocalObject
+from repro.objectdb.values import NULL
+from repro.sim.metrics import ExecutionMetrics, WorkCounters
+from repro.sim.taskgraph import PHASE_I, PHASE_P, PHASE_SCAN
+
+
+class CentralizedStrategy(Strategy):
+    """The paper's algorithm CA."""
+
+    name = "CA"
+
+    def execute(self, system: DistributedSystem, query: Query) -> StrategyResult:
+        query.validate(system.global_schema.schema)
+        fed = system.simulator()
+        work = WorkCounters()
+        cost = system.cost_model
+
+        involved_classes = (query.range_class,) + query.branch_classes(
+            system.global_schema.schema
+        )
+
+        # --- step CA_C1: each site retrieves, projects and ships extents ---
+        exports_by_class: Dict[str, Dict[str, List[LocalObject]]] = {
+            cls: {} for cls in involved_classes
+        }
+        ship_nodes = []
+        for db_name, db in system.databases.items():
+            site_bytes = 0
+            site_objects = 0
+            shipped: List[Tuple[str, List[LocalObject]]] = []
+            for global_class in involved_classes:
+                local_class = system.global_schema.constituent_class(
+                    db_name, global_class
+                )
+                if local_class is None:
+                    continue
+                needed = attributes_needed(
+                    query, system.global_schema, global_class
+                )
+                local_needed = tuple(
+                    a
+                    for a in needed
+                    if db.schema.cls(local_class).has_attribute(a)
+                )
+                objs = db.scan_for_export(local_class, local_needed)
+                exports_by_class[global_class][db_name] = objs
+                obj_bytes = cost.object_bytes(len(local_needed))
+                site_bytes += len(objs) * obj_bytes
+                site_objects += len(objs)
+                shipped.append((global_class, objs))
+            if not shipped:
+                continue
+            work.objects_scanned += site_objects
+            work.objects_shipped += site_objects
+            work.bytes_disk += site_bytes
+            work.bytes_network += site_bytes
+            scan = fed.disk(
+                db_name,
+                nbytes=site_bytes,
+                label=f"CA_C1 scan@{db_name}",
+                phase=PHASE_SCAN,
+            )
+            project = fed.cpu(
+                db_name,
+                comparisons=site_objects,
+                label=f"CA_C1 project@{db_name}",
+                phase=PHASE_SCAN,
+                deps=[scan],
+            )
+            ship_nodes.append(
+                fed.transfer(
+                    db_name,
+                    system.global_site,
+                    nbytes=site_bytes,
+                    label="CA_C1 ship",
+                    deps=[project],
+                )
+            )
+
+        # --- step CA_G2: outerjoin over GOid at the global site (O + I) ----
+        stats = IntegrationStats()
+        extent = materialize(
+            involved_classes,
+            system.global_schema,
+            system.catalog,
+            exports_by_class,
+            stats,
+        )
+        work.comparisons += stats.comparisons
+        integrate = fed.cpu(
+            system.global_site,
+            comparisons=stats.comparisons,
+            label="CA_G2 outerjoin",
+            phase=PHASE_I,
+            deps=ship_nodes,
+        )
+
+        # --- step CA_G3: evaluate predicates on materialized classes (P) ---
+        meter = EvalMeter()
+        results = ResultSet(targets=query.targets)
+        for goid in sorted(extent.extent(query.range_class), key=lambda g: g.value):
+            obj = extent.extent(query.range_class)[goid]
+            outcome = evaluate_dnf(obj, query.where, extent.deref, meter)
+            if outcome.tv is TV.FALSE:
+                continue
+            bindings = {}
+            for target in query.targets:
+                walk = walk_path(obj, target, extent.deref, meter)
+                bindings[target] = NULL if walk.is_missing else walk.value
+            if outcome.tv is TV.TRUE:
+                results.add(
+                    GlobalResult(
+                        goid=goid, kind=ResultKind.CERTAIN, bindings=bindings
+                    )
+                )
+            else:
+                results.add(
+                    GlobalResult(
+                        goid=goid,
+                        kind=ResultKind.MAYBE,
+                        bindings=bindings,
+                        unsolved=tuple(
+                            o.predicate for o in outcome.unsolved
+                        ),
+                    )
+                )
+        work.comparisons += meter.comparisons
+        fed.cpu(
+            system.global_site,
+            comparisons=meter.comparisons,
+            label="CA_G3 evaluate",
+            phase=PHASE_P,
+            deps=[integrate],
+        )
+
+        outcome_sim = fed.run()
+        metrics = ExecutionMetrics.from_outcome(
+            self.name,
+            outcome_sim,
+            work,
+            certain_results=len(results.certain),
+            maybe_results=len(results.maybe),
+        )
+        return StrategyResult(results=results.sort(), metrics=metrics)

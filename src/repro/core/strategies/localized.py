@@ -1,0 +1,468 @@
+"""BL and PL — the localized approaches, plus their signature variants.
+
+**BL** (basic localized, phase order P -> O -> I, Section 3.2): each site
+evaluates its local predicates first (step BL_C1), then looks up and
+dispatches assistant-object checks *only for the unsolved items of its
+local maybe results* (step BL_C2).  Checks execute at the assistants'
+home sites (step BL_C3) and report to the global site, which certifies
+(step BL_G2).
+
+**PL** (parallel localized, phase order O -> P -> I, Section 3.3): each
+site *first* scans every root object for missing data and dispatches the
+assistant checks (step PL_C1), then evaluates local predicates (step
+PL_C2) while the checks proceed at other sites in parallel (step PL_C3).
+PL trades extra mapping-table lookups, transfers and checks — including
+for objects that local evaluation would have eliminated — for the overlap
+of phases O and P.
+
+**BL-S / PL-S** (future-work extension): before shipping assistant LOids,
+the site tests the replicated object signatures; assistants that provably
+violate an equality predicate yield a local VIOLATED verdict and are not
+transferred, cutting phase-O traffic at the price of signature
+comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.certification import CertificationStats, certify
+from repro.core.decompose import attributes_needed, decompose
+from repro.core.query import Query
+from repro.core.strategies.base import (
+    DispatchPlan,
+    Strategy,
+    StrategyResult,
+    chase_blocked,
+    collect_verdicts,
+    plan_dispatch,
+    run_checks,
+)
+from repro.core.system import DistributedSystem
+from repro.objectdb.local_query import CheckReport, LocalResultSet
+from repro.sim.metrics import ExecutionMetrics, WorkCounters
+from repro.sim.taskgraph import FederationSim, Node, PHASE_I, PHASE_O, PHASE_P, PHASE_SCAN
+
+
+class _LocalizedStrategy(Strategy):
+    """Common machinery of BL and PL; subclasses fix the phase order."""
+
+    #: True for PL: dispatch assistant checks before local evaluation.
+    phase_o_first: bool = False
+    #: True for the signature variants.
+    use_signatures: bool = False
+
+    def execute(self, system: DistributedSystem, query: Query) -> StrategyResult:
+        decomposed = decompose(query, system.global_schema)
+        fed = system.simulator()
+        work = WorkCounters()
+        cost = system.cost_model
+
+        local_results: Dict[str, LocalResultSet] = {}
+        reports: List[CheckReport] = []
+        signature_verdicts = []
+        certify_deps: List[Node] = []
+
+        branch_classes = query.branch_classes(system.global_schema.schema)
+        queried = list(decomposed.local_queries)
+        # Checks execute at assistants' home sites; size their reads with
+        # the federation-average branch object.
+        avg_branch_bytes = (
+            sum(self._object_sizes(system, query, d)[1] for d in queried)
+            / len(queried)
+        ) if queried else 0.0
+
+        for db_name, local_query in decomposed.local_queries.items():
+            db = system.db(db_name)
+            root_obj_bytes, branch_obj_bytes = self._object_sizes(
+                system, query, db_name
+            )
+            branch_capacity = sum(
+                db.count(local_cls)
+                for global_cls in branch_classes
+                for local_cls in [
+                    system.global_schema.constituent_class(db_name, global_cls)
+                ]
+                if local_cls is not None
+            )
+
+            # --- run the site's work for real (logic layer) -------------
+            result = db.execute_local(local_query)
+            local_results[db_name] = result
+            if self.phase_o_first:
+                scan, scan_meter = db.collect_unsolved(local_query)
+                items = scan.all_items()
+            else:
+                items = [
+                    item
+                    for row in result.maybe_rows
+                    for item in row.unsolved_items
+                ]
+            plan = plan_dispatch(
+                db_name, items, system, use_signatures=self.use_signatures
+            )
+            signature_verdicts.extend(plan.signature_verdicts)
+
+            work.objects_scanned += result.objects_scanned
+            work.comparisons += result.comparisons
+            work.assistants_looked_up += plan.assistants_found
+            work.signature_comparisons += plan.signature_comparisons
+
+            # --- build the site's activity sub-graph --------------------
+            if self.phase_o_first:
+                eval_node, dispatch_node = self._build_pl_site(
+                    fed, db_name, result, scan, scan_meter, plan,
+                    root_obj_bytes, branch_obj_bytes, branch_capacity, work,
+                )
+            else:
+                eval_node, dispatch_node = self._build_bl_site(
+                    fed, db_name, result, plan,
+                    root_obj_bytes, branch_obj_bytes, branch_capacity, work,
+                )
+
+            # --- ship local results to the global processing site -------
+            result_bytes = self._result_bytes(result, query, cost)
+            work.bytes_network += int(result_bytes)
+            certify_deps.append(
+                fed.transfer(
+                    db_name,
+                    system.global_site,
+                    nbytes=result_bytes,
+                    label=f"{self.name} results",
+                    deps=[eval_node],
+                )
+            )
+
+            # --- dispatch assistant checks -------------------------------
+            site_reports = run_checks(plan.requests, system)
+            reports.extend(site_reports)
+            for request, report in zip(plan.requests, site_reports):
+                request_bytes = cost.check_request_bytes(
+                    len(request.loids), len(request.predicates)
+                )
+                verdict_count = sum(
+                    len(v) for v in report.satisfied.values()
+                ) + sum(len(v) for v in report.violated.values())
+                reply_bytes = cost.check_reply_bytes(max(verdict_count, 1))
+                work.bytes_network += request_bytes + reply_bytes
+                work.assistants_checked += report.objects_checked
+                work.comparisons += report.comparisons
+
+                send = fed.transfer(
+                    db_name,
+                    request.db_name,
+                    nbytes=request_bytes,
+                    label=f"{self.name} check-req",
+                    deps=[dispatch_node],
+                )
+                check_bytes = report.objects_checked * avg_branch_bytes
+                work.bytes_disk += int(check_bytes)
+                check_disk = fed.disk(
+                    request.db_name,
+                    nbytes=check_bytes,
+                    label=f"{self.name} check read",
+                    phase=PHASE_O,
+                    deps=[send],
+                    seeks=report.objects_checked,
+                )
+                check_cpu = fed.cpu(
+                    request.db_name,
+                    comparisons=report.comparisons,
+                    label=f"{self.name} check eval",
+                    phase=PHASE_O,
+                    deps=[check_disk],
+                )
+                certify_deps.append(
+                    fed.transfer(
+                        request.db_name,
+                        system.global_site,
+                        nbytes=reply_bytes,
+                        label=f"{self.name} check-reply",
+                        deps=[check_cpu],
+                    )
+                )
+
+        # --- chase rounds for multi-hop missing-reference chains ------------
+        verdicts = collect_verdicts(reports, signature_verdicts)
+        predicates = query.all_predicates()
+        max_rounds = max((len(p.path) for p in predicates), default=0)
+        chase_rounds = chase_blocked(reports, system, verdicts, max_rounds)
+        prev_deps: List[Node] = list(certify_deps)
+        for chase in chase_rounds:
+            lookup = fed.cpu(
+                system.global_site,
+                comparisons=chase.mapping_lookups,
+                label=f"{self.name} chase lookup",
+                phase=PHASE_O,
+                deps=prev_deps,
+            )
+            work.comparisons += chase.mapping_lookups
+            certify_deps.append(lookup)
+            round_replies: List[Node] = []
+            for request, report in zip(chase.requests, chase.reports):
+                request_bytes = cost.check_request_bytes(
+                    len(request.loids), len(request.predicates)
+                )
+                verdict_count = sum(
+                    len(v) for v in report.satisfied.values()
+                ) + sum(len(v) for v in report.violated.values())
+                reply_bytes = cost.check_reply_bytes(max(verdict_count, 1))
+                work.bytes_network += request_bytes + reply_bytes
+                work.assistants_checked += report.objects_checked
+                work.comparisons += report.comparisons
+                send = fed.transfer(
+                    system.global_site,
+                    request.db_name,
+                    nbytes=request_bytes,
+                    label=f"{self.name} chase-req",
+                    deps=[lookup],
+                )
+                check_bytes = report.objects_checked * avg_branch_bytes
+                work.bytes_disk += int(check_bytes)
+                check_disk = fed.disk(
+                    request.db_name,
+                    nbytes=check_bytes,
+                    label=f"{self.name} chase read",
+                    phase=PHASE_O,
+                    deps=[send],
+                    seeks=report.objects_checked,
+                )
+                check_cpu = fed.cpu(
+                    request.db_name,
+                    comparisons=report.comparisons,
+                    label=f"{self.name} chase eval",
+                    phase=PHASE_O,
+                    deps=[check_disk],
+                )
+                round_replies.append(
+                    fed.transfer(
+                        request.db_name,
+                        system.global_site,
+                        nbytes=reply_bytes,
+                        label=f"{self.name} chase-reply",
+                        deps=[check_cpu],
+                    )
+                )
+            certify_deps.extend(round_replies)
+            prev_deps = round_replies or [lookup]
+
+        # --- step BL_G2 / PL_G2: certification at the global site ----------
+        cert_stats = CertificationStats()
+        results = certify(
+            query,
+            system.global_schema,
+            system.catalog,
+            local_results,
+            verdicts,
+            cert_stats,
+        )
+        work.comparisons += cert_stats.comparisons
+        fed.cpu(
+            system.global_site,
+            comparisons=cert_stats.comparisons,
+            label=f"{self.name}_G2 certify",
+            phase=PHASE_I,
+            deps=certify_deps,
+        )
+
+        outcome = fed.run()
+        metrics = ExecutionMetrics.from_outcome(
+            self.name,
+            outcome,
+            work,
+            certain_results=len(results.certain),
+            maybe_results=len(results.maybe),
+        )
+        return StrategyResult(results=results.sort(), metrics=metrics)
+
+    # --- per-site graphs ----------------------------------------------------
+
+    def _build_bl_site(
+        self,
+        fed: FederationSim,
+        db_name: str,
+        result: LocalResultSet,
+        plan: DispatchPlan,
+        root_obj_bytes: int,
+        branch_obj_bytes: int,
+        branch_capacity: int,
+        work: WorkCounters,
+    ) -> Tuple[Node, Node]:
+        """BL at one site: evaluate (P), then look up assistants (O).
+
+        Branch-object reads are capped at the site's branch extents: path
+        walks revisit objects, but a buffered extent is read from disk
+        once (CA's export charges the same one-pass read).
+        """
+        scan_bytes = (
+            result.objects_scanned * root_obj_bytes
+            + min(result.derefs, branch_capacity) * branch_obj_bytes
+        )
+        work.bytes_disk += int(scan_bytes)
+        # Index-restricted scans fetch candidates by LOid: random access.
+        scan_seeks = (
+            result.objects_scanned if result.index_probe is not None else 0
+        )
+        scan = fed.disk(
+            db_name, nbytes=scan_bytes, label="BL_C1 scan", phase=PHASE_SCAN,
+            seeks=scan_seeks,
+        )
+        evaluate = fed.cpu(
+            db_name,
+            comparisons=result.comparisons,
+            label="BL_C1 evaluate",
+            phase=PHASE_P,
+            deps=[scan],
+        )
+        lookup = fed.cpu(
+            db_name,
+            comparisons=plan.mapping_lookups + plan.signature_comparisons,
+            label="BL_C2 lookup",
+            phase=PHASE_O,
+            deps=[evaluate],
+        )
+        work.comparisons += plan.mapping_lookups
+        # Results ship after C2; checks dispatch from C2.
+        return lookup, lookup
+
+    def _build_pl_site(
+        self,
+        fed: FederationSim,
+        db_name: str,
+        result: LocalResultSet,
+        scan,
+        scan_meter,
+        plan: DispatchPlan,
+        root_obj_bytes: int,
+        branch_obj_bytes: int,
+        branch_capacity: int,
+        work: WorkCounters,
+    ) -> Tuple[Node, Node]:
+        """PL at one site: scan for missing data + dispatch (O), then
+        evaluate (P).
+
+        The phase-O scan reads the root extent and the branch objects its
+        missing-data probes touch; the evaluation pass then reads only
+        the *marginal* branch objects it needs beyond those (the extent
+        is buffered — the paper charges PL's overhead to mapping-table
+        checks and assistant transfers, not to a second full scan).
+        """
+        probe_reads = min(scan_meter.derefs, branch_capacity)
+        scan_bytes = (
+            scan.objects_scanned * root_obj_bytes
+            + probe_reads * branch_obj_bytes
+        )
+        work.bytes_disk += int(scan_bytes)
+        work.comparisons += scan_meter.comparisons + plan.mapping_lookups
+        read = fed.disk(
+            db_name, nbytes=scan_bytes, label="PL_C1 scan", phase=PHASE_SCAN
+        )
+        dispatch = fed.cpu(
+            db_name,
+            comparisons=scan_meter.comparisons
+            + plan.mapping_lookups
+            + plan.signature_comparisons,
+            label="PL_C1 lookup",
+            phase=PHASE_O,
+            deps=[read],
+        )
+        eval_reads = min(result.derefs, branch_capacity)
+        marginal_derefs = max(0, eval_reads - probe_reads)
+        eval_bytes = marginal_derefs * branch_obj_bytes
+        work.bytes_disk += int(eval_bytes)
+        eval_read = fed.disk(
+            db_name,
+            nbytes=eval_bytes,
+            label="PL_C2 read",
+            phase=PHASE_SCAN,
+            deps=[dispatch],
+        )
+        evaluate = fed.cpu(
+            db_name,
+            comparisons=result.comparisons,
+            label="PL_C2 evaluate",
+            phase=PHASE_P,
+            deps=[eval_read],
+        )
+        return evaluate, dispatch
+
+    # --- sizes ----------------------------------------------------------------
+
+    @staticmethod
+    def _object_sizes(
+        system: DistributedSystem, query: Query, db_name: str
+    ) -> Tuple[float, float]:
+        """(root object bytes, average branch object bytes) at one site.
+
+        Only attributes the site's constituent classes actually define
+        are stored there, so projections (and disk reads) are sized
+        per-site.
+        """
+        cost = system.cost_model
+        db = system.db(db_name)
+
+        def local_attr_count(global_cls: str) -> int:
+            local_cls = system.global_schema.constituent_class(
+                db_name, global_cls
+            )
+            needed = attributes_needed(query, system.global_schema, global_cls)
+            if local_cls is None:
+                return len(needed)
+            cdef = db.schema.cls(local_cls)
+            return sum(1 for a in needed if cdef.has_attribute(a))
+
+        root_attrs = local_attr_count(query.range_class)
+        branch_classes = query.branch_classes(system.global_schema.schema)
+        if branch_classes:
+            avg_attrs = sum(
+                local_attr_count(cls) for cls in branch_classes
+            ) / len(branch_classes)
+        else:
+            avg_attrs = 0.0
+        return (
+            cost.object_bytes(root_attrs),
+            cost.object_bytes(avg_attrs) if branch_classes else 0.0,
+        )
+
+    def _result_bytes(self, result: LocalResultSet, query: Query, cost) -> int:
+        """Bytes of one site's local result shipment.
+
+        Each row carries LOid + GOid + target values; maybe rows add one
+        LOid plus predicate descriptors per unsolved item/predicate.
+        """
+        total = 0
+        for row in result.rows:
+            total += cost.row_bytes(len(query.targets))
+            total += len(row.unsolved) * cost.attribute_bytes
+            for item in row.unsolved_items:
+                total += cost.loid_bytes
+                total += len(item.unsolved) * cost.attribute_bytes
+        return total
+
+
+class BasicLocalizedStrategy(_LocalizedStrategy):
+    """The paper's algorithm BL (phase order P -> O -> I)."""
+
+    name = "BL"
+    phase_o_first = False
+
+
+class ParallelLocalizedStrategy(_LocalizedStrategy):
+    """The paper's algorithm PL (phase order O -> P -> I)."""
+
+    name = "PL"
+    phase_o_first = True
+
+
+class SignatureBasicLocalizedStrategy(BasicLocalizedStrategy):
+    """BL with signature pre-filtering of assistant checks (BL-S)."""
+
+    name = "BL-S"
+    use_signatures = True
+
+
+class SignatureParallelLocalizedStrategy(ParallelLocalizedStrategy):
+    """PL with signature pre-filtering of assistant checks (PL-S)."""
+
+    name = "PL-S"
+    use_signatures = True

@@ -1,0 +1,120 @@
+"""Kleene three-valued logic (TRUE / FALSE / UNKNOWN).
+
+Missing data turns predicate evaluation three-valued (Codd 1979, cited by
+the paper as the source of *maybe* semantics): a predicate over a missing
+attribute or null value is UNKNOWN, and a conjunctive query answer whose
+truth value is UNKNOWN is reported as a **maybe result** rather than being
+dropped.
+
+The truth tables are the strong Kleene ones:
+
+===========  =======  =======  =========
+``a AND b``  TRUE     FALSE    UNKNOWN
+===========  =======  =======  =========
+TRUE         TRUE     FALSE    UNKNOWN
+FALSE        FALSE    FALSE    FALSE
+UNKNOWN      UNKNOWN  FALSE    UNKNOWN
+===========  =======  =======  =========
+
+===========  =======  =======  =========
+``a OR b``   TRUE     FALSE    UNKNOWN
+===========  =======  =======  =========
+TRUE         TRUE     TRUE     TRUE
+FALSE        TRUE     FALSE    UNKNOWN
+UNKNOWN      TRUE     UNKNOWN  UNKNOWN
+===========  =======  =======  =========
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+
+class TV(enum.Enum):
+    """A truth value in Kleene's strong three-valued logic."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        """Refuse implicit truthiness: 3VL must be combined explicitly.
+
+        Allowing ``if tv:`` would silently treat UNKNOWN as falsy, which is
+        exactly the bug class this module exists to prevent.
+        """
+        raise TypeError(
+            "TV cannot be used as a bool; compare against TV.TRUE / "
+            "TV.FALSE / TV.UNKNOWN explicitly"
+        )
+
+    # --- connectives ------------------------------------------------------
+
+    def and_(self, other: "TV") -> "TV":
+        """Strong-Kleene conjunction."""
+        if self is TV.FALSE or other is TV.FALSE:
+            return TV.FALSE
+        if self is TV.TRUE and other is TV.TRUE:
+            return TV.TRUE
+        return TV.UNKNOWN
+
+    def or_(self, other: "TV") -> "TV":
+        """Strong-Kleene disjunction."""
+        if self is TV.TRUE or other is TV.TRUE:
+            return TV.TRUE
+        if self is TV.FALSE and other is TV.FALSE:
+            return TV.FALSE
+        return TV.UNKNOWN
+
+    def not_(self) -> "TV":
+        """Strong-Kleene negation (UNKNOWN stays UNKNOWN)."""
+        if self is TV.TRUE:
+            return TV.FALSE
+        if self is TV.FALSE:
+            return TV.TRUE
+        return TV.UNKNOWN
+
+    # --- convenience ------------------------------------------------------
+
+    @property
+    def is_true(self) -> bool:
+        return self is TV.TRUE
+
+    @property
+    def is_false(self) -> bool:
+        return self is TV.FALSE
+
+    @property
+    def is_unknown(self) -> bool:
+        return self is TV.UNKNOWN
+
+
+def from_bool(value: bool) -> TV:
+    """Lift a Python bool into the three-valued domain."""
+    return TV.TRUE if value else TV.FALSE
+
+
+def all3(values: Iterable[TV]) -> TV:
+    """Three-valued conjunction of an iterable (empty iterable is TRUE).
+
+    Matches the semantics of a conjunctive ``Where`` clause: the answer is
+    certain when every predicate is TRUE, dropped when any predicate is
+    FALSE, and *maybe* otherwise.
+    """
+    result = TV.TRUE
+    for value in values:
+        result = result.and_(value)
+        if result is TV.FALSE:
+            return TV.FALSE
+    return result
+
+
+def any3(values: Iterable[TV]) -> TV:
+    """Three-valued disjunction of an iterable (empty iterable is FALSE)."""
+    result = TV.FALSE
+    for value in values:
+        result = result.or_(value)
+        if result is TV.TRUE:
+            return TV.TRUE
+    return result

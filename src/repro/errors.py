@@ -1,0 +1,86 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish schema problems from query problems or
+simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A component or global schema is malformed or inconsistent.
+
+    Raised, for example, when a complex attribute references an undefined
+    class, when two attributes with the same name are declared on one class,
+    or when schema integration is asked to integrate classes that do not
+    exist.
+    """
+
+
+class UnknownClassError(SchemaError):
+    """A class name was referenced that is not defined in the schema."""
+
+    def __init__(self, class_name: str, where: str = "schema") -> None:
+        super().__init__(f"class {class_name!r} is not defined in {where}")
+        self.class_name = class_name
+        self.where = where
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name was referenced that a class does not define."""
+
+    def __init__(self, class_name: str, attribute: str) -> None:
+        super().__init__(
+            f"class {class_name!r} does not define attribute {attribute!r}"
+        )
+        self.class_name = class_name
+        self.attribute = attribute
+
+
+class ObjectStoreError(ReproError):
+    """A component database storage operation failed.
+
+    Raised for duplicate LOids, references to non-existent objects, or
+    objects whose values do not conform to their class definition.
+    """
+
+
+class QueryError(ReproError):
+    """A global or local query is malformed with respect to its schema.
+
+    Raised when the range class is unknown, a path expression does not
+    type-check against the composition hierarchy, or a predicate compares
+    a complex attribute with a primitive constant.
+    """
+
+
+class MappingError(ReproError):
+    """A GOid mapping table operation failed (duplicate or missing entry)."""
+
+
+class SqlxSyntaxError(ReproError):
+    """The SQL/X front-end failed to tokenize or parse a query string."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        if position >= 0:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven into an invalid state.
+
+    Raised for cyclic activity graphs, negative durations, or transfers
+    between unknown sites.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload parameter set is out of its documented range."""

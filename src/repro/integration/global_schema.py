@@ -1,0 +1,270 @@
+"""Schema integration: constructing the global object schema.
+
+Classes with the same semantics across component databases are integrated
+into one *global class*; the attributes of a global class are the set
+union of its constituent classes' attributes (paper, Section 1).  An
+attribute present in the global class but absent from a constituent class
+is a *missing attribute* of that constituent — the root cause of maybe
+results.
+
+We assume attribute names have already been unified by the integration
+front-end (the paper's cited mechanism [13] performs renaming during
+integration); what this module resolves is structure:
+
+* the union of attribute definitions, with complex-attribute domains
+  rewritten from local class names to the global classes integrating them;
+* conflicting kinds (primitive vs complex under one name) are rejected;
+* attributes listed as *multi-valued* in the correspondence collect the
+  values contributed by different component databases (the paper's
+  future-work extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError, UnknownClassError
+from repro.integration.isomerism import ConstituentRef
+from repro.objectdb.schema import (
+    AttrKind,
+    AttributeDef,
+    ClassDef,
+    ComponentSchema,
+    Schema,
+)
+
+
+@dataclass(frozen=True)
+class ClassCorrespondence:
+    """Declares which constituent classes integrate into one global class.
+
+    Attributes:
+        global_name: name of the global class to construct.
+        constituents: the (db, class) pairs being integrated.
+        key_attribute: attribute used to match isomeric objects across
+            databases (substrate for the paper's reference [5]).
+        multi_valued_attributes: global attributes whose values are merged
+            across databases into value sets (extension).
+    """
+
+    global_name: str
+    constituents: Tuple[ConstituentRef, ...]
+    key_attribute: str
+    multi_valued_attributes: FrozenSet[str] = frozenset()
+
+    @classmethod
+    def of(
+        cls,
+        global_name: str,
+        constituents: Sequence[Tuple[str, str]],
+        key_attribute: str,
+        multi_valued_attributes: Sequence[str] = (),
+    ) -> "ClassCorrespondence":
+        return cls(
+            global_name=global_name,
+            constituents=tuple(
+                ConstituentRef(db_name=db, class_name=cn)
+                for db, cn in constituents
+            ),
+            key_attribute=key_attribute,
+            multi_valued_attributes=frozenset(multi_valued_attributes),
+        )
+
+
+class GlobalSchema:
+    """The integrated global schema plus the constituent bookkeeping.
+
+    Besides behaving as a :class:`~repro.objectdb.schema.Schema` (for path
+    resolution and query validation), it answers the questions the query
+    decomposer needs:
+
+    * which local class is the constituent of a global class at a site;
+    * which global attributes are *missing* for that constituent.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        correspondences: Mapping[str, ClassCorrespondence],
+        missing: Mapping[Tuple[str, str], Tuple[str, ...]],
+    ) -> None:
+        self.schema = schema
+        self._correspondences = dict(correspondences)
+        self._missing = dict(missing)
+        # (db, local class) -> global class
+        self._global_of: Dict[Tuple[str, str], str] = {}
+        # (db, global class) -> local class
+        self._constituent_of: Dict[Tuple[str, str], str] = {}
+        for corr in self._correspondences.values():
+            for ref in corr.constituents:
+                self._global_of[(ref.db_name, ref.class_name)] = corr.global_name
+                self._constituent_of[(ref.db_name, corr.global_name)] = ref.class_name
+
+    # --- Schema facade -------------------------------------------------------
+
+    def __contains__(self, class_name: str) -> bool:
+        return class_name in self.schema
+
+    def cls(self, class_name: str) -> ClassDef:
+        return self.schema.cls(class_name)
+
+    @property
+    def class_names(self) -> List[str]:
+        return self.schema.class_names
+
+    # --- constituent bookkeeping ----------------------------------------------
+
+    def correspondence(self, global_class: str) -> ClassCorrespondence:
+        try:
+            return self._correspondences[global_class]
+        except KeyError:
+            raise UnknownClassError(global_class, "global schema") from None
+
+    def constituents(self, global_class: str) -> Tuple[ConstituentRef, ...]:
+        return self.correspondence(global_class).constituents
+
+    def databases_of(self, global_class: str) -> Tuple[str, ...]:
+        """Databases holding a constituent of *global_class* (stable order)."""
+        seen: List[str] = []
+        for ref in self.constituents(global_class):
+            if ref.db_name not in seen:
+                seen.append(ref.db_name)
+        return tuple(seen)
+
+    def constituent_class(self, db_name: str, global_class: str) -> Optional[str]:
+        """The local class integrating into *global_class* at *db_name*."""
+        return self._constituent_of.get((db_name, global_class))
+
+    def global_class_of(self, db_name: str, local_class: str) -> Optional[str]:
+        return self._global_of.get((db_name, local_class))
+
+    def missing_attribute_names(
+        self, db_name: str, global_class: str
+    ) -> Tuple[str, ...]:
+        """Global attributes the constituent at *db_name* does not define.
+
+        Empty when the site has no constituent of the class at all (the
+        class is entirely absent there, handled separately by the
+        decomposer).
+        """
+        return self._missing.get((db_name, global_class), ())
+
+    def key_attribute(self, global_class: str) -> str:
+        return self.correspondence(global_class).key_attribute
+
+
+def integrate_schemas(
+    component_schemas: Mapping[str, ComponentSchema],
+    correspondences: Sequence[ClassCorrespondence],
+) -> GlobalSchema:
+    """Construct the global schema from component schemas.
+
+    Raises:
+        SchemaError: on undefined constituents, kind conflicts, or complex
+            attributes whose domain class is not integrated anywhere.
+    """
+    # Map each (db, local class) to its global class, needed to rewrite
+    # complex-attribute domains.
+    global_of: Dict[Tuple[str, str], str] = {}
+    by_name: Dict[str, ClassCorrespondence] = {}
+    for corr in correspondences:
+        if corr.global_name in by_name:
+            raise SchemaError(
+                f"duplicate correspondence for global class "
+                f"{corr.global_name!r}"
+            )
+        by_name[corr.global_name] = corr
+        for ref in corr.constituents:
+            if ref.db_name not in component_schemas:
+                raise SchemaError(
+                    f"correspondence {corr.global_name!r} references "
+                    f"unknown database {ref.db_name!r}"
+                )
+            if ref.class_name not in component_schemas[ref.db_name]:
+                raise SchemaError(
+                    f"correspondence {corr.global_name!r} references "
+                    f"undefined class {ref.class_name!r} in {ref.db_name!r}"
+                )
+            key = (ref.db_name, ref.class_name)
+            if key in global_of:
+                raise SchemaError(
+                    f"class {ref.class_name!r} of {ref.db_name!r} is a "
+                    f"constituent of two global classes"
+                )
+            global_of[key] = corr.global_name
+
+    global_classes: List[ClassDef] = []
+    missing: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+    for corr in by_name.values():
+        merged: Dict[str, AttributeDef] = {}
+        for ref in corr.constituents:
+            cdef = component_schemas[ref.db_name].cls(ref.class_name)
+            for attr in cdef.attributes:
+                lifted = _lift_attribute(attr, ref, global_of, corr)
+                existing = merged.get(attr.name)
+                if existing is None:
+                    merged[attr.name] = lifted
+                elif existing != lifted:
+                    merged[attr.name] = _reconcile(existing, lifted, corr)
+        global_classes.append(ClassDef.of(corr.global_name, merged.values()))
+        for ref in corr.constituents:
+            cdef = component_schemas[ref.db_name].cls(ref.class_name)
+            missing[(ref.db_name, corr.global_name)] = tuple(
+                name for name in merged if not cdef.has_attribute(name)
+            )
+
+    schema = Schema(global_classes)
+    return GlobalSchema(schema=schema, correspondences=by_name, missing=missing)
+
+
+def _lift_attribute(
+    attr: AttributeDef,
+    ref: ConstituentRef,
+    global_of: Mapping[Tuple[str, str], str],
+    corr: ClassCorrespondence,
+) -> AttributeDef:
+    """Rewrite a constituent attribute into global terms."""
+    multi = attr.multi_valued or attr.name in corr.multi_valued_attributes
+    if not attr.is_complex:
+        return AttributeDef(
+            name=attr.name, kind=AttrKind.PRIMITIVE, multi_valued=multi
+        )
+    domain_global = global_of.get((ref.db_name, attr.domain))  # type: ignore[arg-type]
+    if domain_global is None:
+        raise SchemaError(
+            f"complex attribute {ref.class_name}.{attr.name} of "
+            f"{ref.db_name!r} references class {attr.domain!r} which is "
+            "not integrated into any global class"
+        )
+    return AttributeDef(
+        name=attr.name,
+        kind=AttrKind.COMPLEX,
+        domain=domain_global,
+        multi_valued=multi,
+    )
+
+
+def _reconcile(
+    existing: AttributeDef, incoming: AttributeDef, corr: ClassCorrespondence
+) -> AttributeDef:
+    """Merge two lifted definitions of the same attribute name."""
+    if existing.kind is not incoming.kind:
+        raise SchemaError(
+            f"global class {corr.global_name!r}: attribute "
+            f"{existing.name!r} is primitive in one constituent and "
+            "complex in another"
+        )
+    if existing.is_complex and existing.domain != incoming.domain:
+        raise SchemaError(
+            f"global class {corr.global_name!r}: attribute "
+            f"{existing.name!r} references different global domains "
+            f"({existing.domain!r} vs {incoming.domain!r})"
+        )
+    multi = existing.multi_valued or incoming.multi_valued
+    return AttributeDef(
+        name=existing.name,
+        kind=existing.kind,
+        domain=existing.domain,
+        multi_valued=multi,
+    )

@@ -1,0 +1,119 @@
+"""GOid mapping tables: LOid <-> GOid correspondences per global class.
+
+The federation assigns every real-world entity a GOid; the mapping table
+of a global class records, per GOid, the LOid of its representative in
+each component database that stores one (paper, Figure 5).  The table is
+*replicated at each site* (Section 4.1), which is what lets a component
+database look up assistant objects locally during the localized
+strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import MappingError
+from repro.objectdb.ids import GOid, LOid
+
+
+@dataclass
+class MappingTable:
+    """The GOid mapping table of one global class."""
+
+    global_class: str
+    _by_goid: Dict[GOid, Dict[str, LOid]] = field(default_factory=dict)
+    _by_loid: Dict[LOid, GOid] = field(default_factory=dict)
+
+    def add(self, goid: GOid, loid: LOid) -> None:
+        """Record that *loid* is the representative of *goid* in its db.
+
+        Raises:
+            MappingError: if the database already maps this GOid to a
+                different LOid, or the LOid is already mapped elsewhere.
+        """
+        existing = self._by_goid.get(goid, {}).get(loid.db)
+        if existing is not None and existing != loid:
+            raise MappingError(
+                f"{self.global_class}: {goid} already maps to {existing} "
+                f"in db {loid.db!r}, cannot remap to {loid}"
+            )
+        prior = self._by_loid.get(loid)
+        if prior is not None and prior != goid:
+            raise MappingError(
+                f"{self.global_class}: {loid} already belongs to {prior}, "
+                f"cannot also belong to {goid}"
+            )
+        # Validation done: mutate atomically.
+        self._by_goid.setdefault(goid, {})[loid.db] = loid
+        self._by_loid[loid] = goid
+
+    # --- lookups ------------------------------------------------------------
+
+    def goid_of(self, loid: LOid) -> Optional[GOid]:
+        return self._by_loid.get(loid)
+
+    def loids_of(self, goid: GOid) -> Dict[str, LOid]:
+        """Per-database LOids of the entity (copy; may be empty)."""
+        return dict(self._by_goid.get(goid, {}))
+
+    def loid_in(self, goid: GOid, db_name: str) -> Optional[LOid]:
+        return self._by_goid.get(goid, {}).get(db_name)
+
+    def isomeric_objects(self, loid: LOid) -> List[LOid]:
+        """The other LOids sharing *loid*'s GOid (paper: isomeric objects)."""
+        goid = self.goid_of(loid)
+        if goid is None:
+            return []
+        return [
+            other
+            for other in self._by_goid[goid].values()
+            if other != loid
+        ]
+
+    def goids(self) -> Iterator[GOid]:
+        return iter(self._by_goid)
+
+    def __len__(self) -> int:
+        return len(self._by_goid)
+
+    def entries(self) -> Iterator[Tuple[GOid, Dict[str, LOid]]]:
+        for goid, row in self._by_goid.items():
+            yield goid, dict(row)
+
+
+@dataclass
+class MappingCatalog:
+    """All mapping tables of the federation, keyed by global class.
+
+    One catalog instance is conceptually replicated at every site; lookups
+    performed "at a site" are charged to that site's CPU by the cost model
+    (the data structure itself is shared in-process for the simulation).
+    """
+
+    _tables: Dict[str, MappingTable] = field(default_factory=dict)
+
+    def table(self, global_class: str) -> MappingTable:
+        """Fetch (creating on demand) the table of *global_class*."""
+        if global_class not in self._tables:
+            self._tables[global_class] = MappingTable(global_class=global_class)
+        return self._tables[global_class]
+
+    def register(self, table: MappingTable) -> None:
+        """Install a pre-built table (replacing any existing one)."""
+        self._tables[table.global_class] = table
+
+    def __contains__(self, global_class: str) -> bool:
+        return global_class in self._tables
+
+    def tables(self) -> Iterator[MappingTable]:
+        return iter(self._tables.values())
+
+    def goid_of(self, global_class: str, loid: LOid) -> Optional[GOid]:
+        return self.table(global_class).goid_of(loid)
+
+    def assistants_of(
+        self, global_class: str, loid: LOid
+    ) -> List[LOid]:
+        """Isomeric objects of *loid* in the other component databases."""
+        return self.table(global_class).isomeric_objects(loid)

@@ -1,0 +1,212 @@
+"""Materializing global classes: outerjoin over GOids.
+
+The centralized strategy ships every object of the local root and branch
+classes to the global processing site, then integrates the constituent
+extents of each global class with an *outerjoin over the join attribute
+GOid* (paper, step CA_G2 and Figure 6):
+
+* isomeric objects (same GOid) merge into one integrated object; an
+  object with missing data "gets the data from its isomeric objects";
+* LOids stored in complex attributes are translated to GOids;
+* every object appears in the output even when it has no isomeric partner
+  (that is what makes the join *outer*);
+* multi-valued global attributes collect all distinct contributed values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import MappingError
+from repro.integration.global_schema import GlobalSchema
+from repro.integration.mapping import MappingCatalog
+from repro.objectdb.ids import GOid, LOid
+from repro.objectdb.objects import IntegratedObject, LocalObject
+from repro.objectdb.values import MultiValue, NULL, Value, is_null
+
+
+@dataclass
+class IntegrationStats:
+    """Work performed by one class integration (for the cost model)."""
+
+    objects_in: int = 0
+    objects_out: int = 0
+    comparisons: int = 0
+    translations: int = 0
+
+    def merge(self, other: "IntegrationStats") -> None:
+        self.objects_in += other.objects_in
+        self.objects_out += other.objects_out
+        self.comparisons += other.comparisons
+        self.translations += other.translations
+
+
+class GlobalExtent:
+    """Materialized global classes at the processing site."""
+
+    def __init__(self) -> None:
+        self._by_class: Dict[str, Dict[GOid, IntegratedObject]] = {}
+        self._flat: Dict[GOid, IntegratedObject] = {}
+
+    def install(self, class_name: str, objects: Dict[GOid, IntegratedObject]) -> None:
+        self._by_class[class_name] = objects
+        self._flat.update(objects)
+
+    def extent(self, class_name: str) -> Dict[GOid, IntegratedObject]:
+        return self._by_class.get(class_name, {})
+
+    def deref(self, ref: Union[LOid, GOid]) -> Optional[IntegratedObject]:
+        """Dereference a GOid (LOids never resolve in the global extent)."""
+        if isinstance(ref, GOid):
+            return self._flat.get(ref)
+        return None
+
+    def classes(self) -> Tuple[str, ...]:
+        return tuple(self._by_class)
+
+    def __len__(self) -> int:
+        return len(self._flat)
+
+
+def integrate_class(
+    global_class: str,
+    global_schema: GlobalSchema,
+    catalog: MappingCatalog,
+    exports: Mapping[str, Iterable[LocalObject]],
+    stats: Optional[IntegrationStats] = None,
+) -> Dict[GOid, IntegratedObject]:
+    """Outerjoin the exported constituent extents of *global_class*.
+
+    Args:
+        exports: db name -> the local objects of the constituent class
+            shipped from that site (already projected on query attributes).
+        stats: optional accumulator for integration work.
+
+    Merge policy per attribute (matching Figure 6):
+        * multi-valued attributes collect all distinct non-null values;
+        * otherwise the first non-null value wins, visiting contributors
+          in the correspondence's constituent order (deterministic).
+
+    Raises:
+        MappingError: when an exported object has no GOid in the catalog.
+    """
+    stats = stats if stats is not None else IntegrationStats()
+    table = catalog.table(global_class)
+    cdef = global_schema.cls(global_class)
+    ordered_dbs = global_schema.databases_of(global_class)
+
+    grouped: Dict[GOid, List[LocalObject]] = {}
+    for db_name in ordered_dbs:
+        for obj in exports.get(db_name, ()):  # type: ignore[call-overload]
+            stats.objects_in += 1
+            stats.comparisons += 1  # hash probe on the join attribute
+            goid = table.goid_of(obj.loid)
+            if goid is None:
+                raise MappingError(
+                    f"exported object {obj.loid} of class {global_class!r} "
+                    "has no GOid in the mapping catalog"
+                )
+            grouped.setdefault(goid, []).append(obj)
+
+    integrated: Dict[GOid, IntegratedObject] = {}
+    for goid, contributors in grouped.items():
+        values: Dict[str, Value] = {}
+        for attr in cdef.attributes:
+            merged = _merge_attribute(
+                attr.name,
+                attr.multi_valued,
+                attr.is_complex,
+                attr.domain,
+                contributors,
+                catalog,
+                stats,
+            )
+            if not is_null(merged):
+                values[attr.name] = merged
+        integrated[goid] = IntegratedObject(
+            goid=goid,
+            class_name=global_class,
+            values=values,
+            sources=tuple(obj.loid for obj in contributors),
+        )
+        stats.objects_out += 1
+    return integrated
+
+
+def _merge_attribute(
+    name: str,
+    multi_valued: bool,
+    is_complex: bool,
+    domain: Optional[str],
+    contributors: List[LocalObject],
+    catalog: MappingCatalog,
+    stats: IntegrationStats,
+) -> Value:
+    """Merge one attribute across isomeric contributors."""
+    collected: List[Value] = []
+    for obj in contributors:
+        raw = obj.get(name)
+        if is_null(raw):
+            continue
+        members = list(raw) if isinstance(raw, MultiValue) else [raw]
+        for member in members:
+            if is_complex:
+                member = _translate_reference(member, domain, catalog, stats)
+                if is_null(member):
+                    continue
+            collected.append(member)
+        if collected and not multi_valued:
+            break  # first non-null contributor wins
+    if not collected:
+        return NULL
+    if multi_valued:
+        return MultiValue(collected)
+    return collected[0]
+
+
+def _translate_reference(
+    value: Value,
+    domain: Optional[str],
+    catalog: MappingCatalog,
+    stats: IntegrationStats,
+) -> Value:
+    """Rewrite a complex-attribute LOid to the GOid of its entity."""
+    if isinstance(value, GOid):
+        return value
+    if not isinstance(value, LOid):
+        raise MappingError(
+            f"complex attribute holds non-reference value {value!r}"
+        )
+    if domain is None:
+        raise MappingError("complex attribute without a domain class")
+    stats.translations += 1
+    stats.comparisons += 1  # mapping-table probe
+    goid = catalog.table(domain).goid_of(value)
+    if goid is None:
+        # Dangling local reference: the referenced entity was never
+        # catalogued.  Treat as missing data rather than failing the whole
+        # integration.
+        return NULL
+    return goid
+
+
+def materialize(
+    global_classes: Iterable[str],
+    global_schema: GlobalSchema,
+    catalog: MappingCatalog,
+    exports_by_class: Mapping[str, Mapping[str, Iterable[LocalObject]]],
+    stats: Optional[IntegrationStats] = None,
+) -> GlobalExtent:
+    """Integrate several global classes into one :class:`GlobalExtent`."""
+    extent = GlobalExtent()
+    for class_name in global_classes:
+        integrated = integrate_class(
+            class_name,
+            global_schema,
+            catalog,
+            exports_by_class.get(class_name, {}),
+            stats,
+        )
+        extent.install(class_name, integrated)
+    return extent

@@ -1,0 +1,177 @@
+"""Maintenance of the replicated GOid mapping tables.
+
+The paper states (Section 4.1) that "the GOid mapping table is
+replicated at each site" and that "the mechanism used for managing the
+replicated data in the distributed environment can be applied to
+maintain the replicated GOid mapping tables" — and stops there.  This
+module supplies that mechanism:
+
+* :class:`ReplicatedCatalog` keeps one :class:`MappingCatalog` replica
+  per site plus a primary copy at the global site;
+* updates (a new entity, a new isomeric copy) are appended to a log at
+  the primary and **propagated** to every site replica, either eagerly
+  (per update) or in batches (:meth:`sync`);
+* propagation cost is reported (update count, bytes at T_net per site)
+  so maintenance traffic can be charged in simulations;
+* :meth:`verify_consistent` proves that all replicas answer lookups
+  identically — the property the strategies silently rely on when sites
+  consult "their" mapping table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import MappingError
+from repro.integration.mapping import MappingCatalog
+from repro.objectdb.ids import GOid, LOid
+from repro.sim.costs import CostModel, PAPER_COSTS
+
+
+@dataclass(frozen=True)
+class CatalogUpdate:
+    """One logged mapping-table mutation: goid <- loid in global_class."""
+
+    sequence: int
+    global_class: str
+    goid: GOid
+    loid: LOid
+
+
+@dataclass
+class PropagationReport:
+    """Cost of one propagation round."""
+
+    updates: int = 0
+    sites: int = 0
+    bytes_per_site: int = 0
+    seconds_network: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_per_site * self.sites
+
+
+class ReplicatedCatalog:
+    """Primary-copy replication of the GOid mapping catalog."""
+
+    def __init__(
+        self,
+        site_names: Sequence[str],
+        cost_model: CostModel = PAPER_COSTS,
+        eager: bool = True,
+    ) -> None:
+        if not site_names:
+            raise MappingError("a replicated catalog needs at least one site")
+        self.cost_model = cost_model
+        self.eager = eager
+        self.primary = MappingCatalog()
+        self._replicas: Dict[str, MappingCatalog] = {
+            name: MappingCatalog() for name in site_names
+        }
+        self._log: List[CatalogUpdate] = []
+        self._applied: Dict[str, int] = {name: 0 for name in site_names}
+
+    # --- updates ------------------------------------------------------------
+
+    def record(self, global_class: str, goid: GOid, loid: LOid) -> CatalogUpdate:
+        """Register a mapping at the primary; propagate if eager."""
+        self.primary.table(global_class).add(goid, loid)
+        update = CatalogUpdate(
+            sequence=len(self._log),
+            global_class=global_class,
+            goid=goid,
+            loid=loid,
+        )
+        self._log.append(update)
+        if self.eager:
+            self.sync()
+        return update
+
+    def bulk_load(self, catalog: MappingCatalog) -> PropagationReport:
+        """Install an existing catalog's entries (initial load)."""
+        for table in catalog.tables():
+            for goid, row in table.entries():
+                for loid in row.values():
+                    self.primary.table(table.global_class).add(goid, loid)
+                    self._log.append(
+                        CatalogUpdate(
+                            sequence=len(self._log),
+                            global_class=table.global_class,
+                            goid=goid,
+                            loid=loid,
+                        )
+                    )
+        return self.sync()
+
+    # --- propagation -----------------------------------------------------------
+
+    def pending(self, site: str) -> int:
+        """Updates logged but not yet applied at *site*."""
+        if site not in self._applied:
+            raise MappingError(f"unknown replica site {site!r}")
+        return len(self._log) - self._applied[site]
+
+    def sync(self, sites: Optional[Iterable[str]] = None) -> PropagationReport:
+        """Apply all outstanding updates to the given (default all) sites."""
+        report = PropagationReport()
+        update_bytes = (
+            self.cost_model.goid_bytes
+            + self.cost_model.loid_bytes
+            + self.cost_model.attribute_bytes  # class tag
+        )
+        targets = list(sites) if sites is not None else list(self._replicas)
+        for site in targets:
+            if site not in self._replicas:
+                raise MappingError(f"unknown replica site {site!r}")
+            start = self._applied[site]
+            outstanding = self._log[start:]
+            replica = self._replicas[site]
+            for update in outstanding:
+                replica.table(update.global_class).add(update.goid, update.loid)
+            self._applied[site] = len(self._log)
+            if outstanding:
+                report.sites += 1
+                report.updates += len(outstanding)
+                report.bytes_per_site = max(
+                    report.bytes_per_site, len(outstanding) * update_bytes
+                )
+        report.seconds_network = self.cost_model.net_time(report.total_bytes)
+        return report
+
+    # --- reads -------------------------------------------------------------------
+
+    def replica(self, site: str) -> MappingCatalog:
+        """The catalog replica a site consults (step BL_C2/PL_C1)."""
+        try:
+            return self._replicas[site]
+        except KeyError:
+            raise MappingError(f"unknown replica site {site!r}") from None
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        return tuple(self._replicas)
+
+    @property
+    def log_length(self) -> int:
+        return len(self._log)
+
+    # --- verification ----------------------------------------------------------------
+
+    def verify_consistent(self) -> bool:
+        """True when every *synced* replica answers like the primary."""
+        primary_view = self._snapshot(self.primary)
+        for site, replica in self._replicas.items():
+            if self._applied[site] != len(self._log):
+                return False
+            if self._snapshot(replica) != primary_view:
+                return False
+        return True
+
+    @staticmethod
+    def _snapshot(catalog: MappingCatalog):
+        return {
+            table.global_class: dict(table.entries())
+            for table in catalog.tables()
+        }

@@ -1,0 +1,67 @@
+"""Per-site object database substrate.
+
+Exposes the object data model (identifiers, values, schemas, stored
+objects), the in-memory :class:`~repro.objectdb.database.ComponentDatabase`
+engine, local query/result types, and the object-signature auxiliary
+structure.
+
+Re-exports are lazy (PEP 562): the engine modules build on the query /
+predicate layer in :mod:`repro.core`, which in turn uses this package's
+leaf data-model modules — resolving names on first access keeps package
+initialization cycle-free in both import orders.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_EXPORTS = {
+    "AttrKind": "repro.objectdb.schema",
+    "AttributeDef": "repro.objectdb.schema",
+    "CheckReport": "repro.objectdb.local_query",
+    "CheckRequest": "repro.objectdb.local_query",
+    "ClassDef": "repro.objectdb.schema",
+    "ComponentDatabase": "repro.objectdb.database",
+    "ComponentSchema": "repro.objectdb.schema",
+    "GOid": "repro.objectdb.ids",
+    "IntegratedObject": "repro.objectdb.objects",
+    "LOid": "repro.objectdb.ids",
+    "LocalObject": "repro.objectdb.objects",
+    "LocalQuery": "repro.objectdb.local_query",
+    "LocalResultRow": "repro.objectdb.local_query",
+    "LocalResultSet": "repro.objectdb.local_query",
+    "MultiValue": "repro.objectdb.values",
+    "NULL": "repro.objectdb.values",
+    "Null": "repro.objectdb.values",
+    "RemovedPredicate": "repro.objectdb.local_query",
+    "RowKind": "repro.objectdb.local_query",
+    "Schema": "repro.objectdb.schema",
+    "Signature": "repro.objectdb.signatures",
+    "SignatureCatalog": "repro.objectdb.signatures",
+    "SignaturePrecheck": "repro.objectdb.signatures",
+    "UnsolvedItem": "repro.objectdb.local_query",
+    "UnsolvedPredicateOnObject": "repro.objectdb.local_query",
+    "UnsolvedScan": "repro.objectdb.database",
+    "complex_attr": "repro.objectdb.schema",
+    "is_null": "repro.objectdb.values",
+    "is_primitive": "repro.objectdb.values",
+    "is_reference": "repro.objectdb.values",
+    "make_signature": "repro.objectdb.signatures",
+    "missing_attributes": "repro.objectdb.schema",
+    "primitive": "repro.objectdb.schema",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        module = importlib.import_module(_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

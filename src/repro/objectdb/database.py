@@ -1,0 +1,512 @@
+"""The per-site object database engine.
+
+:class:`ComponentDatabase` stores class extents for one site and executes
+the two kinds of requests a site receives in the paper's protocols:
+
+* a **local query** (steps BL_C1/PL_C2): scan the local root class,
+  evaluate the local predicates under 3VL, and report surviving rows with
+  their unsolved predicates and unsolved items;
+* an **assistant check** (steps BL_C3/PL_C3): retrieve a list of objects
+  by LOid and evaluate appended unsolved predicates on them.
+
+It also serves the centralized strategy's full-extent export (step CA_C1),
+projected on the attributes the query needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.predicates import (
+    EvalMeter,
+    evaluate_dnf,
+    evaluate_predicate,
+    walk_path,
+)
+from repro.core.query import Path, Predicate
+from repro.core.tvl import TV
+from repro.errors import ObjectStoreError, UnknownClassError
+from repro.objectdb.ids import GOid, LOid
+from repro.objectdb.indexes import IndexManager, IndexProbe
+from repro.objectdb.local_query import (
+    BlockedAt,
+    CheckReport,
+    CheckRequest,
+    LocalQuery,
+    LocalResultRow,
+    LocalResultSet,
+    RemovedPredicate,
+    RowKind,
+    UnsolvedItem,
+    UnsolvedPredicateOnObject,
+)
+from repro.objectdb.objects import LocalObject
+from repro.objectdb.schema import ComponentSchema
+from repro.objectdb.values import NULL, Value, is_null
+
+
+@dataclass
+class UnsolvedScan:
+    """Result of a phase-O-first scan (PL_C1): unsolved data per root object."""
+
+    db_name: str
+    range_class: str
+    objects_scanned: int = 0
+    per_root: Dict[
+        LOid,
+        Tuple[Tuple[UnsolvedPredicateOnObject, ...], Tuple[UnsolvedItem, ...]],
+    ] = field(default_factory=dict)
+
+    def all_items(self) -> List[UnsolvedItem]:
+        items: List[UnsolvedItem] = []
+        for _unsolved, row_items in self.per_root.values():
+            items.extend(row_items)
+        return items
+
+
+class ComponentDatabase:
+    """An in-memory object database for one federation site."""
+
+    def __init__(self, schema: ComponentSchema) -> None:
+        self.schema = schema
+        self._extents: Dict[str, Dict[LOid, LocalObject]] = {
+            name: {} for name in schema.class_names
+        }
+        self.indexes = IndexManager()
+
+    @property
+    def name(self) -> str:
+        return self.schema.db_name
+
+    # --- storage ------------------------------------------------------------
+
+    def insert(self, obj: LocalObject, validate: bool = True) -> None:
+        """Insert one object; raises on duplicates or schema violations."""
+        if obj.class_name not in self._extents:
+            raise UnknownClassError(obj.class_name, where=f"db {self.name!r}")
+        if obj.loid.db != self.name:
+            raise ObjectStoreError(
+                f"object {obj.loid} belongs to db {obj.loid.db!r}, "
+                f"not {self.name!r}"
+            )
+        extent = self._extents[obj.class_name]
+        if obj.loid in extent:
+            raise ObjectStoreError(f"duplicate LOid {obj.loid}")
+        if validate:
+            obj.validate_against(self.schema.cls(obj.class_name))
+        extent[obj.loid] = obj
+        self.indexes.maintain(obj)
+
+    def bulk_insert(self, objects: Iterable[LocalObject], validate: bool = False) -> int:
+        """Insert many objects (validation off by default for generators)."""
+        count = 0
+        for obj in objects:
+            self.insert(obj, validate=validate)
+            count += 1
+        return count
+
+    def get(self, loid: LOid) -> Optional[LocalObject]:
+        """Fetch an object by LOid (any class), or None."""
+        for extent in self._extents.values():
+            obj = extent.get(loid)
+            if obj is not None:
+                return obj
+        return None
+
+    def extent(self, class_name: str) -> Dict[LOid, LocalObject]:
+        """The stored objects of one class (live mapping; do not mutate)."""
+        try:
+            return self._extents[class_name]
+        except KeyError:
+            raise UnknownClassError(class_name, where=f"db {self.name!r}") from None
+
+    def count(self, class_name: str) -> int:
+        return len(self.extent(class_name))
+
+    def deref(self, ref: Union[LOid, GOid]) -> Optional[LocalObject]:
+        """Dereference a local reference; foreign/global refs resolve to None."""
+        if isinstance(ref, LOid) and ref.db == self.name:
+            return self.get(ref)
+        return None
+
+    def create_index(
+        self, class_name: str, attribute: str, kind: str = "hash"
+    ) -> None:
+        """Build a secondary index over one attribute of one class.
+
+        Indexed local evaluation (:meth:`execute_local`) restricts its
+        scan to the probe's candidates — answer-identical to a full scan
+        because null holders are always kept as maybe candidates.
+        """
+        if class_name not in self._extents:
+            raise UnknownClassError(class_name, where=f"db {self.name!r}")
+        if not self.schema.cls(class_name).has_attribute(attribute):
+            raise ObjectStoreError(
+                f"cannot index undeclared attribute {attribute!r} of "
+                f"{class_name!r}"
+            )
+        self.indexes.create(
+            class_name, attribute, self._extents[class_name].values(), kind
+        )
+
+    # --- centralized export (step CA_C1) -------------------------------------
+
+    def scan_for_export(
+        self, class_name: str, attributes: Tuple[str, ...]
+    ) -> List[LocalObject]:
+        """Return the whole extent projected on *attributes* (plus LOid).
+
+        Attributes the class does not define are simply absent from the
+        projection (they will integrate as missing data).
+        """
+        local_attrs = tuple(
+            a
+            for a in attributes
+            if self.schema.cls(class_name).has_attribute(a)
+        )
+        return [
+            obj.project(local_attrs) for obj in self.extent(class_name).values()
+        ]
+
+    # --- local query execution (steps BL_C1 / PL_C2) -------------------------
+
+    def execute_local(self, query: LocalQuery) -> LocalResultSet:
+        """Evaluate *query* against the local root class extent.
+
+        Objects whose local predicates are FALSE are eliminated.  For the
+        survivors the row records certain/maybe status, bindings for the
+        target paths, the unsolved predicates sitting on the root object,
+        and the unsolved items (branch objects with missing data) together
+        with their relative unsolved predicates.
+        """
+        if query.db_name != self.name:
+            raise ObjectStoreError(
+                f"query for db {query.db_name!r} executed at {self.name!r}"
+            )
+        result = LocalResultSet(db_name=self.name, range_class=query.range_class)
+        meter = EvalMeter()
+        candidates, probe = self._select_candidates(query)
+        result.index_probe = probe
+        if probe is not None:
+            meter.comparisons += probe.comparisons
+        for obj in candidates:
+            result.objects_scanned += 1
+            row = self._evaluate_root_object(obj, query, meter)
+            if row is not None:
+                result.rows.append(row)
+        result.comparisons = meter.comparisons
+        result.derefs = meter.derefs
+        return result
+
+    def _select_candidates(
+        self, query: LocalQuery
+    ) -> Tuple[Iterable[LocalObject], Optional[IndexProbe]]:
+        """Pick the scan source: a secondary index probe or the extent.
+
+        An index is usable for a *conjunctive* local query with a
+        single-step predicate on an indexed root attribute.  The probe's
+        null bucket keeps objects with missing data in the candidate set,
+        so indexed evaluation is answer-identical to a full scan.
+        """
+        extent = self.extent(query.range_class)
+        if len(self._indexable_conjuncts(query)) != 1:
+            return extent.values(), None
+        for predicate in self._indexable_conjuncts(query)[0]:
+            if len(predicate.path.steps) != 1:
+                continue
+            index = self.indexes.best_for(
+                query.range_class, predicate.path.first, predicate.op
+            )
+            if index is None:
+                continue
+            matches, nulls = index.probe(predicate.op, predicate.operand)
+            seen = set()
+            candidates: List[LocalObject] = []
+            for loid in matches + nulls:
+                if loid not in seen:
+                    seen.add(loid)
+                    obj = extent.get(loid)
+                    if obj is not None:
+                        candidates.append(obj)
+            comparisons = (
+                1
+                if index.kind == "hash"
+                else max(1, int(math.log2(max(index.entries, 2))))
+            )
+            return candidates, IndexProbe(
+                index_kind=index.kind,
+                attribute=predicate.path.first,
+                candidates=len(candidates),
+                comparisons=comparisons,
+            )
+        return extent.values(), None
+
+    @staticmethod
+    def _indexable_conjuncts(query: LocalQuery):
+        """Index probes are only sound for single-conjunct queries: a
+        candidate restriction by one disjunct's predicate would drop
+        objects satisfying another disjunct."""
+        return query.where if len(query.where) == 1 else ()
+
+    def _evaluate_root_object(
+        self, obj: LocalObject, query: LocalQuery, meter: EvalMeter
+    ) -> Optional[LocalResultRow]:
+        outcome = evaluate_dnf(obj, query.where, self.deref, meter)
+        if outcome.tv is TV.FALSE:
+            return None
+
+        root_unsolved: List[UnsolvedPredicateOnObject] = []
+        items: Dict[LOid, UnsolvedItem] = {}
+        status: Dict[Predicate, TV] = {}
+
+        # Per-predicate statuses from every conjunct; unsolved predicates
+        # discovered dynamically (null values) are located on their holder.
+        for conj_outcome in outcome.conjunctions:
+            for pred_outcome in conj_outcome.outcomes:
+                if pred_outcome.predicate in status:
+                    continue
+                status[pred_outcome.predicate] = pred_outcome.tv
+                missing = pred_outcome.missing
+                if pred_outcome.tv is TV.UNKNOWN and missing is not None:
+                    self._record_unsolved(
+                        obj,
+                        pred_outcome.predicate,
+                        missing.depth,
+                        root_unsolved,
+                        items,
+                        meter,
+                    )
+
+        # Predicates removed because of missing attributes of local classes:
+        # statically unsolved for every object at this site.
+        for removed in query.removed:
+            if removed.predicate not in status:
+                status[removed.predicate] = TV.UNKNOWN
+            self._record_unsolved(
+                obj,
+                removed.predicate,
+                removed.missing_depth,
+                root_unsolved,
+                items,
+                meter,
+            )
+
+        kind = (
+            RowKind.CERTAIN
+            if self._locally_certain(query, status)
+            else RowKind.MAYBE
+        )
+        bindings = self._bind_targets(obj, query.targets, meter)
+        return LocalResultRow(
+            loid=obj.loid,
+            class_name=obj.class_name,
+            kind=kind,
+            bindings=bindings,
+            unsolved=tuple(root_unsolved) if kind is RowKind.MAYBE else (),
+            unsolved_items=tuple(items.values()) if kind is RowKind.MAYBE else (),
+            predicate_status=status,
+        )
+
+    @staticmethod
+    def _locally_certain(query: LocalQuery, status: Dict[Predicate, TV]) -> bool:
+        """True when some conjunct is fully TRUE and lost no predicate.
+
+        For the paper's conjunctive queries this reduces to: all predicates
+        TRUE and none removed.  An object that is locally certain needs no
+        certification — its unsolved bookkeeping is discarded.
+        """
+        if not query.where:
+            return not query.removed
+        removed_by_conjunct = query.removed_by_conjunct or tuple(
+            () for _ in query.where
+        )
+        for conjunct, removed in zip(query.where, removed_by_conjunct):
+            if removed:
+                continue
+            if all(status.get(p) is TV.TRUE for p in conjunct):
+                return True
+        return False
+
+    def _record_unsolved(
+        self,
+        root: LocalObject,
+        predicate: Predicate,
+        missing_depth: int,
+        root_unsolved: List[UnsolvedPredicateOnObject],
+        items: Dict[LOid, UnsolvedItem],
+        meter: EvalMeter,
+    ) -> None:
+        """Attach *predicate* as unsolved on the object holding the data.
+
+        Walks the path prefix up to *missing_depth* to locate the holder;
+        the walk may be blocked even earlier by a null reference, in which
+        case the blocking object is the holder.
+        """
+        holder, depth = self._holder_at_depth(
+            root, predicate.path, missing_depth, meter
+        )
+        relative = UnsolvedPredicateOnObject(
+            original=predicate,
+            relative_path=Path(predicate.path.steps[depth:]),
+        )
+        if holder.loid == root.loid:
+            if relative not in root_unsolved:
+                root_unsolved.append(relative)
+            return
+        item = items.get(holder.loid)
+        if item is None:
+            items[holder.loid] = UnsolvedItem(
+                loid=holder.loid,
+                class_name=holder.class_name,
+                reached_via=Path(predicate.path.steps[:depth]),
+                unsolved=(relative,),
+            )
+        elif relative not in item.unsolved:
+            items[holder.loid] = UnsolvedItem(
+                loid=item.loid,
+                class_name=item.class_name,
+                reached_via=item.reached_via,
+                unsolved=item.unsolved + (relative,),
+            )
+
+    def _holder_at_depth(
+        self, root: LocalObject, path: Path, depth: int, meter: EvalMeter
+    ) -> Tuple[LocalObject, int]:
+        """Object on which path step *depth* would be read (or the blocker)."""
+        current = root
+        for index in range(depth):
+            value = current.get(path.steps[index])
+            if is_null(value):
+                return current, index
+            if not isinstance(value, LOid):
+                return current, index
+            meter.derefs += 1
+            nxt = self.deref(value)
+            if nxt is None:
+                return current, index
+            current = nxt
+        return current, depth
+
+    def _bind_targets(
+        self, obj: LocalObject, targets: Tuple[Path, ...], meter: EvalMeter
+    ) -> Dict[Path, Value]:
+        bindings: Dict[Path, Value] = {}
+        for target in targets:
+            walk = walk_path(obj, target, self.deref, meter)
+            bindings[target] = NULL if walk.is_missing else walk.value
+        return bindings
+
+    # --- phase-O-first scan (step PL_C1) --------------------------------------
+
+    def collect_unsolved(
+        self, query: LocalQuery
+    ) -> Tuple["UnsolvedScan", EvalMeter]:
+        """Locate unsolved predicates/items for *every* root object.
+
+        This is PL's phase O performed *before* predicate evaluation
+        (step PL_C1): no predicate operand is compared; the scan only
+        probes for missing data along each predicate's path, so unsolved
+        items of objects that would later fail the local predicates are
+        found (and their assistants dispatched) too — PL's characteristic
+        overhead.
+
+        One comparison per (object, predicate) probe is charged to the
+        meter for the missing-data test; path walks charge derefs.
+        """
+        if query.db_name != self.name:
+            raise ObjectStoreError(
+                f"query for db {query.db_name!r} executed at {self.name!r}"
+            )
+        meter = EvalMeter()
+        scan = UnsolvedScan(db_name=self.name, range_class=query.range_class)
+        local_predicates = query.local_predicates
+        for obj in self.extent(query.range_class).values():
+            scan.objects_scanned += 1
+            root_unsolved: List[UnsolvedPredicateOnObject] = []
+            items: Dict[LOid, UnsolvedItem] = {}
+            for predicate in local_predicates:
+                meter.comparisons += 1  # missing-data probe
+                walk = walk_path(obj, predicate.path, self.deref, meter)
+                if walk.is_missing and walk.missing is not None:
+                    self._record_unsolved(
+                        obj,
+                        predicate,
+                        walk.missing.depth,
+                        root_unsolved,
+                        items,
+                        meter,
+                    )
+            for removed in query.removed:
+                meter.comparisons += 1  # missing-data probe
+                self._record_unsolved(
+                    obj,
+                    removed.predicate,
+                    removed.missing_depth,
+                    root_unsolved,
+                    items,
+                    meter,
+                )
+            if root_unsolved or items:
+                scan.per_root[obj.loid] = (
+                    tuple(root_unsolved),
+                    tuple(items.values()),
+                )
+        return scan, meter
+
+    # --- assistant checking (steps BL_C3 / PL_C3) -----------------------------
+
+    def check_assistants(self, request: CheckRequest) -> CheckReport:
+        """Evaluate the appended unsolved predicates on listed objects."""
+        if request.db_name != self.name:
+            raise ObjectStoreError(
+                f"check request for db {request.db_name!r} executed at "
+                f"{self.name!r}"
+            )
+        report = CheckReport(db_name=self.name, class_name=request.class_name)
+        meter = EvalMeter()
+        satisfied: Dict[Predicate, List[LOid]] = {p: [] for p in request.predicates}
+        violated: Dict[Predicate, List[LOid]] = {p: [] for p in request.predicates}
+        unknown: Dict[Predicate, List[LOid]] = {p: [] for p in request.predicates}
+        blocked: List[BlockedAt] = []
+        for loid in request.loids:
+            obj = self.get(loid)
+            report.objects_checked += 1
+            for predicate in request.predicates:
+                if obj is None:
+                    unknown[predicate].append(loid)
+                    continue
+                outcome = evaluate_predicate(obj, predicate, self.deref, meter)
+                if outcome.tv is TV.TRUE:
+                    satisfied[predicate].append(loid)
+                elif outcome.tv is TV.FALSE:
+                    violated[predicate].append(loid)
+                else:
+                    unknown[predicate].append(loid)
+                    missing = outcome.missing
+                    if missing is not None and missing.holder_id != loid:
+                        # Stuck at a *different* object: report it so the
+                        # global site can chase its isomeric copies.
+                        blocked.append(
+                            BlockedAt(
+                                checked=loid,
+                                predicate=predicate,
+                                holder=missing.holder_id,  # type: ignore[arg-type]
+                                holder_class=missing.holder_class,
+                                remaining=Predicate(
+                                    path=Path(
+                                        predicate.path.steps[missing.depth:]
+                                    ),
+                                    op=predicate.op,
+                                    operand=predicate.operand,
+                                ),
+                            )
+                        )
+        report.satisfied = {p: tuple(v) for p, v in satisfied.items()}
+        report.violated = {p: tuple(v) for p, v in violated.items()}
+        report.unknown = {p: tuple(v) for p, v in unknown.items()}
+        report.blocked = tuple(blocked)
+        report.comparisons = meter.comparisons
+        report.derefs = meter.derefs
+        return report

@@ -1,0 +1,47 @@
+"""Object identifiers: local (LOid) and global (GOid).
+
+In a distributed heterogeneous object database system every stored object
+carries a *local* object identifier that is only meaningful within its own
+component database.  The same real-world entity may be stored at several
+sites under incompatible LOids ("isomeric objects"); the federation assigns
+one *global* object identifier (GOid) per real-world entity, shared by all
+of its isomeric objects (paper, Section 2.2).
+
+Both identifier types are small frozen dataclasses so they can be used as
+dictionary keys and set members, which the mapping tables and the outerjoin
+integration rely on heavily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class LOid:
+    """A local object identifier, unique within one component database.
+
+    Attributes:
+        db: name of the component database that owns the object.
+        value: the identifier string local to that database (e.g. ``"s1"``).
+    """
+
+    db: str
+    value: str
+
+    def __str__(self) -> str:
+        return f"{self.value}@{self.db}"
+
+
+@dataclass(frozen=True, order=True)
+class GOid:
+    """A global object identifier, unique per real-world entity.
+
+    All isomeric objects (objects in different component databases that
+    represent the same real-world entity) share one GOid.
+    """
+
+    value: str
+
+    def __str__(self) -> str:
+        return self.value

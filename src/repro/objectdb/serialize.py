@@ -1,0 +1,253 @@
+"""JSON serialization of federations (schemas, objects, catalogs).
+
+Lets a federation be saved to a portable JSON document and rebuilt
+exactly — useful for fixtures, for inspecting generated workloads, and
+for shipping reproducers of interesting cases.  Round-trip fidelity is
+property-tested.
+
+Value encoding: primitives pass through; the non-JSON value kinds are
+tagged one-key objects::
+
+    NULL               {"$null": true}
+    LOid               {"$loid": ["DB1", "s1"]}
+    GOid               {"$goid": "gs1"}
+    MultiValue         {"$multi": [<value>, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping
+
+from repro.errors import ObjectStoreError
+from repro.integration.global_schema import ClassCorrespondence
+from repro.integration.isomerism import table_from_correspondences
+from repro.integration.mapping import MappingCatalog
+from repro.objectdb.database import ComponentDatabase
+from repro.objectdb.ids import GOid, LOid
+from repro.objectdb.objects import LocalObject
+from repro.objectdb.schema import (
+    AttrKind,
+    AttributeDef,
+    ClassDef,
+    ComponentSchema,
+)
+from repro.objectdb.values import MultiValue, NULL, Value
+
+FORMAT_VERSION = 1
+
+
+# --- values -------------------------------------------------------------------
+
+
+def encode_value(value: Value) -> Any:
+    if value is NULL:
+        return {"$null": True}
+    if isinstance(value, LOid):
+        return {"$loid": [value.db, value.value]}
+    if isinstance(value, GOid):
+        return {"$goid": value.value}
+    if isinstance(value, MultiValue):
+        return {"$multi": sorted((encode_value(v) for v in value), key=repr)}
+    if isinstance(value, (int, float, str, bool)):
+        return value
+    raise ObjectStoreError(f"cannot serialize value {value!r}")
+
+
+def decode_value(raw: Any) -> Value:
+    if isinstance(raw, dict):
+        if raw.get("$null"):
+            return NULL
+        if "$loid" in raw:
+            db, local = raw["$loid"]
+            return LOid(db, local)
+        if "$goid" in raw:
+            return GOid(raw["$goid"])
+        if "$multi" in raw:
+            return MultiValue(decode_value(v) for v in raw["$multi"])
+        raise ObjectStoreError(f"unknown value tag in {raw!r}")
+    if isinstance(raw, (int, float, str, bool)):
+        return raw
+    raise ObjectStoreError(f"cannot deserialize value {raw!r}")
+
+
+# --- schemas -----------------------------------------------------------------
+
+
+def encode_attribute(attr: AttributeDef) -> Dict[str, Any]:
+    data: Dict[str, Any] = {"name": attr.name, "kind": attr.kind.value}
+    if attr.domain is not None:
+        data["domain"] = attr.domain
+    if attr.multi_valued:
+        data["multi_valued"] = True
+    return data
+
+
+def decode_attribute(raw: Mapping[str, Any]) -> AttributeDef:
+    return AttributeDef(
+        name=raw["name"],
+        kind=AttrKind(raw["kind"]),
+        domain=raw.get("domain"),
+        multi_valued=bool(raw.get("multi_valued", False)),
+    )
+
+
+def encode_schema(schema: ComponentSchema) -> Dict[str, Any]:
+    return {
+        "db_name": schema.db_name,
+        "classes": [
+            {
+                "name": cdef.name,
+                "attributes": [encode_attribute(a) for a in cdef.attributes],
+            }
+            for cdef in schema.schema
+        ],
+    }
+
+
+def decode_schema(raw: Mapping[str, Any]) -> ComponentSchema:
+    return ComponentSchema.of(
+        raw["db_name"],
+        [
+            ClassDef.of(
+                cls["name"],
+                [decode_attribute(a) for a in cls["attributes"]],
+            )
+            for cls in raw["classes"]
+        ],
+    )
+
+
+# --- databases ----------------------------------------------------------------
+
+
+def encode_database(db: ComponentDatabase) -> Dict[str, Any]:
+    objects: List[Dict[str, Any]] = []
+    for class_name in db.schema.class_names:
+        for obj in db.extent(class_name).values():
+            objects.append(
+                {
+                    "loid": obj.loid.value,
+                    "class": obj.class_name,
+                    "values": {
+                        name: encode_value(value)
+                        for name, value in obj.values.items()
+                    },
+                }
+            )
+    return {"schema": encode_schema(db.schema), "objects": objects}
+
+
+def decode_database(raw: Mapping[str, Any]) -> ComponentDatabase:
+    db = ComponentDatabase(decode_schema(raw["schema"]))
+    for entry in raw["objects"]:
+        db.insert(
+            LocalObject(
+                loid=LOid(db.name, entry["loid"]),
+                class_name=entry["class"],
+                values={
+                    name: decode_value(value)
+                    for name, value in entry["values"].items()
+                },
+            ),
+            validate=False,
+        )
+    return db
+
+
+# --- catalogs / correspondences -------------------------------------------------
+
+
+def encode_catalog(catalog: MappingCatalog) -> Dict[str, Any]:
+    return {
+        table.global_class: [
+            [goid.value, [[l.db, l.value] for l in row.values()]]
+            for goid, row in table.entries()
+        ]
+        for table in catalog.tables()
+    }
+
+
+def decode_catalog(raw: Mapping[str, Any]) -> MappingCatalog:
+    catalog = MappingCatalog()
+    for global_class, entries in raw.items():
+        catalog.register(
+            table_from_correspondences(
+                global_class,
+                [
+                    (GOid(goid), [LOid(db, local) for db, local in loids])
+                    for goid, loids in entries
+                ],
+            )
+        )
+    return catalog
+
+
+def encode_correspondence(corr: ClassCorrespondence) -> Dict[str, Any]:
+    return {
+        "global_name": corr.global_name,
+        "constituents": [[r.db_name, r.class_name] for r in corr.constituents],
+        "key_attribute": corr.key_attribute,
+        "multi_valued_attributes": sorted(corr.multi_valued_attributes),
+    }
+
+
+def decode_correspondence(raw: Mapping[str, Any]) -> ClassCorrespondence:
+    return ClassCorrespondence.of(
+        raw["global_name"],
+        [tuple(pair) for pair in raw["constituents"]],
+        raw["key_attribute"],
+        raw.get("multi_valued_attributes", ()),
+    )
+
+
+# --- whole federations -----------------------------------------------------------
+
+
+def federation_to_dict(system) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.core.system.DistributedSystem`."""
+    return {
+        "format": FORMAT_VERSION,
+        "databases": [
+            encode_database(db) for db in system.databases.values()
+        ],
+        "correspondences": [
+            encode_correspondence(
+                system.global_schema.correspondence(name)
+            )
+            for name in system.global_schema.class_names
+        ],
+        "catalog": encode_catalog(system.catalog),
+    }
+
+
+def federation_from_dict(raw: Mapping[str, Any]):
+    """Rebuild a federation saved by :func:`federation_to_dict`."""
+    from repro.core.system import DistributedSystem
+
+    version = raw.get("format")
+    if version != FORMAT_VERSION:
+        raise ObjectStoreError(
+            f"unsupported federation format {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    databases = [decode_database(entry) for entry in raw["databases"]]
+    correspondences = [
+        decode_correspondence(entry) for entry in raw["correspondences"]
+    ]
+    catalog = decode_catalog(raw["catalog"])
+    return DistributedSystem.build(
+        databases, correspondences, catalog=catalog
+    )
+
+
+def save_federation(system, path: str) -> None:
+    """Write a federation to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(federation_to_dict(system), handle, indent=1, sort_keys=True)
+
+
+def load_federation(path: str):
+    """Read a federation from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return federation_from_dict(json.load(handle))

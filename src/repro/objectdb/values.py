@@ -1,0 +1,134 @@
+"""Attribute values, including the NULL sentinel and multi-valued sets.
+
+An attribute value stored by a component database is one of:
+
+* a *primitive* value — ``int``, ``float``, ``str`` or ``bool``;
+* a *reference* value — an :class:`~repro.objectdb.ids.LOid` pointing at
+  another object in the same database (complex attribute);
+* after global integration, a :class:`~repro.objectdb.ids.GOid` reference;
+* ``NULL`` — the distinguished missing-data marker (paper, Section 2.1:
+  "if an object contains a null value for an attribute, the attribute is
+  considered to be a missing attribute for the object");
+* a :class:`MultiValue` — an immutable set of values, used by the
+  multi-valued-attribute extension (paper, Section 5) where a global
+  attribute collects values contributed by different component databases.
+
+``NULL`` is a singleton: identity comparison (``value is NULL``) is the
+canonical missing-data test, mirroring how SQL systems treat null as a
+marker rather than a value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Tuple, Union
+
+from repro.objectdb.ids import GOid, LOid
+
+
+class Null:
+    """Singleton marker for missing data.
+
+    ``Null`` compares equal only to itself and is falsy.  Arithmetic or
+    ordering comparisons against it are *not* defined here on purpose:
+    three-valued evaluation lives in :mod:`repro.core.tvl` and
+    :mod:`repro.core.predicates`, which check for ``NULL`` explicitly and
+    yield UNKNOWN instead of raising.
+    """
+
+    _instance: "Null" = None  # type: ignore[assignment]
+
+    def __new__(cls) -> "Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __hash__(self) -> int:
+        return hash("repro.objectdb.values.NULL")
+
+    def __eq__(self, other: object) -> bool:
+        return other is self
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        # Keep the singleton property across pickling.
+        return (Null, ())
+
+
+NULL = Null()
+
+Primitive = Union[int, float, str, bool]
+Value = Union[Primitive, LOid, GOid, Null, "MultiValue"]
+
+
+class MultiValue:
+    """An immutable set of values for a multi-valued attribute.
+
+    The paper's future-work section describes global attributes "whose
+    values come from attributes in different component databases".  During
+    integration (:mod:`repro.integration.outerjoin`) the distinct non-null
+    contributions of all isomeric objects are collected into one
+    ``MultiValue``.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Iterable[Value]) -> None:
+        flattened = []
+        for value in values:
+            if isinstance(value, MultiValue):
+                flattened.extend(value)
+            elif value is not NULL:
+                flattened.append(value)
+        self._values: FrozenSet[Value] = frozenset(flattened)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._values
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MultiValue) and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(sorted(repr(v) for v in self._values))
+        return f"MultiValue({{{inner}}})"
+
+    @property
+    def values(self) -> FrozenSet[Value]:
+        """The underlying frozen set of member values."""
+        return self._values
+
+
+def is_null(value: object) -> bool:
+    """Return True when *value* is the missing-data marker.
+
+    An empty :class:`MultiValue` also counts as missing: it means no
+    component database contributed a value.
+    """
+    if value is NULL:
+        return True
+    return isinstance(value, MultiValue) and len(value) == 0
+
+
+def is_reference(value: object) -> bool:
+    """Return True when *value* references another object (LOid or GOid)."""
+    return isinstance(value, (LOid, GOid))
+
+
+def is_primitive(value: object) -> bool:
+    """Return True when *value* is a primitive attribute value."""
+    return isinstance(value, (int, float, str, bool)) and not isinstance(
+        value, Null
+    )

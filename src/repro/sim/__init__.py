@@ -1,0 +1,60 @@
+"""Discrete-event simulation substrate.
+
+The event kernel (:mod:`repro.sim.kernel`), the paper's cost model
+(:mod:`repro.sim.costs`), activity-graph scheduling over simulated sites
+(:mod:`repro.sim.taskgraph`) and the execution metrics bundle
+(:mod:`repro.sim.metrics`).
+"""
+
+from repro.sim.costs import MICROSECOND, CostModel, PAPER_COSTS, table1_rows
+from repro.sim.kernel import (
+    Acquire,
+    AllOf,
+    Event,
+    Process,
+    Release,
+    Resource,
+    Simulator,
+    Timeout,
+)
+from repro.sim.metrics import ExecutionMetrics, WorkCounters
+from repro.sim.trace import TraceEntry, entries_from_nodes, format_timeline, phase_summary
+from repro.sim.taskgraph import (
+    FederationSim,
+    Node,
+    PHASE_I,
+    PHASE_O,
+    PHASE_P,
+    PHASE_SCAN,
+    PHASE_XFER,
+    SimOutcome,
+)
+
+__all__ = [
+    "Acquire",
+    "AllOf",
+    "CostModel",
+    "Event",
+    "ExecutionMetrics",
+    "FederationSim",
+    "MICROSECOND",
+    "Node",
+    "PAPER_COSTS",
+    "PHASE_I",
+    "PHASE_O",
+    "PHASE_P",
+    "PHASE_SCAN",
+    "PHASE_XFER",
+    "Process",
+    "Release",
+    "Resource",
+    "SimOutcome",
+    "Simulator",
+    "Timeout",
+    "TraceEntry",
+    "WorkCounters",
+    "entries_from_nodes",
+    "format_timeline",
+    "phase_summary",
+    "table1_rows",
+]

@@ -1,0 +1,125 @@
+"""The paper's cost model (Table 1) and size/time conversions.
+
+All strategy work is expressed in three primitive charges:
+
+* disk access: ``T_d`` seconds per byte read at a site;
+* network transfer: ``T_net`` seconds per byte on the shared channel;
+* CPU: ``T_c`` seconds per comparison.
+
+Sizes follow Table 1: attributes average ``S_a`` bytes, identifiers
+``S_GOid`` / ``S_LOid`` bytes, object signatures ``S_s`` bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MICROSECOND = 1e-6
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """System parameters (Table 1), in bytes and seconds.
+
+    Defaults reproduce the paper's setting exactly:
+    S_a=32 B, S_GOid=S_LOid=16 B, S_s=32 B, T_d=15 us/B, T_net=8 us/B,
+    T_c=0.5 us/comparison, N_iso=2.
+    """
+
+    attribute_bytes: int = 32        # S_a
+    goid_bytes: int = 16             # S_GOid
+    loid_bytes: int = 16             # S_LOid
+    signature_bytes: int = 32        # S_s
+    disk_s_per_byte: float = 15 * MICROSECOND    # T_d
+    net_s_per_byte: float = 8 * MICROSECOND      # T_net
+    cpu_s_per_comparison: float = 0.5 * MICROSECOND  # T_c
+    avg_isomeric_objects: float = 2.0  # N_iso
+    # Seek overhead of one *random* object fetch (an assistant retrieved
+    # by LOid).  Extent scans and buffered walks are sequential and pay
+    # only T_d; mid-1990s disks charged ~12 ms of seek + rotation per
+    # random access.  Not in Table 1 — documented extension (DESIGN.md).
+    disk_seek_s: float = 0.012
+
+    # --- sizes ----------------------------------------------------------------
+
+    def object_bytes(self, n_attributes: float, with_loid: bool = True) -> float:
+        """Size of one object projected on *n_attributes* attributes.
+
+        Accepts fractional attribute counts (the analytic model works in
+        expectations).
+        """
+        size = n_attributes * self.attribute_bytes
+        if with_loid:
+            size += self.loid_bytes
+        return size
+
+    def row_bytes(self, n_attributes: int) -> int:
+        """Size of one local result row (LOid + GOid + attribute values)."""
+        return (
+            self.loid_bytes + self.goid_bytes
+            + n_attributes * self.attribute_bytes
+        )
+
+    def check_request_bytes(self, n_loids: int, n_predicates: int) -> int:
+        """Size of an assistant-check request: LOid list + predicates.
+
+        A predicate ships as an attribute name + operand, approximated as
+        one attribute-sized unit each.
+        """
+        return (
+            n_loids * self.loid_bytes
+            + n_predicates * 2 * self.attribute_bytes
+        )
+
+    def check_reply_bytes(self, n_verdicts: int) -> int:
+        """Size of a check reply: one LOid-sized verdict entry each."""
+        return n_verdicts * self.loid_bytes
+
+    # --- times ----------------------------------------------------------------
+
+    def disk_time(self, n_bytes: float) -> float:
+        return n_bytes * self.disk_s_per_byte
+
+    def net_time(self, n_bytes: float) -> float:
+        return n_bytes * self.net_s_per_byte
+
+    def cpu_time(self, comparisons: float) -> float:
+        return comparisons * self.cpu_s_per_comparison
+
+    def random_fetch_time(self, n_fetches: float, n_bytes: float) -> float:
+        """Disk time of *n_fetches* random object reads totalling *n_bytes*."""
+        return n_fetches * self.disk_seek_s + self.disk_time(n_bytes)
+
+
+#: The paper's exact Table 1 configuration.
+PAPER_COSTS = CostModel()
+
+
+def table1_rows(model: CostModel = PAPER_COSTS):
+    """The rows of Table 1, for the benchmark harness to print."""
+    return [
+        ("S_a", "average size of attributes", f"{model.attribute_bytes} bytes"),
+        ("S_GOid", "size of GOid", f"{model.goid_bytes} bytes"),
+        ("S_LOid", "size of LOid", f"{model.loid_bytes} bytes"),
+        ("S_s", "size of object signatures", f"{model.signature_bytes} bytes"),
+        (
+            "T_d",
+            "average disk access time",
+            f"{model.disk_s_per_byte / MICROSECOND:g} us/byte",
+        ),
+        (
+            "T_net",
+            "average network transfer time",
+            f"{model.net_s_per_byte / MICROSECOND:g} us/byte",
+        ),
+        (
+            "T_c",
+            "average cpu processing time",
+            f"{model.cpu_s_per_comparison / MICROSECOND:g} us/comparison",
+        ),
+        (
+            "N_iso",
+            "average number of isomeric objects for the same real world entity",
+            f"{model.avg_isomeric_objects:g}",
+        ),
+    ]

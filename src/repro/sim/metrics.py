@@ -1,0 +1,84 @@
+"""Execution metrics reported by the strategies.
+
+Bundles the simulated timings with logical work counters (bytes moved,
+comparisons performed, objects shipped/checked) and the query answer
+summary, so that benchmarks and tests can reason about both performance
+and correctness in one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.sim.taskgraph import SimOutcome
+from repro.sim.trace import TraceEntry, entries_from_nodes
+
+
+@dataclass
+class WorkCounters:
+    """Logical work performed by a strategy (cost-model inputs)."""
+
+    objects_scanned: int = 0
+    objects_shipped: int = 0
+    assistants_looked_up: int = 0
+    assistants_checked: int = 0
+    signature_comparisons: int = 0
+    comparisons: int = 0
+    bytes_disk: int = 0
+    bytes_network: int = 0
+
+    def merge(self, other: "WorkCounters") -> None:
+        self.objects_scanned += other.objects_scanned
+        self.objects_shipped += other.objects_shipped
+        self.assistants_looked_up += other.assistants_looked_up
+        self.assistants_checked += other.assistants_checked
+        self.signature_comparisons += other.signature_comparisons
+        self.comparisons += other.comparisons
+        self.bytes_disk += other.bytes_disk
+        self.bytes_network += other.bytes_network
+
+
+@dataclass
+class ExecutionMetrics:
+    """Everything measured about one strategy execution."""
+
+    strategy: str
+    total_time: float
+    response_time: float
+    phase_time: Dict[str, float] = field(default_factory=dict)
+    site_busy: Dict[str, float] = field(default_factory=dict)
+    work: WorkCounters = field(default_factory=WorkCounters)
+    certain_results: int = 0
+    maybe_results: int = 0
+    #: The full simulated schedule, for tracing/explain.
+    trace: Tuple[TraceEntry, ...] = ()
+
+    @classmethod
+    def from_outcome(
+        cls,
+        strategy: str,
+        outcome: SimOutcome,
+        work: Optional[WorkCounters] = None,
+        certain_results: int = 0,
+        maybe_results: int = 0,
+    ) -> "ExecutionMetrics":
+        return cls(
+            strategy=strategy,
+            total_time=outcome.total_time,
+            response_time=outcome.response_time,
+            phase_time=dict(outcome.phase_time),
+            site_busy=dict(outcome.site_busy),
+            work=work if work is not None else WorkCounters(),
+            certain_results=certain_results,
+            maybe_results=maybe_results,
+            trace=tuple(entries_from_nodes(outcome.scheduled)),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.strategy}: total={self.total_time:.4f}s "
+            f"response={self.response_time:.4f}s "
+            f"net={self.work.bytes_network}B "
+            f"answers={self.certain_results}+{self.maybe_results}m"
+        )

@@ -1,0 +1,273 @@
+"""Activity graphs scheduled on the simulated federation.
+
+A strategy's execution is described as a DAG of *nodes*:
+
+* **activities** consume a site device (CPU or disk) for a duration;
+* **transfers** consume the network channel for ``bytes * T_net``.
+
+Nodes wait for their dependencies, queue FIFO on their resource, run, and
+complete.  The graph is executed on the :mod:`repro.sim.kernel` event
+loop, which yields the two quantities the paper reports:
+
+* **total execution time** — the sum of all node durations (total work
+  performed in the federation, regardless of overlap);
+* **response time** — the simulated completion time of the whole graph
+  (what the user waits; parallelism shortens it).
+
+The network is a single shared channel by default, so simultaneous
+transfers from several component databases queue — reproducing the
+paper's observation that "the transfer time gets longer when more
+component databases transfer data simultaneously".  Pass
+``shared_network=False`` for the ablation with an uncontended network
+(one channel per site pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.costs import CostModel, PAPER_COSTS
+from repro.sim.kernel import Acquire, AllOf, Event, Release, Resource, Simulator, Timeout
+
+#: Phase tags used for breakdowns (paper's phases plus bookkeeping).
+PHASE_O = "O"  # looking up / checking assistant objects
+PHASE_I = "I"  # integration / certification
+PHASE_P = "P"  # predicate evaluation
+PHASE_XFER = "transfer"
+PHASE_SCAN = "scan"  # disk retrieval of extents
+
+
+@dataclass
+class Node:
+    """One scheduled unit of work in the activity graph."""
+
+    index: int
+    label: str
+    resource_name: str
+    seconds: float
+    phase: str
+    site: str
+    nbytes: int = 0
+    deps: Tuple["Node", ...] = ()
+    start: Optional[float] = None
+    finish: Optional[float] = None
+
+
+class FederationSim:
+    """Builds and runs one strategy's activity graph.
+
+    Typical use::
+
+        fed = FederationSim(["DB1", "DB2", "DB3"], global_site="GPS")
+        scan = fed.disk("DB1", nbytes=..., label="scan Student", phase="scan")
+        ship = fed.transfer("DB1", "GPS", nbytes=..., deps=[scan])
+        join = fed.cpu("GPS", comparisons=..., deps=[ship], phase="I")
+        outcome = fed.run()
+    """
+
+    def __init__(
+        self,
+        sites: Sequence[str],
+        global_site: str = "GPS",
+        cost_model: CostModel = PAPER_COSTS,
+        shared_network: bool = True,
+    ) -> None:
+        self.cost_model = cost_model
+        self.global_site = global_site
+        self.sites: Tuple[str, ...] = tuple(dict.fromkeys(list(sites) + [global_site]))
+        self.shared_network = shared_network
+        self._nodes: List[Node] = []
+        self._ran = False
+
+    # --- graph construction -----------------------------------------------
+
+    def _add(
+        self,
+        label: str,
+        resource_name: str,
+        seconds: float,
+        phase: str,
+        site: str,
+        nbytes: int = 0,
+        deps: Iterable[Node] = (),
+    ) -> Node:
+        if self._ran:
+            raise SimulationError("cannot add nodes after run()")
+        if seconds < 0:
+            raise SimulationError(f"node {label!r} has negative duration")
+        node = Node(
+            index=len(self._nodes),
+            label=label,
+            resource_name=resource_name,
+            seconds=seconds,
+            phase=phase,
+            site=site,
+            nbytes=nbytes,
+            deps=tuple(deps),
+        )
+        self._nodes.append(node)
+        return node
+
+    def cpu(
+        self,
+        site: str,
+        comparisons: float,
+        label: str = "cpu",
+        phase: str = PHASE_P,
+        deps: Iterable[Node] = (),
+    ) -> Node:
+        """CPU work at *site*, charged at T_c per comparison."""
+        self._check_site(site)
+        return self._add(
+            label,
+            f"{site}:cpu",
+            self.cost_model.cpu_time(comparisons),
+            phase,
+            site,
+            deps=deps,
+        )
+
+    def disk(
+        self,
+        site: str,
+        nbytes: float,
+        label: str = "disk",
+        phase: str = PHASE_SCAN,
+        deps: Iterable[Node] = (),
+        seeks: float = 0.0,
+    ) -> Node:
+        """Disk access at *site*: T_d per byte plus one seek per random
+        fetch (*seeks* > 0 for by-LOid object retrievals)."""
+        self._check_site(site)
+        return self._add(
+            label,
+            f"{site}:disk",
+            self.cost_model.disk_time(nbytes)
+            + seeks * self.cost_model.disk_seek_s,
+            phase,
+            site,
+            nbytes=int(nbytes),
+            deps=deps,
+        )
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        label: str = "transfer",
+        deps: Iterable[Node] = (),
+    ) -> Node:
+        """Network transfer, charged at T_net per byte.
+
+        On the shared channel all transfers serialize; otherwise each
+        (src, dst) pair has its own channel.
+        """
+        self._check_site(src)
+        self._check_site(dst)
+        resource = "net" if self.shared_network else f"net:{src}->{dst}"
+        return self._add(
+            f"{label} {src}->{dst}",
+            resource,
+            self.cost_model.net_time(nbytes),
+            PHASE_XFER,
+            src,
+            nbytes=int(nbytes),
+            deps=deps,
+        )
+
+    def barrier(self, deps: Iterable[Node], label: str = "barrier") -> Node:
+        """A zero-cost synchronization node at the global site."""
+        return self._add(
+            label, f"{self.global_site}:cpu", 0.0, PHASE_I, self.global_site,
+            deps=deps,
+        )
+
+    def _check_site(self, site: str) -> None:
+        if site not in self.sites:
+            raise SimulationError(f"unknown site {site!r}")
+
+    # --- execution ----------------------------------------------------------
+
+    def run(self) -> "SimOutcome":
+        """Schedule all nodes on the kernel and collect the outcome."""
+        if self._ran:
+            raise SimulationError("FederationSim.run() called twice")
+        self._ran = True
+        sim = Simulator()
+        resources: Dict[str, Resource] = {}
+        done_events: Dict[int, Event] = {}
+
+        def get_resource(name: str) -> Resource:
+            if name not in resources:
+                resources[name] = sim.resource(name)
+            return resources[name]
+
+        def node_body(node: Node):
+            dep_events = tuple(done_events[d.index] for d in node.deps)
+            if dep_events:
+                yield AllOf(dep_events)
+            resource = get_resource(node.resource_name)
+            yield Acquire(resource)
+            node.start = sim.now
+            yield Timeout(node.seconds)
+            node.finish = sim.now
+            yield Release(resource)
+            done_events[node.index].trigger()
+
+        for node in self._nodes:
+            done_events[node.index] = sim.event(f"done:{node.label}")
+        for node in self._nodes:
+            sim.process(node_body(node), name=node.label)
+
+        response_time = sim.run()
+        unfinished = [n.label for n in self._nodes if n.finish is None]
+        if unfinished:
+            raise SimulationError(
+                f"activity graph deadlocked; unfinished nodes: {unfinished[:5]}"
+            )
+        return SimOutcome.from_nodes(self._nodes, response_time, resources)
+
+
+@dataclass
+class SimOutcome:
+    """Timings and breakdowns of one executed activity graph."""
+
+    response_time: float
+    total_time: float
+    phase_time: Dict[str, float] = field(default_factory=dict)
+    site_busy: Dict[str, float] = field(default_factory=dict)
+    bytes_transferred: int = 0
+    nodes: int = 0
+    #: The scheduled nodes (with start/finish), for tracing/explain.
+    scheduled: Tuple[Node, ...] = ()
+
+    @classmethod
+    def from_nodes(
+        cls,
+        nodes: Sequence[Node],
+        response_time: float,
+        resources: Dict[str, Resource],
+    ) -> "SimOutcome":
+        phase_time: Dict[str, float] = {}
+        site_busy: Dict[str, float] = {}
+        bytes_transferred = 0
+        total = 0.0
+        for node in nodes:
+            total += node.seconds
+            phase_time[node.phase] = phase_time.get(node.phase, 0.0) + node.seconds
+            if node.phase == PHASE_XFER:
+                bytes_transferred += node.nbytes
+            else:
+                site_busy[node.site] = site_busy.get(node.site, 0.0) + node.seconds
+        return cls(
+            response_time=response_time,
+            total_time=total,
+            phase_time=phase_time,
+            site_busy=site_busy,
+            bytes_transferred=bytes_transferred,
+            nodes=len(nodes),
+            scheduled=tuple(nodes),
+        )

@@ -1,0 +1,96 @@
+"""Execution traces: inspecting a strategy's simulated schedule.
+
+The task graphs the strategies build are normally discarded after the
+timings are extracted; with tracing enabled the scheduled nodes (start /
+finish / resource / phase) are kept and can be rendered as a text
+timeline — a poor man's Gantt chart:
+
+    0.000s |##########                              | DB1:disk  BL_C1 scan
+    0.150s |          ####                          | DB1:cpu   BL_C1 evaluate
+    ...
+
+Used by :meth:`repro.core.engine.GlobalQueryEngine.explain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.sim.taskgraph import Node
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One scheduled node, flattened for reporting."""
+
+    label: str
+    resource: str
+    phase: str
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+def entries_from_nodes(nodes: Sequence[Node]) -> List[TraceEntry]:
+    """Flatten scheduled nodes into trace entries, by start time."""
+    entries = [
+        TraceEntry(
+            label=node.label,
+            resource=node.resource_name,
+            phase=node.phase,
+            start=node.start or 0.0,
+            finish=node.finish or 0.0,
+        )
+        for node in nodes
+        if node.finish is not None
+    ]
+    entries.sort(key=lambda e: (e.start, e.finish, e.resource))
+    return entries
+
+
+def format_timeline(
+    entries: Sequence[TraceEntry],
+    width: int = 48,
+    min_duration: float = 0.0,
+) -> str:
+    """Render entries as a text timeline (one row per node).
+
+    Args:
+        width: characters of the bar area.
+        min_duration: hide nodes shorter than this (zero-cost barriers
+            clutter the picture).
+    """
+    if not entries:
+        return "(empty schedule)"
+    horizon = max(e.finish for e in entries) or 1.0
+    lines = []
+    label_width = min(36, max(len(e.label) for e in entries))
+    resource_width = max(len(e.resource) for e in entries)
+    for entry in entries:
+        if entry.duration < min_duration and entry.duration > 0:
+            continue
+        begin = int(entry.start / horizon * width)
+        length = max(1, int(round(entry.duration / horizon * width)))
+        length = min(length, width - begin)
+        bar = " " * begin + "#" * length
+        lines.append(
+            f"{entry.start * 1000:9.3f}ms |{bar.ljust(width)}| "
+            f"{entry.resource.ljust(resource_width)}  "
+            f"{entry.label[:label_width]}"
+        )
+    return "\n".join(lines)
+
+
+def phase_summary(entries: Sequence[TraceEntry]) -> str:
+    """Total busy time per phase, as a short table."""
+    totals = {}
+    for entry in entries:
+        totals[entry.phase] = totals.get(entry.phase, 0.0) + entry.duration
+    lines = ["phase     busy time"]
+    for phase in sorted(totals):
+        lines.append(f"{phase:<9} {totals[phase] * 1000:9.3f} ms")
+    return "\n".join(lines)

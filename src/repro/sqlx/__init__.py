@@ -1,0 +1,24 @@
+"""SQL/X-subset front-end (the paper formulates queries in SQL/X).
+
+:func:`parse_query` turns a query string like the paper's Q1::
+
+    Select X.name, X.advisor.name
+    From Student X
+    Where X.address.city = Taipei and X.advisor.speciality = database
+      and X.advisor.department.name = CS
+
+into a :class:`~repro.core.query.Query`.
+"""
+
+from repro.sqlx.lexer import Token, TokenKind, tokenize
+from repro.sqlx.parser import ParsedQuery, parse, parse_query, to_dnf
+
+__all__ = [
+    "ParsedQuery",
+    "Token",
+    "TokenKind",
+    "parse",
+    "parse_query",
+    "to_dnf",
+    "tokenize",
+]

@@ -1,0 +1,103 @@
+"""Tokenizer for the SQL/X subset used by the paper's queries.
+
+Recognized token kinds: keywords (``Select``, ``From``, ``Where``,
+``and``, ``or``, ``contains`` — case-insensitive), identifiers, dotted
+path separators, commas, parentheses, comparison operators, numeric
+literals, and single- or double-quoted string literals.  Bare identifiers
+on the right-hand side of a comparison (the paper writes
+``X.address.city=Taipei``) are string literals by convention.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SqlxSyntaxError
+
+KEYWORDS = frozenset({"select", "from", "where", "and", "or", "not", "contains"})
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"          # = != < <= > >=
+    DOT = "dot"
+    COMMA = "comma"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    AT = "at"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_\-]*)
+  | (?P<dot>\.)
+  | (?P<comma>,)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<at>@)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text*; raises :class:`SqlxSyntaxError` on junk input."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SqlxSyntaxError(
+                f"unexpected character {text[position]!r}", position
+            )
+        position = match.end()
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "ws":
+            continue
+        if kind == "ident":
+            lowered = value.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, lowered, match.start()))
+            else:
+                tokens.append(Token(TokenKind.IDENT, value, match.start()))
+        elif kind == "number":
+            tokens.append(Token(TokenKind.NUMBER, value, match.start()))
+        elif kind == "string":
+            tokens.append(Token(TokenKind.STRING, value[1:-1], match.start()))
+        elif kind == "op":
+            text_op = "!=" if value == "<>" else value
+            tokens.append(Token(TokenKind.OP, text_op, match.start()))
+        elif kind == "dot":
+            tokens.append(Token(TokenKind.DOT, value, match.start()))
+        elif kind == "comma":
+            tokens.append(Token(TokenKind.COMMA, value, match.start()))
+        elif kind == "lparen":
+            tokens.append(Token(TokenKind.LPAREN, value, match.start()))
+        elif kind == "rparen":
+            tokens.append(Token(TokenKind.RPAREN, value, match.start()))
+        elif kind == "at":
+            tokens.append(Token(TokenKind.AT, value, match.start()))
+    tokens.append(Token(TokenKind.EOF, "", len(text)))
+    return tokens

@@ -1,0 +1,266 @@
+"""Recursive-descent parser for the SQL/X subset.
+
+Grammar (case-insensitive keywords)::
+
+    query      := "Select" targets "From" range [ "Where" boolexpr ]
+    targets    := path ("," path)*
+    range      := IDENT [ "@" IDENT ] IDENT        -- class [@db] variable
+    path       := VAR "." IDENT ("." IDENT)*
+    boolexpr   := andexpr ("or" andexpr)*
+    andexpr    := atom ("and" atom)*
+    atom       := "not" atom | predicate | "(" boolexpr ")"
+    predicate  := path (OP | ["not"] "contains") literal
+    literal    := NUMBER | STRING | IDENT          -- bare idents are strings
+
+``not`` is compiled away during parsing: De Morgan pushes it through
+``and``/``or`` and every comparison operator has a 3VL-sound complement
+(``Op.complement``), so negation never reaches the evaluator.
+
+The ``Where`` clause is normalized to disjunctive normal form; the
+conjunctive queries of the paper parse to a single conjunct.  A site
+qualifier (``Student@DB1``) is accepted and surfaced on the parse result
+(useful for expressing the paper's Q1'/Q1'' local queries) but the
+produced :class:`~repro.core.query.Query` is always expressed against the
+global schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.query import Op, Path, Predicate, Query
+from repro.errors import SqlxSyntaxError
+from repro.sqlx.lexer import Token, TokenKind, tokenize
+
+_OPS = {op.value: op for op in Op}
+
+
+# --- boolean expression tree -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PredNode:
+    predicate: Predicate
+
+
+@dataclass(frozen=True)
+class AndNode:
+    children: Tuple["BoolNode", ...]
+
+
+@dataclass(frozen=True)
+class OrNode:
+    children: Tuple["BoolNode", ...]
+
+
+BoolNode = Union[PredNode, AndNode, OrNode]
+
+
+def negate(node: BoolNode) -> BoolNode:
+    """Push a negation through the tree (De Morgan + leaf complements)."""
+    if isinstance(node, PredNode):
+        pred = node.predicate
+        return PredNode(
+            Predicate(path=pred.path, op=pred.op.complement(),
+                      operand=pred.operand)
+        )
+    if isinstance(node, AndNode):
+        return OrNode(tuple(negate(child) for child in node.children))
+    if isinstance(node, OrNode):
+        return AndNode(tuple(negate(child) for child in node.children))
+    raise SqlxSyntaxError(f"unknown boolean node {node!r}")  # pragma: no cover
+
+
+def to_dnf(node: BoolNode) -> Tuple[Tuple[Predicate, ...], ...]:
+    """Flatten a boolean tree into a disjunction of conjunctions."""
+    if isinstance(node, PredNode):
+        return ((node.predicate,),)
+    if isinstance(node, OrNode):
+        disjuncts: List[Tuple[Predicate, ...]] = []
+        for child in node.children:
+            disjuncts.extend(to_dnf(child))
+        return tuple(disjuncts)
+    if isinstance(node, AndNode):
+        product: Tuple[Tuple[Predicate, ...], ...] = ((),)
+        for child in node.children:
+            child_dnf = to_dnf(child)
+            product = tuple(
+                left + right for left in product for right in child_dnf
+            )
+        return product
+    raise SqlxSyntaxError(f"unknown boolean node {node!r}")  # pragma: no cover
+
+
+@dataclass
+class ParsedQuery:
+    """A parsed SQL/X query plus front-end metadata."""
+
+    query: Query
+    variable: str
+    site: Optional[str] = None  # "DB1" for `From Student@DB1 X`
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # --- token helpers -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        token = self.current
+        if token.kind is not kind or (text is not None and token.text != text):
+            expected = text or kind.value
+            raise SqlxSyntaxError(
+                f"expected {expected!r}, found {token.text or 'end of input'!r}",
+                token.position,
+            )
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.current
+        if not token.is_keyword(word):
+            raise SqlxSyntaxError(
+                f"expected keyword {word!r}, found "
+                f"{token.text or 'end of input'!r}",
+                token.position,
+            )
+        return self.advance()
+
+    # --- grammar -------------------------------------------------------------
+
+    def parse(self) -> ParsedQuery:
+        self.expect_keyword("select")
+        raw_targets = self._target_list()
+        self.expect_keyword("from")
+        range_class, site, variable = self._range()
+        where: Tuple[Tuple[Predicate, ...], ...] = ()
+        if self.current.is_keyword("where"):
+            self.advance()
+            tree = self._boolexpr(variable)
+            where = to_dnf(tree)
+        self.expect(TokenKind.EOF)
+        targets = tuple(
+            Path(self._strip_variable(path, variable)) for path in raw_targets
+        )
+        query = Query(range_class=range_class, targets=targets, where=where)
+        return ParsedQuery(query=query, variable=variable, site=site)
+
+    def _target_list(self) -> List[Tuple[str, ...]]:
+        targets = [self._dotted()]
+        while self.current.kind is TokenKind.COMMA:
+            self.advance()
+            targets.append(self._dotted())
+        return targets
+
+    def _dotted(self) -> Tuple[str, ...]:
+        parts = [self.expect(TokenKind.IDENT).text]
+        while self.current.kind is TokenKind.DOT:
+            self.advance()
+            parts.append(self.expect(TokenKind.IDENT).text)
+        return tuple(parts)
+
+    def _range(self) -> Tuple[str, Optional[str], str]:
+        class_name = self.expect(TokenKind.IDENT).text
+        site: Optional[str] = None
+        if self.current.kind is TokenKind.AT:
+            self.advance()
+            site = self.expect(TokenKind.IDENT).text
+        variable = self.expect(TokenKind.IDENT).text
+        return class_name, site, variable
+
+    def _boolexpr(self, variable: str) -> BoolNode:
+        children = [self._andexpr(variable)]
+        while self.current.is_keyword("or"):
+            self.advance()
+            children.append(self._andexpr(variable))
+        if len(children) == 1:
+            return children[0]
+        return OrNode(tuple(children))
+
+    def _andexpr(self, variable: str) -> BoolNode:
+        children = [self._atom(variable)]
+        while self.current.is_keyword("and"):
+            self.advance()
+            children.append(self._atom(variable))
+        if len(children) == 1:
+            return children[0]
+        return AndNode(tuple(children))
+
+    def _atom(self, variable: str) -> BoolNode:
+        if self.current.is_keyword("not"):
+            self.advance()
+            return negate(self._atom(variable))
+        if self.current.kind is TokenKind.LPAREN:
+            self.advance()
+            inner = self._boolexpr(variable)
+            self.expect(TokenKind.RPAREN)
+            return inner
+        return PredNode(self._predicate(variable))
+
+    def _predicate(self, variable: str) -> Predicate:
+        dotted = self._dotted()
+        path = Path(self._strip_variable(dotted, variable))
+        token = self.current
+        if token.kind is TokenKind.OP:
+            op = _OPS[token.text]
+            self.advance()
+        elif token.is_keyword("contains"):
+            op = Op.CONTAINS
+            self.advance()
+        elif token.is_keyword("not"):
+            self.advance()
+            self.expect_keyword("contains")
+            op = Op.NOT_CONTAINS
+        else:
+            raise SqlxSyntaxError(
+                f"expected comparison operator, found "
+                f"{token.text or 'end of input'!r}",
+                token.position,
+            )
+        operand = self._literal()
+        return Predicate(path=path, op=op, operand=operand)
+
+    def _literal(self):
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind in (TokenKind.STRING, TokenKind.IDENT):
+            self.advance()
+            return token.text
+        raise SqlxSyntaxError(
+            f"expected literal, found {token.text or 'end of input'!r}",
+            token.position,
+        )
+
+    @staticmethod
+    def _strip_variable(
+        dotted: Tuple[str, ...], variable: str
+    ) -> Tuple[str, ...]:
+        """Drop the leading range variable from ``X.advisor.name``."""
+        if len(dotted) > 1 and dotted[0] == variable:
+            return dotted[1:]
+        return dotted
+
+
+def parse_query(text: str) -> Query:
+    """Parse SQL/X *text* into a global :class:`Query`."""
+    return parse(text).query
+
+
+def parse(text: str) -> ParsedQuery:
+    """Parse SQL/X *text*, keeping front-end metadata (variable, site)."""
+    tokens = tokenize(text)
+    return _Parser(tokens).parse()

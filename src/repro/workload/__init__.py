@@ -1,0 +1,15 @@
+"""Workloads: the paper example, Table 2 parameters, and the generator."""
+
+from repro.workload.paper_example import (
+    Q1_TEXT,
+    build_school_federation,
+    expected_q1_answers,
+    figure5_catalog,
+)
+
+__all__ = [
+    "Q1_TEXT",
+    "build_school_federation",
+    "expected_q1_answers",
+    "figure5_catalog",
+]

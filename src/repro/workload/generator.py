@@ -1,0 +1,346 @@
+"""Concrete synthetic federations from Table 2 parameter sets.
+
+The paper's simulation is parameter-driven; to validate the strategies
+end-to-end we additionally *materialize* federations: real objects with
+real missing data in real component databases, so that CA, BL and PL run
+their full logic and must produce identical answers.
+
+Construction (one global class chain, as the paper's single-range-class
+queries traverse one composition hierarchy):
+
+* global classes ``K1 -> K2 -> ... -> K_Nc`` linked by the complex
+  attribute ``ref``; class k carries predicate attributes ``p0..``,
+  target attributes ``t0..`` and the key attribute ``key``;
+* per database i, the constituent of class k defines ``N_pa^{i,k}`` of
+  the predicate attributes — the others are *missing attributes* at that
+  site (every global attribute is defined at one site at least);
+* entities are drawn once (values consistent across copies — the paper
+  does not model inter-site inconsistency) and placed in one database,
+  or, with probability ``R_iso``, in ``N_iso = 2`` databases;
+* each present predicate attribute is nulled with probability
+  ``R_m^{i,k}`` per copy, so an assistant copy may hold the data a maybe
+  result is missing;
+* references point at a ``R_r`` fraction of the next class's entities;
+  a copy's ``ref`` is the *local* copy of the referenced entity when one
+  exists at the same site and null otherwise.
+
+The generated query selects the root key plus one target per class and
+applies ``attr < threshold`` predicates whose thresholds realize the
+per-class selectivity ``R_ps^k``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.query import Op, Path, Predicate, Query
+from repro.core.system import DistributedSystem
+from repro.errors import WorkloadError
+from repro.integration.global_schema import ClassCorrespondence
+from repro.objectdb.database import ComponentDatabase
+from repro.objectdb.ids import LOid
+from repro.objectdb.objects import LocalObject
+from repro.objectdb.schema import ClassDef, ComponentSchema, complex_attr, primitive
+from repro.objectdb.values import NULL
+from repro.workload.params import ClassParams, WorkloadParams
+
+#: Value domain for predicate attributes; thresholds scale against this.
+VALUE_DOMAIN = 1_000_000
+
+#: Probability that an entity has a copy at any given non-primary site.
+#: Chosen so that P(has isomeric copies) = 1 - 0.9^(N_db-1), Table 2's
+#: R_iso law.
+REPLICA_PROBABILITY = 0.1
+
+
+@dataclass
+class GeneratedWorkload:
+    """A materialized federation plus the query to run on it."""
+
+    system: DistributedSystem
+    query: Query
+    params: WorkloadParams
+    entities_per_class: Tuple[int, ...] = ()
+
+
+def _class_name(k: int) -> str:
+    return f"K{k + 1}"
+
+
+def _predicate_attr(j: int) -> str:
+    return f"p{j}"
+
+
+def _target_attr(j: int) -> str:
+    return f"t{j}"
+
+
+@dataclass
+class _Entity:
+    """One real-world entity of one class, shared by its copies."""
+
+    key: int
+    values: Dict[str, int]
+    homes: Tuple[str, ...]
+    ref_key: Optional[int] = None  # key of the referenced next-class entity
+
+
+def _predicate_kind(j: int) -> Op:
+    """Alternate equality and range predicates.
+
+    The paper's example queries compare with equality (Q1), while Table 2
+    only fixes selectivities; alternating EQ (categorical domain) and LT
+    (threshold) predicates exercises both the signature-filterable and
+    the signature-inconclusive paths.
+    """
+    return Op.EQ if j % 2 == 0 else Op.LT
+
+
+def _eq_domain_size(per_pred_selectivity: float) -> int:
+    """Category count realizing ~the per-predicate selectivity for EQ."""
+    return max(2, int(round(1.0 / max(per_pred_selectivity, 1e-6))))
+
+
+def _per_pred_selectivity(cls_params: ClassParams) -> float:
+    if cls_params.n_predicates == 0:
+        return 1.0
+    return cls_params.predicate_selectivity ** (1.0 / cls_params.n_predicates)
+
+
+def _assign_local_pred_attrs(
+    params: WorkloadParams, class_index: int, rng: random.Random
+) -> Dict[str, Tuple[str, ...]]:
+    """Choose which predicate attributes each database defines.
+
+    Returns db -> defined predicate attribute names, respecting
+    ``N_pa^{i,k}`` and guaranteeing every attribute is defined somewhere
+    (a global attribute exists because some constituent has it).
+    """
+    cls = params.classes[class_index]
+    all_attrs = [_predicate_attr(j) for j in range(cls.n_predicates)]
+    chosen: Dict[str, Tuple[str, ...]] = {}
+    for db_name in params.db_names:
+        n_pa = min(cls.per_db[db_name].n_local_pred_attrs, len(all_attrs))
+        chosen[db_name] = tuple(sorted(rng.sample(all_attrs, n_pa)))
+    for attr in all_attrs:
+        if not any(attr in defined for defined in chosen.values()):
+            db_name = rng.choice(params.db_names)
+            chosen[db_name] = tuple(sorted(chosen[db_name] + (attr,)))
+            cls.per_db[db_name].n_local_pred_attrs = len(chosen[db_name])
+    return chosen
+
+
+def _draw_entities(
+    params: WorkloadParams,
+    class_index: int,
+    rng: random.Random,
+    scale: float,
+) -> List[_Entity]:
+    """Create the entity pool of one class and place copies in databases."""
+    cls = params.classes[class_index]
+    copies_wanted = sum(
+        max(1, int(cls.per_db[db].n_objects * scale)) for db in params.db_names
+    )
+    # Table 2's R_iso = 1 - 0.9^(N_db-1) is the placement model "each
+    # entity has a copy at any other site with probability 0.1": the
+    # probability of having at least one isomeric copy is then exactly
+    # R_iso, and the average copy count of isomeric entities stays ~2
+    # (Table 1's N_iso) at moderate N_db.
+    avg_copies = 1.0 + REPLICA_PROBABILITY * (params.n_dbs - 1)
+    n_entities = max(1, int(round(copies_wanted / avg_copies)))
+    per_pred = _per_pred_selectivity(cls)
+    entities: List[_Entity] = []
+    for key in range(n_entities):
+        values = {}
+        for j in range(cls.n_predicates):
+            if _predicate_kind(j) is Op.EQ:
+                values[_predicate_attr(j)] = rng.randrange(
+                    _eq_domain_size(per_pred)
+                )
+            else:
+                values[_predicate_attr(j)] = rng.randrange(VALUE_DOMAIN)
+        for j in range(2):
+            values[_target_attr(j)] = rng.randrange(VALUE_DOMAIN)
+        primary = rng.choice(params.db_names)
+        homes = [primary]
+        for db_name in params.db_names:
+            if db_name != primary and rng.random() < REPLICA_PROBABILITY:
+                homes.append(db_name)
+        entities.append(_Entity(key=key, values=values, homes=tuple(homes)))
+    return entities
+
+
+#: Probability that a reference targets an entity co-located with every
+#: copy of the referencing entity (when such targets exist).  Keeps
+#: composition hierarchies mostly walkable at each site, as the paper's
+#: schemas are, while still exercising dangling-reference missing data.
+CO_LOCATION_BIAS = 0.85
+
+
+def _wire_references(
+    entities: List[_Entity],
+    next_entities: List[_Entity],
+    r_referenced: float,
+    rng: random.Random,
+) -> None:
+    """Point each entity at a referenced next-class entity (R_r pool).
+
+    Targets co-located with the referencing entity's copies are preferred
+    (see :data:`CO_LOCATION_BIAS`): a component database's stored
+    reference must point at a local object, so a non-co-located target
+    reads as a null reference at that site.
+    """
+    pool_size = max(1, int(len(next_entities) * r_referenced))
+    pool = next_entities[:pool_size]
+    # Lazily computed: home set -> pool targets stored at all those homes.
+    covering: Dict[Tuple[str, ...], List[_Entity]] = {}
+    for entity in entities:
+        key = tuple(sorted(entity.homes))
+        if key not in covering:
+            covering[key] = [
+                t for t in pool if set(key) <= set(t.homes)
+            ]
+        candidates = covering[key]
+        if candidates and rng.random() < CO_LOCATION_BIAS:
+            entity.ref_key = rng.choice(candidates).key
+        else:
+            entity.ref_key = rng.choice(pool).key
+
+
+def generate(
+    params: WorkloadParams,
+    seed: Optional[int] = None,
+    scale: float = 1.0,
+) -> GeneratedWorkload:
+    """Materialize one federation + query from a Table 2 parameter set.
+
+    Args:
+        scale: multiplies every N_o (tests run at scale << 1 to stay
+            fast; the paper's 5000-6000 objects are scale=1).
+    """
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    rng = random.Random(params.seed if seed is None else seed)
+    n_classes = params.n_classes
+
+    # --- who defines which predicate attribute -----------------------------
+    defined_attrs = [
+        _assign_local_pred_attrs(params, k, rng) for k in range(n_classes)
+    ]
+
+    # --- entity pools and references ----------------------------------------
+    entity_pools = [
+        _draw_entities(params, k, rng, scale) for k in range(n_classes)
+    ]
+    for k in range(n_classes - 1):
+        _wire_references(
+            entity_pools[k],
+            entity_pools[k + 1],
+            params.classes[k].r_referenced,
+            rng,
+        )
+
+    # --- component schemas ----------------------------------------------------
+    databases: Dict[str, ComponentDatabase] = {}
+    for db_name in params.db_names:
+        class_defs = []
+        for k in range(n_classes):
+            attrs = [primitive("key")]
+            for j in range(2):
+                attrs.append(primitive(_target_attr(j)))
+            for attr_name in defined_attrs[k][db_name]:
+                attrs.append(primitive(attr_name))
+            if k < n_classes - 1:
+                attrs.append(complex_attr("ref", _class_name(k + 1)))
+            class_defs.append(ClassDef.of(_class_name(k), attrs))
+        databases[db_name] = ComponentDatabase(
+            ComponentSchema.of(db_name, class_defs)
+        )
+
+    # --- objects ---------------------------------------------------------------
+    local_keys: List[Dict[str, Dict[int, LOid]]] = []
+    for k in range(n_classes):
+        per_db: Dict[str, Dict[int, LOid]] = {db: {} for db in params.db_names}
+        for entity in entity_pools[k]:
+            for db_name in entity.homes:
+                loid = LOid(db_name, f"{_class_name(k).lower()}_{entity.key}")
+                per_db[db_name][entity.key] = loid
+        local_keys.append(per_db)
+
+    for k in range(n_classes):
+        cls_params = params.classes[k]
+        for entity in entity_pools[k]:
+            for db_name in entity.homes:
+                r_missing = min(cls_params.per_db[db_name].r_missing, 0.95)
+                values: Dict[str, object] = {"key": entity.key}
+                for j in range(2):
+                    values[_target_attr(j)] = entity.values[_target_attr(j)]
+                for attr_name in defined_attrs[k][db_name]:
+                    if rng.random() < r_missing:
+                        values[attr_name] = NULL
+                    else:
+                        values[attr_name] = entity.values[attr_name]
+                if k < n_classes - 1 and entity.ref_key is not None:
+                    local_ref = local_keys[k + 1][db_name].get(entity.ref_key)
+                    values["ref"] = local_ref if local_ref is not None else NULL
+                databases[db_name].insert(
+                    LocalObject(
+                        loid=local_keys[k][db_name][entity.key],
+                        class_name=_class_name(k),
+                        values=values,
+                    ),
+                    validate=False,
+                )
+
+    # --- federation -------------------------------------------------------------
+    correspondences = tuple(
+        ClassCorrespondence.of(
+            _class_name(k),
+            [(db_name, _class_name(k)) for db_name in params.db_names],
+            key_attribute="key",
+        )
+        for k in range(n_classes)
+    )
+    system = DistributedSystem.build(
+        list(databases.values()), correspondences
+    )
+
+    # --- the query ----------------------------------------------------------------
+    query = build_query(params)
+    return GeneratedWorkload(
+        system=system,
+        query=query,
+        params=params,
+        entities_per_class=tuple(len(pool) for pool in entity_pools),
+    )
+
+
+def build_query(params: WorkloadParams) -> Query:
+    """The global query implied by a parameter set.
+
+    Predicates on class k realize the per-predicate selectivity
+    ``R_ps^k ** (1 / N_p^k)`` (so the class's combined selectivity
+    follows Table 2's R_ps law): even-indexed predicates test equality
+    against category 0 of a ~1/selectivity-sized domain, odd-indexed
+    ones use a threshold.  Paths reach class k through ``ref`` steps.
+    """
+    targets: List[Path] = [Path.of("key"), Path.of(_target_attr(0))]
+    predicates: List[Predicate] = []
+    prefix: Tuple[str, ...] = ()
+    for k, cls_params in enumerate(params.classes):
+        if k > 0:
+            prefix = prefix + ("ref",)
+            targets.append(Path(prefix + (_target_attr(0),)))
+        per_pred = _per_pred_selectivity(cls_params)
+        for j in range(cls_params.n_predicates):
+            path = Path(prefix + (_predicate_attr(j),))
+            if _predicate_kind(j) is Op.EQ:
+                predicates.append(Predicate(path=path, op=Op.EQ, operand=0))
+            else:
+                threshold = int(per_pred * VALUE_DOMAIN)
+                predicates.append(
+                    Predicate(path=path, op=Op.LT, operand=threshold)
+                )
+    return Query.conjunctive(_class_name(0), targets, predicates)

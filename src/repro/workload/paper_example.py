@@ -1,0 +1,320 @@
+"""The paper's running example: the school federation (Figures 1-5).
+
+Three component databases store personal information at the same school:
+
+* **DB1** — Student(s-no, name, age, advisor, sex), Teacher(name,
+  department), Department(name);
+* **DB2** — Student(s-no, name, sex, address, advisor), Teacher(name,
+  speciality), Address(city, street, zipcode);
+* **DB3** — Teacher(name, department), Department(name, location).
+
+The object instances reproduce Figure 4 exactly (including the null
+values: John's sex and Abel's department in DB1, the CS department's
+location in DB3) and the GOid mapping tables reproduce Figure 5.
+
+Query :data:`Q1_TEXT` is the paper's Q1; its documented answer is the
+certain result (Hedy, Kelly) and the maybe result (Tony, Haley).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.system import DistributedSystem
+from repro.integration.global_schema import ClassCorrespondence
+from repro.integration.isomerism import table_from_correspondences
+from repro.integration.mapping import MappingCatalog
+from repro.objectdb.database import ComponentDatabase
+from repro.objectdb.ids import GOid, LOid
+from repro.objectdb.objects import LocalObject
+from repro.objectdb.schema import ClassDef, ComponentSchema, complex_attr, primitive
+from repro.objectdb.values import NULL
+
+#: The paper's query Q1 (Figure 3a).
+Q1_TEXT = (
+    "Select X.name, X.advisor.name From Student X "
+    "Where X.address.city = Taipei and X.advisor.speciality = database "
+    "and X.advisor.department.name = CS"
+)
+
+
+def _db1() -> ComponentDatabase:
+    schema = ComponentSchema.of(
+        "DB1",
+        [
+            ClassDef.of(
+                "Student",
+                [
+                    primitive("s-no"),
+                    primitive("name"),
+                    primitive("age"),
+                    complex_attr("advisor", "Teacher"),
+                    primitive("sex"),
+                ],
+            ),
+            ClassDef.of(
+                "Teacher",
+                [primitive("name"), complex_attr("department", "Department")],
+            ),
+            ClassDef.of("Department", [primitive("name")]),
+        ],
+    )
+    db = ComponentDatabase(schema)
+
+    def loid(value: str) -> LOid:
+        return LOid("DB1", value)
+
+    students = [
+        ("s1", 804301, "John", 31, "t1", NULL),
+        ("s2", 798302, "Tony", 28, "t3", "male"),
+        ("s3", 808301, "Mary", 24, "t2", "female"),
+    ]
+    for sid, sno, name, age, advisor, sex in students:
+        db.insert(
+            LocalObject(
+                loid=loid(sid),
+                class_name="Student",
+                values={
+                    "s-no": sno,
+                    "name": name,
+                    "age": age,
+                    "advisor": loid(advisor),
+                    "sex": sex,
+                },
+            )
+        )
+    teachers = [("t1", "Jeffery", "d1"), ("t2", "Abel", NULL), ("t3", "Haley", "d1")]
+    for tid, name, dept in teachers:
+        db.insert(
+            LocalObject(
+                loid=loid(tid),
+                class_name="Teacher",
+                values={
+                    "name": name,
+                    "department": loid(dept) if dept is not NULL else NULL,
+                },
+            )
+        )
+    for did, name in [("d1", "CS"), ("d2", "EE")]:
+        db.insert(
+            LocalObject(loid=loid(did), class_name="Department", values={"name": name})
+        )
+    return db
+
+
+def _db2() -> ComponentDatabase:
+    schema = ComponentSchema.of(
+        "DB2",
+        [
+            ClassDef.of(
+                "Student",
+                [
+                    primitive("s-no"),
+                    primitive("name"),
+                    primitive("sex"),
+                    complex_attr("address", "Address"),
+                    complex_attr("advisor", "Teacher"),
+                ],
+            ),
+            ClassDef.of("Teacher", [primitive("name"), primitive("speciality")]),
+            ClassDef.of(
+                "Address",
+                [primitive("city"), primitive("street"), primitive("zipcode")],
+            ),
+        ],
+    )
+    db = ComponentDatabase(schema)
+
+    def loid(value: str) -> LOid:
+        return LOid("DB2", value)
+
+    students = [
+        ("s1'", 762315, "Hedy", "female", "a1'", "t1'"),
+        ("s2'", 804301, "John", "male", "a2'", "t2'"),
+        ("s3'", 828307, "Fanny", "female", "a1'", "t2'"),
+    ]
+    for sid, sno, name, sex, address, advisor in students:
+        db.insert(
+            LocalObject(
+                loid=loid(sid),
+                class_name="Student",
+                values={
+                    "s-no": sno,
+                    "name": name,
+                    "sex": sex,
+                    "address": loid(address),
+                    "advisor": loid(advisor),
+                },
+            )
+        )
+    for tid, name, spec in [("t1'", "Kelly", "database"), ("t2'", "Jeffery", "network")]:
+        db.insert(
+            LocalObject(
+                loid=loid(tid),
+                class_name="Teacher",
+                values={"name": name, "speciality": spec},
+            )
+        )
+    addresses = [
+        ("a1'", "Taipei", "Park", 100),
+        ("a2'", "HsinChu", "Horber", 800),
+    ]
+    for aid, city, street, zipcode in addresses:
+        db.insert(
+            LocalObject(
+                loid=loid(aid),
+                class_name="Address",
+                values={"city": city, "street": street, "zipcode": zipcode},
+            )
+        )
+    return db
+
+
+def _db3() -> ComponentDatabase:
+    schema = ComponentSchema.of(
+        "DB3",
+        [
+            ClassDef.of(
+                "Teacher",
+                [primitive("name"), complex_attr("department", "Department")],
+            ),
+            ClassDef.of("Department", [primitive("name"), primitive("location")]),
+        ],
+    )
+    db = ComponentDatabase(schema)
+
+    def loid(value: str) -> LOid:
+        return LOid("DB3", value)
+
+    departments = [
+        ('d1"', "EE", "building E"),
+        ('d2"', "CS", NULL),
+        ('d3"', "PH", "building D"),
+    ]
+    for did, name, location in departments:
+        db.insert(
+            LocalObject(
+                loid=loid(did),
+                class_name="Department",
+                values={"name": name, "location": location},
+            )
+        )
+    for tid, name, dept in [('t1"', "Abel", 'd1"'), ('t2"', "Kelly", 'd2"')]:
+        db.insert(
+            LocalObject(
+                loid=loid(tid),
+                class_name="Teacher",
+                values={"name": name, "department": loid(dept)},
+            )
+        )
+    return db
+
+
+def correspondences() -> Tuple[ClassCorrespondence, ...]:
+    """The global classes and their constituents (Figure 2)."""
+    return (
+        ClassCorrespondence.of(
+            "Student",
+            [("DB1", "Student"), ("DB2", "Student")],
+            key_attribute="s-no",
+        ),
+        ClassCorrespondence.of(
+            "Teacher",
+            [("DB1", "Teacher"), ("DB2", "Teacher"), ("DB3", "Teacher")],
+            key_attribute="name",
+        ),
+        ClassCorrespondence.of(
+            "Department",
+            [("DB1", "Department"), ("DB3", "Department")],
+            key_attribute="name",
+        ),
+        ClassCorrespondence.of(
+            "Address",
+            [("DB2", "Address")],
+            key_attribute="city",
+        ),
+    )
+
+
+def figure5_catalog() -> MappingCatalog:
+    """The GOid mapping tables exactly as printed in Figure 5."""
+
+    def l1(v: str) -> LOid:
+        return LOid("DB1", v)
+
+    def l2(v: str) -> LOid:
+        return LOid("DB2", v)
+
+    def l3(v: str) -> LOid:
+        return LOid("DB3", v)
+
+    catalog = MappingCatalog()
+    catalog.register(
+        table_from_correspondences(
+            "Student",
+            [
+                (GOid("gs1"), [l1("s1"), l2("s2'")]),
+                (GOid("gs2"), [l1("s2")]),
+                (GOid("gs3"), [l1("s3")]),
+                (GOid("gs4"), [l2("s1'")]),
+                (GOid("gs5"), [l2("s3'")]),
+            ],
+        )
+    )
+    catalog.register(
+        table_from_correspondences(
+            "Teacher",
+            [
+                (GOid("gt1"), [l1("t1"), l2("t2'")]),
+                (GOid("gt2"), [l1("t2"), l3('t1"')]),
+                (GOid("gt3"), [l1("t3")]),
+                (GOid("gt4"), [l2("t1'"), l3('t2"')]),
+            ],
+        )
+    )
+    catalog.register(
+        table_from_correspondences(
+            "Department",
+            [
+                (GOid("gd1"), [l1("d1"), l3('d2"')]),
+                (GOid("gd2"), [l1("d2"), l3('d1"')]),
+                (GOid("gd3"), [l3('d3"')]),
+            ],
+        )
+    )
+    catalog.register(
+        table_from_correspondences(
+            "Address",
+            [
+                (GOid("ga1"), [l2("a1'")]),
+                (GOid("ga2"), [l2("a2'")]),
+            ],
+        )
+    )
+    return catalog
+
+
+def build_school_federation(
+    discover: bool = False,
+) -> DistributedSystem:
+    """Stand up the school federation of the running example.
+
+    Args:
+        discover: when True, the GOid mapping tables are *discovered*
+            from the data through key-attribute matching instead of being
+            installed from Figure 5 (the two must agree up to GOid
+            renaming; a test asserts this).
+    """
+    databases = [_db1(), _db2(), _db3()]
+    catalog = None if discover else figure5_catalog()
+    return DistributedSystem.build(
+        databases, correspondences(), catalog=catalog
+    )
+
+
+def expected_q1_answers() -> Dict[str, Tuple[Tuple[str, str], ...]]:
+    """The paper's documented answer to Q1 (Section 2.2/2.3)."""
+    return {
+        "certain": (("Hedy", "Kelly"),),
+        "maybe": (("Tony", "Haley"),),
+    }

@@ -1,0 +1,241 @@
+"""The paper's database and query parameters (Table 2).
+
+The performance study draws 500 parameter sets per experimental setting
+and averages the resulting times.  This module models those parameters,
+their default sampling ranges, and the paper's derived quantities:
+
+* ``R_ps^k   = 0.45 ** sqrt(N_p^k)``   — combined selectivity of the
+  predicates on class k;
+* ``R_iso^k  = 1 - 0.9 ** (N_db - 1)`` — ratio of objects with isomeric
+  copies;
+* ``R_pps^i,k = 0.45 ** sqrt(N_pa^i,k)`` — combined selectivity of the
+  *local* predicates at database i;
+* ``R_m^i,k  = 1`` when the site misses a predicate attribute, else
+  uniform in [0, 0.2];
+* ``R_as^i,k = 0.55 ** sqrt(N_p^k - N_pa^i,k)`` — selectivity of the
+  unsolved predicates on assistant objects;
+* ``R_ss^i,k = 0.6  ** sqrt(N_p^k - N_pa^i,k)`` — selectivity of the
+  signature filter (slightly above R_as: signatures admit false
+  positives, never false negatives).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+
+
+def combined_predicate_selectivity(n_predicates: int, base: float = 0.45) -> float:
+    """``base ** sqrt(n)`` — Table 2's selectivity law (1.0 for n=0)."""
+    if n_predicates < 0:
+        raise WorkloadError("negative predicate count")
+    if n_predicates == 0:
+        return 1.0
+    return base ** math.sqrt(n_predicates)
+
+
+def isomerism_ratio_for(n_dbs: int) -> float:
+    """``1 - 0.9 ** (N_db - 1)`` — Table 2's R_iso."""
+    if n_dbs < 1:
+        raise WorkloadError("need at least one component database")
+    return 1.0 - 0.9 ** (n_dbs - 1)
+
+
+@dataclass
+class DbClassParams:
+    """Parameters of one constituent class at one database (Table 2, part 4)."""
+
+    n_objects: int              # N_o^{i,k}
+    n_local_pred_attrs: int     # N_pa^{i,k}: predicate attrs defined locally
+    n_target_attrs: int         # N_ta^{i,k}
+    # Null-value probability on *present* predicate attributes, drawn from
+    # Table 2's 0~0.2 range.  Table 2's "R_m = 1 when the site misses a
+    # predicate attribute" case is structural and derivable from
+    # n_local_pred_attrs < n_predicates, so it is not stored here.
+    r_missing: float
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 0:
+            raise WorkloadError("negative object count")
+        if not 0.0 <= self.r_missing <= 1.0:
+            raise WorkloadError("R_m must be within [0, 1]")
+
+
+@dataclass
+class ClassParams:
+    """Parameters of one involved global class (Table 2, parts 2-3)."""
+
+    n_predicates: int            # N_p^k
+    r_referenced: float          # R_r^k
+    per_db: Dict[str, DbClassParams] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.n_predicates:
+            raise WorkloadError("negative predicate count")
+        if not 0.0 < self.r_referenced <= 1.0:
+            raise WorkloadError("R_r must be within (0, 1]")
+
+    @property
+    def predicate_selectivity(self) -> float:
+        """R_ps^k — combined selectivity of the class's predicates."""
+        return combined_predicate_selectivity(self.n_predicates)
+
+    def local_selectivity(self, db_name: str) -> float:
+        """R_pps^{i,k} — combined selectivity of the local predicates."""
+        return combined_predicate_selectivity(
+            self.per_db[db_name].n_local_pred_attrs
+        )
+
+    def unsolved_count(self, db_name: str) -> int:
+        """N_p^k - N_pa^{i,k} — predicates unsolvable at the site."""
+        return self.n_predicates - self.per_db[db_name].n_local_pred_attrs
+
+    def assistant_selectivity(self, db_name: str) -> float:
+        """R_as^{i,k} — selectivity of unsolved predicates on assistants."""
+        return combined_predicate_selectivity(
+            self.unsolved_count(db_name), base=0.55
+        )
+
+    def signature_selectivity(self, db_name: str) -> float:
+        """R_ss^{i,k} — selectivity of the signature filter."""
+        return combined_predicate_selectivity(
+            self.unsolved_count(db_name), base=0.6
+        )
+
+
+@dataclass
+class WorkloadParams:
+    """One full parameter set for one simulated global query (Table 2)."""
+
+    db_names: Tuple[str, ...]                       # N_db databases
+    classes: List[ClassParams] = field(default_factory=list)  # N_c classes
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.db_names:
+            raise WorkloadError("need at least one component database")
+        if not self.classes:
+            raise WorkloadError("need at least one involved global class")
+        for cls_params in self.classes:
+            missing = set(self.db_names) - set(cls_params.per_db)
+            if missing:
+                raise WorkloadError(
+                    f"class parameters missing for databases {sorted(missing)}"
+                )
+
+    @property
+    def n_dbs(self) -> int:
+        return len(self.db_names)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def r_iso(self) -> float:
+        """R_iso — derived from N_db as in Table 2."""
+        return isomerism_ratio_for(self.n_dbs)
+
+    def total_predicates(self) -> int:
+        return sum(c.n_predicates for c in self.classes)
+
+
+#: Table 2 default sampling ranges.
+DEFAULT_N_DBS = 3
+DEFAULT_N_CLASSES_RANGE = (1, 4)
+DEFAULT_N_PREDICATES_RANGE = (0, 3)
+DEFAULT_N_OBJECTS_RANGE = (5000, 6000)
+DEFAULT_N_TARGETS_RANGE = (0, 2)
+DEFAULT_R_REFERENCED_RANGE = (0.5, 1.0)
+DEFAULT_R_MISSING_RANGE = (0.0, 0.2)
+
+
+def sample_params(
+    rng: random.Random,
+    n_dbs: int = DEFAULT_N_DBS,
+    n_classes_range: Tuple[int, int] = DEFAULT_N_CLASSES_RANGE,
+    n_predicates_range: Tuple[int, int] = DEFAULT_N_PREDICATES_RANGE,
+    n_objects_range: Tuple[int, int] = DEFAULT_N_OBJECTS_RANGE,
+    r_referenced_range: Tuple[float, float] = DEFAULT_R_REFERENCED_RANGE,
+    r_missing_range: Tuple[float, float] = DEFAULT_R_MISSING_RANGE,
+    local_pred_attr_bias: Optional[float] = None,
+) -> WorkloadParams:
+    """Draw one Table 2 parameter set.
+
+    The experiments adjust one knob at a time (number of objects, number
+    of databases, selectivity) and keep the rest at the defaults, exactly
+    as in Section 4.1.  ``local_pred_attr_bias``, when given in [0, 1],
+    skews N_pa toward N_p (1.0 -> all predicates local everywhere).
+    """
+    db_names = tuple(f"DB{i + 1}" for i in range(n_dbs))
+    n_classes = rng.randint(*n_classes_range)
+    classes: List[ClassParams] = []
+    for _k in range(n_classes):
+        n_predicates = rng.randint(*n_predicates_range)
+        per_db: Dict[str, DbClassParams] = {}
+        for db_name in db_names:
+            if local_pred_attr_bias is None:
+                n_pa = rng.randint(0, n_predicates) if n_predicates else 0
+            else:
+                n_pa = sum(
+                    1
+                    for _ in range(n_predicates)
+                    if rng.random() < local_pred_attr_bias
+                )
+            per_db[db_name] = DbClassParams(
+                n_objects=rng.randint(*n_objects_range),
+                n_local_pred_attrs=n_pa,
+                n_target_attrs=rng.randint(*DEFAULT_N_TARGETS_RANGE),
+                r_missing=rng.uniform(*r_missing_range),
+            )
+        classes.append(
+            ClassParams(
+                n_predicates=n_predicates,
+                r_referenced=rng.uniform(*r_referenced_range),
+                per_db=per_db,
+            )
+        )
+    # At least one predicate somewhere keeps the query non-trivial.
+    if all(c.n_predicates == 0 for c in classes):
+        classes[0].n_predicates = 1
+        local_prob = (
+            0.5 if local_pred_attr_bias is None else local_pred_attr_bias
+        )
+        for db_name in db_names:
+            classes[0].per_db[db_name].n_local_pred_attrs = (
+                1 if rng.random() < local_prob else 0
+            )
+    return WorkloadParams(db_names=db_names, classes=classes)
+
+
+def table2_rows() -> List[Tuple[str, str, str]]:
+    """The rows of Table 2, for the benchmark harness to print."""
+    return [
+        ("N_db", "number of component databases involved", "3"),
+        ("N_c", "number of global classes involved", "1 ~ 4"),
+        ("N_p^k", "number of predicates on the class", "0 ~ 3"),
+        ("R_ps^k", "selectivity of the predicates on the class",
+         "0.45^sqrt(N_p^k)"),
+        ("R_r^k", "ratio of objects to be referenced", "0.5 ~ 1"),
+        ("R_iso^k", "ratio of objects having isomeric objects",
+         "1 - 0.9^(N_db-1)"),
+        ("N_o^{i,k}", "number of objects", "5000 ~ 6000"),
+        ("N_qa^{i,k}", "number of attributes involved in the subquery",
+         "max{N_pa, N_ta} ~ (N_pa + N_ta)"),
+        ("N_pa^{i,k}", "number of attributes involved in the local predicates",
+         "0 ~ N_p^k"),
+        ("N_ta^{i,k}", "number of target attributes in the subquery", "0 ~ 2"),
+        ("R_pps^{i,k}", "selectivity of the local predicates on the class",
+         "0.45^sqrt(N_pa^{i,k})"),
+        ("R_m^{i,k}", "ratio of objects which have missing data",
+         "1 if (N_p^k - N_pa^{i,k}) > 0, 0 ~ 0.2 otherwise"),
+        ("R_as^{i,k}", "selectivity of the predicates on the assistant objects",
+         "0.55^sqrt(N_p^k - N_pa^{i,k})"),
+        ("R_ss^{i,k}",
+         "selectivity of the predicates on the signatures of the assistants",
+         "0.6^sqrt(N_p^k - N_pa^{i,k})"),
+    ]

@@ -1,0 +1,31 @@
+"""Shared fixtures: the paper's school federation and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import make_workload
+from repro.core.engine import GlobalQueryEngine
+from repro.workload.paper_example import build_school_federation
+
+
+@pytest.fixture()
+def school():
+    """The Figures 1-5 school federation with the Figure 5 catalog."""
+    return build_school_federation()
+
+
+@pytest.fixture()
+def school_engine(school):
+    return GlobalQueryEngine(school)
+
+
+@pytest.fixture()
+def discovered_school():
+    """The school federation with isomerism discovered from the data."""
+    return build_school_federation(discover=True)
+
+
+@pytest.fixture()
+def small_workload():
+    return make_workload(seed=7)

@@ -1,0 +1,92 @@
+"""Tests for the adaptive strategy (analytic-model-driven selection)."""
+
+import pytest
+
+from helpers import make_workload
+from repro.core.engine import GlobalQueryEngine
+from repro.core.results import same_answers
+from repro.core.strategies import AdaptiveStrategy, extract_params, strategy_by_name
+from repro.errors import QueryError
+from repro.sqlx import parse_query
+from repro.workload.paper_example import Q1_TEXT, expected_q1_answers
+
+
+class TestExtraction:
+    def test_school_q1_params(self, school):
+        params = extract_params(school, parse_query(Q1_TEXT))
+        assert params.db_names == ("DB1", "DB2", "DB3")
+        # Chain: Student, then branch classes.
+        names_by_index = {0: "Student"}
+        root = params.classes[0]
+        assert root.per_db["DB1"].n_objects == 3
+        assert root.per_db["DB2"].n_objects == 3
+        assert root.per_db["DB3"].n_objects == 0  # no Student at DB3
+        # Root-class predicates: none end on Student itself.
+        assert root.n_predicates == 0
+
+    def test_predicates_assigned_to_final_class(self, school):
+        params = extract_params(school, parse_query(Q1_TEXT))
+        # Teacher carries speciality; Department carries name; Address city.
+        total = sum(c.n_predicates for c in params.classes)
+        assert total == 3
+
+    def test_null_ratio_sampled(self, school):
+        query = parse_query(
+            "Select X.name From Student X Where X.age > 25"
+        )
+        params = extract_params(school, query)
+        root = params.classes[0]
+        # DB1 defines age with no nulls; DB2 lacks it entirely.
+        assert root.per_db["DB1"].n_local_pred_attrs == 1
+        assert root.per_db["DB1"].r_missing == 0.0
+        assert root.per_db["DB2"].n_local_pred_attrs == 0
+
+    def test_invalid_query_rejected(self, school):
+        from repro.core.query import Query
+
+        with pytest.raises(QueryError):
+            extract_params(school, Query.conjunctive("Ghost", ["x"]))
+
+
+class TestAdaptiveExecution:
+    def test_auto_answers_match_paper(self, school):
+        engine = GlobalQueryEngine(school)
+        outcome = engine.execute(Q1_TEXT, "AUTO")
+        expected = expected_q1_answers()
+        assert tuple(outcome.results.certain_rows()) == expected["certain"]
+        assert tuple(outcome.results.maybe_rows()) == expected["maybe"]
+        assert outcome.metrics.strategy.startswith("AUTO->")
+
+    def test_choice_recorded(self, school):
+        strategy = AdaptiveStrategy()
+        strategy.execute(school, parse_query(Q1_TEXT))
+        assert strategy.last_choice in ("CA", "BL", "PL")
+        assert set(strategy.last_predictions) == {"CA", "BL", "PL"}
+
+    def test_objectives(self, school):
+        query = parse_query(Q1_TEXT)
+        response = AdaptiveStrategy(objective="response").predict(school, query)
+        total = AdaptiveStrategy(objective="total").predict(school, query)
+        assert all(v > 0 for v in response.values())
+        assert all(v > 0 for v in total.values())
+
+    def test_bad_objective_rejected(self):
+        with pytest.raises(QueryError):
+            AdaptiveStrategy(objective="latency")
+
+    def test_registry_lookup(self):
+        assert strategy_by_name("auto").name == "AUTO"
+
+    def test_auto_equivalent_on_generated(self):
+        workload = make_workload(seed=404, scale=0.02)
+        engine = GlobalQueryEngine(workload.system)
+        baseline = engine.execute(workload.query, "CA")
+        auto = engine.execute(workload.query, "AUTO")
+        assert same_answers(baseline.results, auto.results)
+
+    def test_choice_tracks_objective_ranking(self):
+        workload = make_workload(seed=405, scale=0.02)
+        strategy = AdaptiveStrategy(objective="response")
+        strategy.execute(workload.system, workload.query)
+        predictions = strategy.last_predictions
+        assert strategy.last_choice == min(predictions, key=predictions.get)

@@ -1,0 +1,141 @@
+"""Unit tests for the analytic (parameter-driven) model."""
+
+import random
+
+import pytest
+
+from repro.analytic.model import AnalyticModel
+from repro.workload.params import sample_params
+
+
+def model_for(seed=1, **kwargs):
+    rng = random.Random(seed)
+    params = sample_params(rng)
+    return AnalyticModel(params, **kwargs)
+
+
+class TestBasics:
+    def test_all_strategies_evaluated(self):
+        outcomes = model_for().evaluate_all()
+        assert set(outcomes) == {"CA", "BL", "PL"}
+        for outcome in outcomes.values():
+            assert outcome.total_time > 0
+            assert 0 < outcome.response_time <= outcome.total_time
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            model_for().evaluate("ZZ")
+
+    def test_case_insensitive(self):
+        assert model_for().evaluate("ca").strategy == "CA"
+
+    def test_deterministic(self):
+        a = model_for(seed=4).evaluate("BL")
+        b = model_for(seed=4).evaluate("BL")
+        assert a.total_time == b.total_time
+        assert a.response_time == b.response_time
+
+
+class TestPaperShapes:
+    """Single-parameter-set counterparts of the figure-level claims."""
+
+    def test_bl_total_at_most_pl(self):
+        for seed in range(12):
+            outcomes = model_for(seed=seed).evaluate_all()
+            assert outcomes["BL"].total_time <= outcomes["PL"].total_time * 1.0001
+
+    def test_localized_response_beats_ca_on_average(self):
+        """The paper's curves are 500-sample averages; a single unselective
+        one-class sample can go the other way (Figure 11's effect)."""
+        sums = {"CA": 0.0, "BL": 0.0, "PL": 0.0}
+        for seed in range(12):
+            outcomes = model_for(seed=seed).evaluate_all()
+            for name, outcome in outcomes.items():
+                sums[name] += outcome.response_time
+        assert sums["BL"] < sums["CA"]
+        assert sums["PL"] < sums["CA"]
+
+    def test_total_grows_with_objects(self):
+        rng = random.Random(3)
+        small = AnalyticModel(sample_params(rng, n_objects_range=(1000, 1000)))
+        rng = random.Random(3)
+        large = AnalyticModel(sample_params(rng, n_objects_range=(9000, 9000)))
+        for strategy in ("CA", "BL", "PL"):
+            assert (
+                large.evaluate(strategy).total_time
+                > small.evaluate(strategy).total_time * 2
+            )
+
+    def test_ca_flat_in_selectivity(self):
+        rng = random.Random(5)
+        params = sample_params(rng)
+        low = AnalyticModel(params, root_selectivity=0.1).evaluate("CA")
+        high = AnalyticModel(params, root_selectivity=0.9).evaluate("CA")
+        assert low.total_time == pytest.approx(high.total_time)
+
+    def test_localized_grow_with_selectivity(self):
+        rng = random.Random(5)
+        params = sample_params(rng, local_pred_attr_bias=0.7)
+        for strategy in ("BL", "PL"):
+            low = AnalyticModel(params, root_selectivity=0.1).evaluate(strategy)
+            high = AnalyticModel(params, root_selectivity=0.9).evaluate(strategy)
+            assert high.total_time >= low.total_time
+
+    def test_bl_selectivity_growth_steeper_than_pl(self):
+        """Averaged over parameter sets, selectivity hurts BL more."""
+        deltas = {"BL": 0.0, "PL": 0.0}
+        for seed in range(15):
+            rng = random.Random(seed)
+            params = sample_params(rng, local_pred_attr_bias=0.7)
+            for strategy in deltas:
+                low = AnalyticModel(params, root_selectivity=0.1).evaluate(strategy)
+                high = AnalyticModel(params, root_selectivity=0.9).evaluate(strategy)
+                deltas[strategy] += high.total_time - low.total_time
+        assert deltas["BL"] > deltas["PL"]
+
+    def test_work_counters(self):
+        outcomes = model_for(seed=8).evaluate_all()
+        assert outcomes["CA"].work.objects_shipped > 0
+        assert outcomes["CA"].work.bytes_network > 0
+        assert outcomes["BL"].work.bytes_network < outcomes["CA"].work.bytes_network
+        assert (
+            outcomes["PL"].work.assistants_checked
+            >= outcomes["BL"].work.assistants_checked
+        )
+
+
+class TestNetworkAblation:
+    def test_uncontended_network_shrinks_response(self):
+        rng = random.Random(9)
+        params = sample_params(rng)
+        shared = AnalyticModel(params, shared_network=True).evaluate("CA")
+        private = AnalyticModel(params, shared_network=False).evaluate("CA")
+        assert private.response_time <= shared.response_time
+        assert private.total_time == pytest.approx(shared.total_time)
+
+
+class TestSignatureVariants:
+    def test_variants_evaluable(self):
+        model = model_for(seed=21)
+        for name in ("BL-S", "PL-S"):
+            outcome = model.evaluate(name)
+            assert outcome.total_time > 0
+            assert outcome.work.signature_comparisons > 0
+
+    def test_signatures_never_increase_cost(self):
+        for seed in range(10):
+            model = model_for(seed=seed)
+            for base in ("BL", "PL"):
+                plain = model.evaluate(base)
+                signed = model.evaluate(f"{base}-S")
+                assert signed.total_time <= plain.total_time * 1.0001
+                assert signed.work.bytes_network <= plain.work.bytes_network
+                assert (
+                    signed.work.assistants_checked
+                    <= plain.work.assistants_checked
+                )
+
+    def test_pass_rate_follows_r_ss(self):
+        model = model_for(seed=22)
+        rate = model._signature_pass_rate()
+        assert 0.0 < rate <= 1.0

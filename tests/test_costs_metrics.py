@@ -1,0 +1,132 @@
+"""Unit tests for the cost model, metrics and reporting helpers."""
+
+import pytest
+
+from repro.bench.experiments import figure9, figure10, figure11
+from repro.bench.reporting import ascii_chart, format_table, series_table, shape_report
+from repro.sim.costs import CostModel, MICROSECOND, PAPER_COSTS, table1_rows
+from repro.sim.metrics import ExecutionMetrics, WorkCounters
+from repro.sim.taskgraph import SimOutcome
+
+
+class TestCostModel:
+    def test_paper_defaults(self):
+        assert PAPER_COSTS.attribute_bytes == 32
+        assert PAPER_COSTS.goid_bytes == 16
+        assert PAPER_COSTS.loid_bytes == 16
+        assert PAPER_COSTS.signature_bytes == 32
+        assert PAPER_COSTS.disk_s_per_byte == pytest.approx(15e-6)
+        assert PAPER_COSTS.net_s_per_byte == pytest.approx(8e-6)
+        assert PAPER_COSTS.cpu_s_per_comparison == pytest.approx(0.5e-6)
+        assert PAPER_COSTS.avg_isomeric_objects == 2.0
+
+    def test_object_bytes(self):
+        assert PAPER_COSTS.object_bytes(3) == 3 * 32 + 16
+        assert PAPER_COSTS.object_bytes(3, with_loid=False) == 96
+
+    def test_row_bytes(self):
+        assert PAPER_COSTS.row_bytes(2) == 16 + 16 + 64
+
+    def test_check_message_bytes(self):
+        assert PAPER_COSTS.check_request_bytes(3, 2) == 3 * 16 + 2 * 64
+        assert PAPER_COSTS.check_reply_bytes(5) == 80
+
+    def test_times(self):
+        assert PAPER_COSTS.disk_time(1000) == pytest.approx(0.015)
+        assert PAPER_COSTS.net_time(1000) == pytest.approx(0.008)
+        assert PAPER_COSTS.cpu_time(1000) == pytest.approx(0.0005)
+
+    def test_random_fetch_time(self):
+        model = CostModel(disk_seek_s=0.01)
+        assert model.random_fetch_time(2, 100) == pytest.approx(
+            0.02 + 100 * 15e-6
+        )
+
+    def test_table1_rows(self):
+        rows = table1_rows()
+        names = [r[0] for r in rows]
+        assert names == [
+            "S_a", "S_GOid", "S_LOid", "S_s", "T_d", "T_net", "T_c", "N_iso",
+        ]
+        assert rows[4][2] == "15 us/byte"
+        assert rows[5][2] == "8 us/byte"
+        assert rows[6][2] == "0.5 us/comparison"
+
+
+class TestWorkCounters:
+    def test_merge(self):
+        a = WorkCounters(objects_scanned=1, bytes_network=10, comparisons=3)
+        b = WorkCounters(objects_scanned=2, bytes_network=5, assistants_checked=7)
+        a.merge(b)
+        assert a.objects_scanned == 3
+        assert a.bytes_network == 15
+        assert a.comparisons == 3
+        assert a.assistants_checked == 7
+
+
+class TestExecutionMetrics:
+    def test_from_outcome(self):
+        outcome = SimOutcome(
+            response_time=2.0,
+            total_time=5.0,
+            phase_time={"P": 5.0},
+            site_busy={"DB1": 5.0},
+            bytes_transferred=100,
+            nodes=3,
+        )
+        metrics = ExecutionMetrics.from_outcome(
+            "BL", outcome, certain_results=1, maybe_results=2
+        )
+        assert metrics.total_time == 5.0
+        assert metrics.response_time == 2.0
+        assert metrics.phase_time == {"P": 5.0}
+        assert metrics.certain_results == 1
+        assert "BL" in metrics.summary()
+
+
+class TestReporting:
+    def test_format_table_pads(self):
+        text = format_table(["a", "long"], [["xxxx", "y"]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("a")
+
+    @pytest.fixture(scope="class")
+    def tiny_series(self):
+        return figure9(samples=4, object_counts=(1000, 2000))
+
+    def test_series_table(self, tiny_series):
+        table = series_table(tiny_series, "total")
+        assert "CA total(s)" in table
+        assert "1000" in table
+
+    def test_series_response_table(self, tiny_series):
+        table = series_table(tiny_series, "response")
+        assert "BL response(s)" in table
+
+    def test_ascii_chart(self, tiny_series):
+        chart = ascii_chart(tiny_series, "total")
+        assert "#" in chart
+        assert "figure9" in chart
+
+    def test_shape_report_keys(self, tiny_series):
+        facts = shape_report(tiny_series)
+        assert "localized_response_beats_ca_everywhere" in facts
+        assert "bl_total_below_pl_everywhere" in facts
+        assert isinstance(facts["growth_CA_total"], bool)
+
+    def test_series_accessors(self, tiny_series):
+        assert tiny_series.xs() == [1000, 2000]
+        assert len(tiny_series.totals("CA")) == 2
+        assert len(tiny_series.responses("PL")) == 2
+
+
+class TestExperimentDrivers:
+    def test_figure10_tiny(self):
+        series = figure10(samples=3, db_counts=(2, 3))
+        assert series.xs() == [2, 3]
+
+    def test_figure11_tiny(self):
+        series = figure11(samples=3, selectivities=(0.2, 0.8))
+        ca = series.totals("CA")
+        assert ca[0] == pytest.approx(ca[1])

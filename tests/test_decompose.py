@@ -1,0 +1,134 @@
+"""Unit tests for query decomposition and missing-depth computation."""
+
+import pytest
+
+from repro.core.decompose import attributes_needed, decompose, missing_depth
+from repro.core.query import Path, Predicate, Query
+from repro.errors import QueryError
+from repro.sqlx import parse_query
+from repro.workload.paper_example import Q1_TEXT
+
+
+class TestMissingDepth:
+    def test_fully_local(self, school):
+        gs = school.global_schema
+        assert missing_depth(gs, "DB1", "Student",
+                             Path.parse("advisor.department.name")) is None
+        assert missing_depth(gs, "DB2", "Student",
+                             Path.parse("address.city")) is None
+
+    def test_missing_on_root(self, school):
+        gs = school.global_schema
+        # Student@DB1 has no address.
+        assert missing_depth(gs, "DB1", "Student",
+                             Path.parse("address.city")) == 0
+
+    def test_missing_on_branch(self, school):
+        gs = school.global_schema
+        # Teacher@DB1 has no speciality.
+        assert missing_depth(gs, "DB1", "Student",
+                             Path.parse("advisor.speciality")) == 1
+        # Teacher@DB2 has no department.
+        assert missing_depth(gs, "DB2", "Student",
+                             Path.parse("advisor.department.name")) == 1
+
+    def test_absent_class_truncates(self, school):
+        gs = school.global_schema
+        # DB1 integrates Department without location.
+        assert missing_depth(gs, "DB1", "Student",
+                             Path.parse("advisor.department.location")) == 2
+
+    def test_site_without_root_constituent_raises(self, school):
+        gs = school.global_schema
+        with pytest.raises(QueryError):
+            missing_depth(gs, "DB3", "Student", Path.parse("name"))
+
+
+class TestDecomposeQ1:
+    """The decomposition reproduces the paper's Q1' and Q1'' (Figure 3b)."""
+
+    @pytest.fixture()
+    def decomposed(self, school):
+        return decompose(parse_query(Q1_TEXT), school.global_schema)
+
+    def test_only_root_sites_queried(self, decomposed):
+        # DB3 has no Student constituent.
+        assert set(decomposed.databases) == {"DB1", "DB2"}
+
+    def test_q1_prime_for_db1(self, decomposed):
+        """Q1': only the department predicate is local at DB1."""
+        lq = decomposed.local_queries["DB1"]
+        assert lq.range_class == "Student"
+        assert [str(p) for p in lq.local_predicates] == [
+            "advisor.department.name = 'CS'"
+        ]
+        removed = {str(r.predicate): r.missing_depth for r in lq.removed}
+        assert removed == {
+            "address.city = 'Taipei'": 0,
+            "advisor.speciality = 'database'": 1,
+        }
+
+    def test_q1_doubleprime_for_db2(self, decomposed):
+        """Q1'': address and speciality predicates are local at DB2."""
+        lq = decomposed.local_queries["DB2"]
+        assert {str(p) for p in lq.local_predicates} == {
+            "address.city = 'Taipei'",
+            "advisor.speciality = 'database'",
+        }
+        removed = {str(r.predicate): r.missing_depth for r in lq.removed}
+        assert removed == {"advisor.department.name = 'CS'": 1}
+
+    def test_targets_preserved(self, decomposed):
+        for lq in decomposed.local_queries.values():
+            assert lq.targets == (Path.parse("name"), Path.parse("advisor.name"))
+
+    def test_removed_by_conjunct_aligned(self, decomposed):
+        lq = decomposed.local_queries["DB1"]
+        assert len(lq.removed_by_conjunct) == len(lq.where) == 1
+        assert len(lq.removed_by_conjunct[0]) == 2
+
+
+class TestDecomposeDnf:
+    def test_per_conjunct_removal(self, school):
+        query = Query.disjunctive(
+            "Student",
+            ["name"],
+            [
+                [Predicate.of("address.city", "=", "Taipei")],
+                [Predicate.of("name", "=", "Tony")],
+            ],
+        )
+        lq = decompose(query, school.global_schema).local_queries["DB1"]
+        assert lq.where == ((), (Predicate.of("name", "=", "Tony"),))
+        assert lq.removed_by_conjunct == (
+            (Predicate.of("address.city", "=", "Taipei"),), (),
+        )
+
+    def test_duplicate_predicate_recorded_once(self, school):
+        shared = Predicate.of("address.city", "=", "Taipei")
+        query = Query.disjunctive(
+            "Student", ["name"],
+            [[shared, Predicate.of("name", "=", "A")],
+             [shared, Predicate.of("name", "=", "B")]],
+        )
+        lq = decompose(query, school.global_schema).local_queries["DB1"]
+        assert len(lq.removed) == 1
+
+
+class TestAttributesNeeded:
+    def test_q1_needs(self, school):
+        query = parse_query(Q1_TEXT)
+        gs = school.global_schema
+        assert set(attributes_needed(query, gs, "Student")) == {
+            "name", "address", "advisor", "s-no",
+        }
+        assert set(attributes_needed(query, gs, "Teacher")) == {
+            "name", "speciality", "department",
+        }
+        assert set(attributes_needed(query, gs, "Department")) == {"name"}
+        assert set(attributes_needed(query, gs, "Address")) == {"city"}
+
+    def test_key_always_included(self, school):
+        query = Query.conjunctive("Student", ["name"])
+        needed = attributes_needed(query, school.global_schema, "Student")
+        assert "s-no" in needed

@@ -1,0 +1,171 @@
+"""Failure-injection tests: corrupted state surfaces as clean errors.
+
+A production federation hits inconsistent mapping tables, dangling
+references, empty extents and malformed queries; these tests pin down
+how each failure surfaces (specific exception, or graceful degraded
+answer) instead of silent corruption.
+"""
+
+import pytest
+
+from repro.core.engine import GlobalQueryEngine
+from repro.core.query import Predicate, Query
+from repro.core.system import DistributedSystem
+from repro.errors import MappingError, QueryError, ReproError
+from repro.integration.global_schema import ClassCorrespondence
+from repro.integration.mapping import MappingCatalog, MappingTable
+from repro.objectdb.database import ComponentDatabase
+from repro.objectdb.ids import GOid, LOid
+from repro.objectdb.objects import LocalObject
+from repro.objectdb.schema import ClassDef, ComponentSchema, complex_attr, primitive
+from repro.objectdb.values import NULL
+from repro.workload.paper_example import Q1_TEXT, build_school_federation
+
+
+def tiny_system(with_catalog=True) -> DistributedSystem:
+    schema = ComponentSchema.of(
+        "DB1",
+        [
+            ClassDef.of("S", [primitive("k"), primitive("a"),
+                              complex_attr("r", "T")]),
+            ClassDef.of("T", [primitive("k"), primitive("b")]),
+        ],
+    )
+    db = ComponentDatabase(schema)
+    db.insert(LocalObject(LOid("DB1", "t1"), "T", {"k": 2, "b": 5}))
+    db.insert(
+        LocalObject(LOid("DB1", "s1"), "S",
+                    {"k": 1, "a": 9, "r": LOid("DB1", "t1")})
+    )
+    correspondences = [
+        ClassCorrespondence.of("S", [("DB1", "S")], "k"),
+        ClassCorrespondence.of("T", [("DB1", "T")], "k"),
+    ]
+    return DistributedSystem.build([db], correspondences)
+
+
+class TestCorruptMappingCatalog:
+    def test_missing_root_goid_fails_loudly(self):
+        system = tiny_system()
+        # Wipe the root class's mapping table.
+        system.catalog.register(MappingTable("S"))
+        engine = GlobalQueryEngine(system)
+        query = Query.conjunctive("S", ["k"], [Predicate.of("a", "=", 9)])
+        for strategy in ("CA", "BL"):
+            with pytest.raises(MappingError):
+                engine.execute(query, strategy)
+
+    def test_missing_branch_goid_fails_loudly_in_ca(self):
+        """CA integrates every exported extent: an uncatalogued branch
+        object is an inconsistency, not missing data — fail loud."""
+        system = tiny_system()
+        system.catalog.register(MappingTable("T"))
+        engine = GlobalQueryEngine(system)
+        query = Query.conjunctive("S", ["k"], [Predicate.of("r.b", "=", 5)])
+        with pytest.raises(MappingError):
+            engine.execute(query, "CA")
+
+    def test_missing_branch_goid_tolerated_by_bl(self):
+        """BL never ships the branch extent; with no isomeric copies to
+        look up, the row simply has no assistants and stays as evaluated
+        (here: certain, since the chain is fully local)."""
+        system = tiny_system()
+        system.catalog.register(MappingTable("T"))
+        engine = GlobalQueryEngine(system)
+        query = Query.conjunctive("S", ["k"], [Predicate.of("r.b", "=", 5)])
+        outcome = engine.execute(query, "BL")
+        assert len(outcome.results.certain) == 1
+
+
+class TestDanglingData:
+    def test_dangling_local_reference_is_maybe(self):
+        system = tiny_system()
+        system.db("DB1").insert(
+            LocalObject(
+                LOid("DB1", "s2"),
+                "S",
+                {"k": 3, "a": 9, "r": LOid("DB1", "ghost")},
+            )
+        )
+        # Rebuild catalog to include s2.
+        from repro.integration.isomerism import build_catalog
+
+        system.catalog.register(
+            build_catalog(
+                {"S": system.global_schema.constituents("S")},
+                system.databases,
+                {"S": "k"},
+            ).table("S")
+        )
+        engine = GlobalQueryEngine(system)
+        query = Query.conjunctive("S", ["k"], [Predicate.of("r.b", "=", 5)])
+        outcomes = engine.compare(query)
+        goids = {r.goid for r in outcomes["CA"].results.maybe}
+        assert len(goids) == 1  # the dangling-ref object stays maybe
+
+    def test_empty_extents_answer_empty(self):
+        schema = ComponentSchema.of(
+            "DB1", [ClassDef.of("S", [primitive("k"), primitive("a")])]
+        )
+        system = DistributedSystem.build(
+            [ComponentDatabase(schema)],
+            [ClassCorrespondence.of("S", [("DB1", "S")], "k")],
+        )
+        engine = GlobalQueryEngine(system)
+        query = Query.conjunctive("S", ["k"], [Predicate.of("a", "=", 1)])
+        outcomes = engine.compare(query)
+        for outcome in outcomes.values():
+            assert len(outcome.results) == 0
+            assert outcome.total_time >= 0
+
+
+class TestMalformedQueries:
+    @pytest.fixture()
+    def engine(self):
+        return GlobalQueryEngine(build_school_federation())
+
+    def test_unknown_class(self, engine):
+        with pytest.raises(QueryError):
+            engine.execute("Select X.a From Nothing X", "CA")
+
+    def test_unknown_attribute(self, engine):
+        with pytest.raises(QueryError):
+            engine.execute("Select X.salary From Student X", "BL")
+
+    def test_path_through_primitive(self, engine):
+        with pytest.raises(QueryError):
+            engine.execute("Select X.name.x From Student X", "PL")
+
+    def test_predicate_on_complex(self, engine):
+        with pytest.raises(QueryError):
+            engine.execute(
+                "Select X.name From Student X Where X.advisor = t1", "CA"
+            )
+
+    def test_errors_are_repro_errors(self, engine):
+        """Everything the engine raises derives from ReproError."""
+        with pytest.raises(ReproError):
+            engine.execute("Select X.a From Nothing X", "CA")
+
+
+class TestNullHeavyData:
+    def test_all_null_attribute_everywhere(self):
+        system = tiny_system()
+        # Null every 'a'.
+        for obj in system.db("DB1").extent("S").values():
+            obj.values["a"] = NULL
+        engine = GlobalQueryEngine(system)
+        query = Query.conjunctive("S", ["k"], [Predicate.of("a", "=", 9)])
+        outcomes = engine.compare(query)
+        assert len(outcomes["CA"].results.maybe) == 1
+        assert not outcomes["CA"].results.certain
+
+    def test_q1_still_consistent_after_nulling_addresses(self):
+        system = build_school_federation()
+        for obj in system.db("DB2").extent("Student").values():
+            obj.values["address"] = NULL
+        engine = GlobalQueryEngine(system)
+        outcomes = engine.compare(Q1_TEXT)
+        # With all addresses unknown, no certain results are possible:
+        # every surviving entity can at best be maybe.
+        assert not outcomes["CA"].results.certain

@@ -1,0 +1,160 @@
+"""Unit tests for the concrete workload generator."""
+
+import random
+
+import pytest
+
+from helpers import make_workload
+from repro.errors import WorkloadError
+from repro.integration.isomerism import isomerism_ratio
+from repro.objectdb.values import NULL, is_null
+from repro.workload.generator import REPLICA_PROBABILITY, VALUE_DOMAIN, build_query, generate
+from repro.workload.params import sample_params
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(seed=13, scale=0.05)
+
+
+class TestStructure:
+    def test_databases_match_params(self, workload):
+        assert set(workload.system.databases) == set(workload.params.db_names)
+
+    def test_every_class_everywhere(self, workload):
+        for db in workload.system.databases.values():
+            assert len(db.schema.class_names) == workload.params.n_classes
+
+    def test_object_counts_scale(self, workload):
+        params = workload.params
+        for db_name, db in workload.system.databases.items():
+            # Placement is randomized; the per-class copies should land in
+            # the same order of magnitude as N_o * scale.
+            for k in range(params.n_classes):
+                expected = params.classes[k].per_db[db_name].n_objects * 0.05
+                actual = db.count(f"K{k+1}")
+                assert 0.4 * expected <= actual <= 1.8 * expected
+
+    def test_every_predicate_attr_defined_somewhere(self, workload):
+        params = workload.params
+        gs = workload.system.global_schema
+        for k, cls in enumerate(params.classes):
+            global_cls = gs.cls(f"K{k+1}")
+            for j in range(cls.n_predicates):
+                assert global_cls.has_attribute(f"p{j}")
+
+    def test_query_validates(self, workload):
+        workload.query.validate(workload.system.global_schema.schema)
+
+
+class TestConsistency:
+    def test_isomeric_copies_share_values(self, workload):
+        """Copies of one entity never disagree on a non-null attribute."""
+        system = workload.system
+        for table in system.catalog.tables():
+            for _goid, row in table.entries():
+                if len(row) < 2:
+                    continue
+                objs = [system.db(db).get(loid) for db, loid in row.items()]
+                attrs = set().union(*(o.values.keys() for o in objs))
+                for attr in attrs - {"ref"}:
+                    non_null = {
+                        o.get(attr) for o in objs if not is_null(o.get(attr))
+                    }
+                    assert len(non_null) <= 1, (attr, row)
+
+    def test_refs_point_to_same_entity(self, workload):
+        """Copies' refs resolve (when non-null) to isomeric objects."""
+        system = workload.system
+        params = workload.params
+        for k in range(params.n_classes - 1):
+            table_next = system.catalog.table(f"K{k+2}")
+            for _goid, row in system.catalog.table(f"K{k+1}").entries():
+                goids = set()
+                for db, loid in row.items():
+                    ref = system.db(db).get(loid).get("ref")
+                    if not is_null(ref):
+                        goids.add(table_next.goid_of(ref))
+                assert len(goids) <= 1
+
+    def test_refs_are_local(self, workload):
+        for db_name, db in workload.system.databases.items():
+            for k in range(workload.params.n_classes - 1):
+                for obj in db.extent(f"K{k+1}").values():
+                    ref = obj.get("ref")
+                    if not is_null(ref):
+                        assert ref.db == db_name
+                        assert db.get(ref) is not None
+
+
+class TestIsomerismStatistics:
+    def test_ratio_near_law(self):
+        workload = make_workload(seed=77, scale=0.3, n_classes_range=(1, 1))
+        table = workload.system.catalog.table("K1")
+        expected = 1 - (1 - REPLICA_PROBABILITY) ** (workload.params.n_dbs - 1)
+        assert isomerism_ratio(table) == pytest.approx(expected, abs=0.06)
+
+
+class TestQueryShape:
+    def test_predicate_operands_in_domain(self):
+        from repro.core.query import Op
+
+        rng = random.Random(5)
+        params = sample_params(rng)
+        query = build_query(params)
+        for pred in query.all_predicates():
+            if pred.op is Op.EQ:
+                assert pred.operand == 0  # category-0 equality
+            else:
+                assert pred.op is Op.LT
+                assert 0 < pred.operand < VALUE_DOMAIN
+
+    def test_realized_selectivity_near_r_ps(self):
+        """The surviving fraction of a predicate-complete site tracks the
+        Table 2 selectivity law within sampling noise."""
+        workload = make_workload(
+            seed=99, scale=0.4, n_classes_range=(1, 1),
+            n_predicates_range=(1, 1), local_pred_attr_bias=1.0,
+            r_missing_range=(0.0, 0.0),
+        )
+        params = workload.params
+        expected = params.classes[0].predicate_selectivity
+        from repro.core.engine import GlobalQueryEngine
+
+        engine = GlobalQueryEngine(workload.system)
+        outcome = engine.execute(workload.query, "CA")
+        total = sum(
+            len(table.loids_of(g)) > 0
+            for table in [workload.system.catalog.table("K1")]
+            for g in table.goids()
+        )
+        fraction = len(outcome.results.certain) / total
+        # EQ predicates realize 1/round(1/sel); allow generous noise.
+        assert 0.5 * expected <= fraction <= 1.6 * expected
+
+    def test_targets_cover_chain(self):
+        rng = random.Random(6)
+        params = sample_params(rng, n_classes_range=(3, 3))
+        query = build_query(params)
+        target_strs = {str(t) for t in query.targets}
+        assert {"key", "t0", "ref.t0", "ref.ref.t0"} <= target_strs
+
+
+class TestErrors:
+    def test_zero_scale_rejected(self):
+        rng = random.Random(0)
+        params = sample_params(rng)
+        with pytest.raises(WorkloadError):
+            generate(params, scale=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = make_workload(seed=9, scale=0.02)
+        b = make_workload(seed=9, scale=0.02)
+        for db_name in a.system.databases:
+            ea = a.system.db(db_name).extent("K1")
+            eb = b.system.db(db_name).extent("K1")
+            assert {l: o.values for l, o in ea.items()} == {
+                l: o.values for l, o in eb.items()
+            }

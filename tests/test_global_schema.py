@@ -1,0 +1,180 @@
+"""Unit tests for schema integration (global classes, missing attrs)."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownClassError
+from repro.integration.global_schema import ClassCorrespondence, integrate_schemas
+from repro.objectdb.schema import ClassDef, ComponentSchema, complex_attr, primitive
+from repro.workload.paper_example import build_school_federation
+
+
+def two_site_schemas():
+    db1 = ComponentSchema.of(
+        "DB1",
+        [
+            ClassDef.of("Person", [primitive("name"), primitive("age"),
+                                   complex_attr("home", "Addr")]),
+            ClassDef.of("Addr", [primitive("city")]),
+        ],
+    )
+    db2 = ComponentSchema.of(
+        "DB2",
+        [
+            ClassDef.of("People", [primitive("name"), primitive("phone")]),
+        ],
+    )
+    return {"DB1": db1, "DB2": db2}
+
+
+def correspondences():
+    return [
+        ClassCorrespondence.of(
+            "Person", [("DB1", "Person"), ("DB2", "People")], "name"
+        ),
+        ClassCorrespondence.of("Addr", [("DB1", "Addr")], "city"),
+    ]
+
+
+class TestIntegration:
+    def test_attribute_union(self):
+        gs = integrate_schemas(two_site_schemas(), correspondences())
+        person = gs.cls("Person")
+        assert set(person.attribute_names()) == {"name", "age", "home", "phone"}
+
+    def test_domain_rewritten_to_global(self):
+        gs = integrate_schemas(two_site_schemas(), correspondences())
+        assert gs.cls("Person").attribute("home").domain == "Addr"
+
+    def test_missing_attributes(self):
+        gs = integrate_schemas(two_site_schemas(), correspondences())
+        assert set(gs.missing_attribute_names("DB2", "Person")) == {"age", "home"}
+        assert gs.missing_attribute_names("DB1", "Person") == ("phone",)
+        # DB2 has no Addr constituent at all.
+        assert gs.missing_attribute_names("DB2", "Addr") == ()
+        assert gs.constituent_class("DB2", "Addr") is None
+
+    def test_constituent_lookups(self):
+        gs = integrate_schemas(two_site_schemas(), correspondences())
+        assert gs.constituent_class("DB2", "Person") == "People"
+        assert gs.global_class_of("DB2", "People") == "Person"
+        assert gs.global_class_of("DB2", "Nope") is None
+        assert gs.databases_of("Person") == ("DB1", "DB2")
+        assert gs.key_attribute("Person") == "name"
+
+    def test_unknown_global_class(self):
+        gs = integrate_schemas(two_site_schemas(), correspondences())
+        with pytest.raises(UnknownClassError):
+            gs.correspondence("Nope")
+
+    def test_multi_valued_marking(self):
+        corr = [
+            ClassCorrespondence.of(
+                "Person",
+                [("DB1", "Person"), ("DB2", "People")],
+                "name",
+                multi_valued_attributes=["phone"],
+            ),
+            ClassCorrespondence.of("Addr", [("DB1", "Addr")], "city"),
+        ]
+        gs = integrate_schemas(two_site_schemas(), corr)
+        assert gs.cls("Person").attribute("phone").multi_valued
+        assert not gs.cls("Person").attribute("name").multi_valued
+
+
+class TestIntegrationErrors:
+    def test_unknown_database(self):
+        with pytest.raises(SchemaError):
+            integrate_schemas(
+                two_site_schemas(),
+                [ClassCorrespondence.of("P", [("DB9", "Person")], "name")],
+            )
+
+    def test_unknown_constituent_class(self):
+        with pytest.raises(SchemaError):
+            integrate_schemas(
+                two_site_schemas(),
+                [ClassCorrespondence.of("P", [("DB1", "Ghost")], "name")],
+            )
+
+    def test_duplicate_global_name(self):
+        with pytest.raises(SchemaError):
+            integrate_schemas(
+                two_site_schemas(),
+                [
+                    ClassCorrespondence.of("P", [("DB1", "Person")], "name"),
+                    ClassCorrespondence.of("P", [("DB2", "People")], "name"),
+                ],
+            )
+
+    def test_class_in_two_correspondences(self):
+        with pytest.raises(SchemaError):
+            integrate_schemas(
+                two_site_schemas(),
+                [
+                    ClassCorrespondence.of("P", [("DB1", "Person")], "name"),
+                    ClassCorrespondence.of("Q", [("DB1", "Person")], "name"),
+                    ClassCorrespondence.of("Addr", [("DB1", "Addr")], "city"),
+                ],
+            )
+
+    def test_unintegrated_domain_rejected(self):
+        # Person.home references Addr, but Addr has no correspondence.
+        with pytest.raises(SchemaError):
+            integrate_schemas(
+                two_site_schemas(),
+                [ClassCorrespondence.of("Person", [("DB1", "Person")], "name")],
+            )
+
+    def test_kind_conflict_rejected(self):
+        db1 = ComponentSchema.of(
+            "DB1", [ClassDef.of("C", [primitive("x")])]
+        )
+        db2 = ComponentSchema.of(
+            "DB2",
+            [
+                ClassDef.of("C", [complex_attr("x", "D")]),
+                ClassDef.of("D", [primitive("y")]),
+            ],
+        )
+        with pytest.raises(SchemaError):
+            integrate_schemas(
+                {"DB1": db1, "DB2": db2},
+                [
+                    ClassCorrespondence.of("C", [("DB1", "C"), ("DB2", "C")], "x"),
+                    ClassCorrespondence.of("D", [("DB2", "D")], "y"),
+                ],
+            )
+
+
+class TestSchoolGlobalSchema:
+    """The integrated school schema matches the paper's Figure 2."""
+
+    def test_global_classes(self, school):
+        assert set(school.global_schema.class_names) == {
+            "Student", "Teacher", "Department", "Address",
+        }
+
+    def test_student_attributes(self, school):
+        student = school.global_schema.cls("Student")
+        assert set(student.attribute_names()) == {
+            "s-no", "name", "age", "advisor", "sex", "address",
+        }
+
+    def test_teacher_attributes(self, school):
+        teacher = school.global_schema.cls("Teacher")
+        assert set(teacher.attribute_names()) == {
+            "name", "department", "speciality",
+        }
+
+    def test_paper_missing_attributes(self, school):
+        gs = school.global_schema
+        # "For DB1, the local root class Student has a complex missing
+        # attribute address; and speciality is a primitive missing
+        # attribute of the local branch class Teacher."
+        assert gs.missing_attribute_names("DB1", "Student") == ("address",)
+        assert gs.missing_attribute_names("DB1", "Teacher") == ("speciality",)
+        # "the local branch class Teacher in DB2 holds a complex missing
+        # attribute department."
+        assert gs.missing_attribute_names("DB2", "Teacher") == ("department",)
+        assert gs.missing_attribute_names("DB2", "Student") == ("age",)
+        assert gs.missing_attribute_names("DB1", "Department") == ("location",)

@@ -1,0 +1,224 @@
+"""Unit tests for secondary indexes and indexed local evaluation."""
+
+import pytest
+
+from repro.core.query import Op, Path, Predicate
+from repro.errors import ObjectStoreError
+from repro.objectdb.database import ComponentDatabase
+from repro.objectdb.ids import LOid
+from repro.objectdb.indexes import HashIndex, IndexManager, SortedIndex
+from repro.objectdb.local_query import LocalQuery
+from repro.objectdb.objects import LocalObject
+from repro.objectdb.schema import ClassDef, ComponentSchema, primitive
+from repro.objectdb.values import MultiValue, NULL
+
+
+def obj(name, **values):
+    return LocalObject(LOid("DB", name), "C", values)
+
+
+class TestHashIndex:
+    def make(self):
+        index = HashIndex("C", "a")
+        index.add(obj("x", a=1))
+        index.add(obj("y", a=2))
+        index.add(obj("z", a=1))
+        index.add(obj("n"))  # a missing -> null bucket
+        return index
+
+    def test_probe_matches_and_nulls(self):
+        index = self.make()
+        matches, nulls = index.probe(Op.EQ, 1)
+        assert {l.value for l in matches} == {"x", "z"}
+        assert {l.value for l in nulls} == {"n"}
+
+    def test_probe_no_match_still_returns_nulls(self):
+        index = self.make()
+        matches, nulls = index.probe(Op.EQ, 99)
+        assert matches == []
+        assert len(nulls) == 1
+
+    def test_supports(self):
+        index = self.make()
+        assert index.supports(Op.EQ)
+        assert not index.supports(Op.LT)
+        with pytest.raises(ObjectStoreError):
+            index.probe(Op.LT, 1)
+
+    def test_counts(self):
+        index = self.make()
+        assert index.entries == 4
+        assert index.null_count == 1
+
+    def test_multivalue_members_indexed(self):
+        index = HashIndex("C", "a")
+        index.add(obj("m", a=MultiValue([1, 2])))
+        assert index.probe(Op.EQ, 1)[0] == [LOid("DB", "m")]
+        assert index.probe(Op.EQ, 2)[0] == [LOid("DB", "m")]
+
+
+class TestSortedIndex:
+    def make(self):
+        index = SortedIndex("C", "a")
+        for name, value in (("x", 10), ("y", 20), ("z", 30), ("w", 20)):
+            index.add(obj(name, a=value))
+        index.add(obj("n", a=NULL))
+        return index
+
+    def test_eq(self):
+        matches, nulls = self.make().probe(Op.EQ, 20)
+        assert {l.value for l in matches} == {"y", "w"}
+        assert len(nulls) == 1
+
+    def test_lt_le(self):
+        index = self.make()
+        assert {l.value for l in index.probe(Op.LT, 20)[0]} == {"x"}
+        assert {l.value for l in index.probe(Op.LE, 20)[0]} == {"x", "y", "w"}
+
+    def test_gt_ge(self):
+        index = self.make()
+        assert {l.value for l in index.probe(Op.GT, 20)[0]} == {"z"}
+        assert {l.value for l in index.probe(Op.GE, 20)[0]} == {"y", "w", "z"}
+
+    def test_incremental_adds_resorted(self):
+        index = self.make()
+        index.probe(Op.EQ, 10)      # settle once
+        index.add(obj("late", a=15))
+        assert {l.value for l in index.probe(Op.LT, 20)[0]} == {"x", "late"}
+
+    def test_unsupported_op(self):
+        with pytest.raises(ObjectStoreError):
+            self.make().probe(Op.CONTAINS, 1)
+
+    def test_mixed_types_rejected(self):
+        index = SortedIndex("C", "a")
+        index.add(obj("x", a=1))
+        index.add(obj("y", a="str"))
+        with pytest.raises(ObjectStoreError):
+            index.probe(Op.LT, 5)
+
+
+class TestIndexManager:
+    def test_create_and_lookup(self):
+        manager = IndexManager()
+        manager.create("C", "a", [obj("x", a=1)], kind="hash")
+        assert manager.get("C", "a") is not None
+        assert manager.get("C", "b") is None
+        assert len(manager) == 1
+
+    def test_best_for_respects_op(self):
+        manager = IndexManager()
+        manager.create("C", "a", [], kind="hash")
+        assert manager.best_for("C", "a", Op.EQ) is not None
+        assert manager.best_for("C", "a", Op.LT) is None
+
+    def test_unknown_kind(self):
+        with pytest.raises(ObjectStoreError):
+            IndexManager().create("C", "a", [], kind="btree")
+
+    def test_maintain_on_insert(self):
+        manager = IndexManager()
+        manager.create("C", "a", [], kind="hash")
+        manager.maintain(obj("x", a=5))
+        index = manager.get("C", "a")
+        assert index.probe(Op.EQ, 5)[0] == [LOid("DB", "x")]
+
+
+def make_db(index_kind=None):
+    schema = ComponentSchema.of(
+        "DB", [ClassDef.of("C", [primitive("a"), primitive("b")])]
+    )
+    db = ComponentDatabase(schema)
+    for i in range(20):
+        db.insert(LocalObject(LOid("DB", f"o{i}"), "C",
+                              {"a": i % 5, "b": i}))
+    db.insert(LocalObject(LOid("DB", "null"), "C", {"a": NULL, "b": 99}))
+    if index_kind:
+        db.create_index("C", "a", kind=index_kind)
+    return db
+
+
+def query(op, operand):
+    pred = Predicate(path=Path.of("a"), op=op, operand=operand)
+    return LocalQuery(
+        db_name="DB", range_class="C", targets=(Path.of("b"),),
+        where=((pred,),),
+    )
+
+
+class TestIndexedExecution:
+    @pytest.mark.parametrize("kind", ["hash", "sorted"])
+    def test_answers_identical_to_scan(self, kind):
+        scan_result = make_db().execute_local(query(Op.EQ, 3))
+        indexed_result = make_db(kind).execute_local(query(Op.EQ, 3))
+        assert {r.loid for r in scan_result.rows} == {
+            r.loid for r in indexed_result.rows
+        }
+        assert {r.loid for r in scan_result.maybe_rows} == {
+            r.loid for r in indexed_result.maybe_rows
+        }
+
+    def test_scan_restricted(self):
+        scan_result = make_db().execute_local(query(Op.EQ, 3))
+        indexed_result = make_db("hash").execute_local(query(Op.EQ, 3))
+        assert scan_result.objects_scanned == 21
+        assert indexed_result.objects_scanned == 5  # 4 matches + 1 null
+        assert indexed_result.index_probe is not None
+        assert indexed_result.index_probe.index_kind == "hash"
+
+    def test_range_uses_sorted_index(self):
+        result = make_db("sorted").execute_local(query(Op.LT, 2))
+        assert result.index_probe is not None
+        # values 0,1 -> 8 objects, + 1 null candidate
+        assert result.objects_scanned == 9
+
+    def test_null_candidate_stays_maybe(self):
+        result = make_db("hash").execute_local(query(Op.EQ, 3))
+        maybe_loids = {r.loid.value for r in result.maybe_rows}
+        assert maybe_loids == {"null"}
+
+    def test_index_ignored_for_dnf(self):
+        pred_a = Predicate(path=Path.of("a"), op=Op.EQ, operand=3)
+        pred_b = Predicate(path=Path.of("b"), op=Op.EQ, operand=0)
+        dnf_query = LocalQuery(
+            db_name="DB", range_class="C", targets=(Path.of("b"),),
+            where=((pred_a,), (pred_b,)),
+        )
+        result = make_db("hash").execute_local(dnf_query)
+        assert result.index_probe is None
+        assert result.objects_scanned == 21
+
+    def test_create_index_validates(self):
+        db = make_db()
+        with pytest.raises(ObjectStoreError):
+            db.create_index("C", "ghost")
+        from repro.errors import UnknownClassError
+
+        with pytest.raises(UnknownClassError):
+            db.create_index("Ghost", "a")
+
+    def test_insert_after_create_is_indexed(self):
+        db = make_db("hash")
+        db.insert(LocalObject(LOid("DB", "new"), "C", {"a": 3, "b": 1}))
+        result = db.execute_local(query(Op.EQ, 3))
+        assert LOid("DB", "new") in {r.loid for r in result.rows}
+
+
+class TestIndexedStrategies:
+    def test_equivalence_with_indexes_everywhere(self):
+        """Indexing every site must not change any strategy's answer."""
+        from helpers import make_workload
+        from repro.core.engine import GlobalQueryEngine
+
+        plain = make_workload(seed=61, scale=0.03)
+        indexed = make_workload(seed=61, scale=0.03)
+        for db in indexed.system.databases.values():
+            for class_name in db.schema.class_names:
+                for attr in db.schema.cls(class_name).primitive_attributes():
+                    db.create_index(class_name, attr.name, kind="sorted")
+        a = GlobalQueryEngine(plain.system).compare(plain.query)
+        b = GlobalQueryEngine(indexed.system).compare(indexed.query)
+        from repro.core.results import same_answers
+
+        for name in ("CA", "BL", "PL"):
+            assert same_answers(a[name].results, b[name].results)

@@ -1,0 +1,96 @@
+"""Unit tests for GOid mapping tables and the replicated catalog."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.integration.mapping import MappingCatalog, MappingTable
+from repro.objectdb.ids import GOid, LOid
+
+
+def l1(v):
+    return LOid("DB1", v)
+
+
+def l2(v):
+    return LOid("DB2", v)
+
+
+class TestMappingTable:
+    def test_add_and_lookup(self):
+        table = MappingTable("Student")
+        table.add(GOid("g1"), l1("s1"))
+        table.add(GOid("g1"), l2("s1'"))
+        assert table.goid_of(l1("s1")) == GOid("g1")
+        assert table.loids_of(GOid("g1")) == {"DB1": l1("s1"), "DB2": l2("s1'")}
+        assert table.loid_in(GOid("g1"), "DB1") == l1("s1")
+        assert table.loid_in(GOid("g1"), "DB9") is None
+
+    def test_idempotent_readd(self):
+        table = MappingTable("Student")
+        table.add(GOid("g1"), l1("s1"))
+        table.add(GOid("g1"), l1("s1"))
+        assert len(table) == 1
+
+    def test_conflicting_loid_in_db_rejected(self):
+        table = MappingTable("Student")
+        table.add(GOid("g1"), l1("s1"))
+        with pytest.raises(MappingError):
+            table.add(GOid("g1"), l1("s2"))
+
+    def test_loid_in_two_goids_rejected(self):
+        table = MappingTable("Student")
+        table.add(GOid("g1"), l1("s1"))
+        with pytest.raises(MappingError):
+            table.add(GOid("g2"), l1("s1"))
+
+    def test_isomeric_objects(self):
+        table = MappingTable("Student")
+        table.add(GOid("g1"), l1("s1"))
+        table.add(GOid("g1"), l2("s1'"))
+        table.add(GOid("g2"), l1("s2"))
+        assert table.isomeric_objects(l1("s1")) == [l2("s1'")]
+        assert table.isomeric_objects(l1("s2")) == []
+        assert table.isomeric_objects(l1("unknown")) == []
+
+    def test_entries_and_goids(self):
+        table = MappingTable("Student")
+        table.add(GOid("g1"), l1("s1"))
+        assert list(table.goids()) == [GOid("g1")]
+        entries = dict(table.entries())
+        assert entries[GOid("g1")] == {"DB1": l1("s1")}
+
+    def test_loids_of_returns_copy(self):
+        table = MappingTable("Student")
+        table.add(GOid("g1"), l1("s1"))
+        copy = table.loids_of(GOid("g1"))
+        copy["DB9"] = l1("fake")
+        assert "DB9" not in table.loids_of(GOid("g1"))
+
+
+class TestMappingCatalog:
+    def test_table_created_on_demand(self):
+        catalog = MappingCatalog()
+        assert "Student" not in catalog
+        table = catalog.table("Student")
+        assert table.global_class == "Student"
+        assert "Student" in catalog
+
+    def test_register_replaces(self):
+        catalog = MappingCatalog()
+        table = MappingTable("Student")
+        table.add(GOid("g1"), l1("s1"))
+        catalog.register(table)
+        assert catalog.goid_of("Student", l1("s1")) == GOid("g1")
+
+    def test_assistants_of(self):
+        catalog = MappingCatalog()
+        table = catalog.table("Student")
+        table.add(GOid("g1"), l1("s1"))
+        table.add(GOid("g1"), l2("s1'"))
+        assert catalog.assistants_of("Student", l1("s1")) == [l2("s1'")]
+
+    def test_tables_iteration(self):
+        catalog = MappingCatalog()
+        catalog.table("A")
+        catalog.table("B")
+        assert {t.global_class for t in catalog.tables()} == {"A", "B"}

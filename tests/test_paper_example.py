@@ -1,0 +1,143 @@
+"""Fidelity tests: the fixture matches the paper's Figures 1-5 data."""
+
+import pytest
+
+from repro.objectdb.ids import GOid, LOid
+from repro.objectdb.values import NULL
+from repro.sqlx import parse_query
+from repro.workload.paper_example import (
+    Q1_TEXT,
+    build_school_federation,
+    expected_q1_answers,
+    figure5_catalog,
+)
+
+
+class TestFigure4Data:
+    """Object instances as printed in Figure 4."""
+
+    def test_db1_counts(self, school):
+        db1 = school.db("DB1")
+        assert db1.count("Student") == 3
+        assert db1.count("Teacher") == 3
+        assert db1.count("Department") == 2
+
+    def test_db2_counts(self, school):
+        db2 = school.db("DB2")
+        assert db2.count("Student") == 3
+        assert db2.count("Teacher") == 2
+        assert db2.count("Address") == 2
+
+    def test_db3_counts(self, school):
+        db3 = school.db("DB3")
+        assert db3.count("Teacher") == 2
+        assert db3.count("Department") == 3
+
+    def test_john_at_db1(self, school):
+        john = school.db("DB1").get(LOid("DB1", "s1"))
+        assert john.get("s-no") == 804301
+        assert john.get("name") == "John"
+        assert john.get("age") == 31
+        assert john.get("advisor") == LOid("DB1", "t1")
+        assert john.get("sex") is NULL  # the '-' in Figure 4(a)
+
+    def test_abel_department_null(self, school):
+        abel = school.db("DB1").get(LOid("DB1", "t2"))
+        assert abel.get("name") == "Abel"
+        assert abel.get("department") is NULL
+
+    def test_john_at_db2(self, school):
+        john = school.db("DB2").get(LOid("DB2", "s2'"))
+        assert john.get("s-no") == 804301
+        assert john.get("sex") == "male"
+        assert john.get("address") == LOid("DB2", "a2'")
+        assert john.get("advisor") == LOid("DB2", "t2'")
+
+    def test_addresses(self, school):
+        a1 = school.db("DB2").get(LOid("DB2", "a1'"))
+        assert a1.get("city") == "Taipei"
+        a2 = school.db("DB2").get(LOid("DB2", "a2'"))
+        assert a2.get("city") == "HsinChu"
+
+    def test_db2_teachers(self, school):
+        kelly = school.db("DB2").get(LOid("DB2", "t1'"))
+        assert kelly.get("name") == "Kelly"
+        assert kelly.get("speciality") == "database"
+        jeffery = school.db("DB2").get(LOid("DB2", "t2'"))
+        assert jeffery.get("speciality") == "network"
+
+    def test_db3_departments(self, school):
+        cs = school.db("DB3").get(LOid("DB3", 'd2"'))
+        assert cs.get("name") == "CS"
+        assert cs.get("location") is NULL
+        ee = school.db("DB3").get(LOid("DB3", 'd1"'))
+        assert ee.get("name") == "EE"
+        assert ee.get("location") == "building E"
+
+    def test_db3_teachers(self, school):
+        abel = school.db("DB3").get(LOid("DB3", 't1"'))
+        assert abel.get("department") == LOid("DB3", 'd1"')  # EE!
+        kelly = school.db("DB3").get(LOid("DB3", 't2"'))
+        assert kelly.get("department") == LOid("DB3", 'd2"')  # CS
+
+
+class TestFigure5Catalog:
+    """GOid mapping tables as printed in Figure 5."""
+
+    @pytest.fixture()
+    def catalog(self):
+        return figure5_catalog()
+
+    def test_student_table(self, catalog):
+        table = catalog.table("Student")
+        assert len(table) == 5
+        assert table.loids_of(GOid("gs1")) == {
+            "DB1": LOid("DB1", "s1"), "DB2": LOid("DB2", "s2'"),
+        }
+        assert table.loids_of(GOid("gs4")) == {"DB2": LOid("DB2", "s1'")}
+
+    def test_teacher_table(self, catalog):
+        table = catalog.table("Teacher")
+        assert len(table) == 4
+        assert table.loids_of(GOid("gt2")) == {
+            "DB1": LOid("DB1", "t2"), "DB3": LOid("DB3", 't1"'),
+        }
+        assert table.loids_of(GOid("gt4")) == {
+            "DB2": LOid("DB2", "t1'"), "DB3": LOid("DB3", 't2"'),
+        }
+
+    def test_department_table(self, catalog):
+        table = catalog.table("Department")
+        assert table.loids_of(GOid("gd1")) == {
+            "DB1": LOid("DB1", "d1"), "DB3": LOid("DB3", 'd2"'),
+        }
+        assert table.loids_of(GOid("gd3")) == {"DB3": LOid("DB3", 'd3"')}
+
+    def test_isomeric_lookup(self, catalog):
+        assert catalog.assistants_of("Teacher", LOid("DB1", "t1")) == [
+            LOid("DB2", "t2'")
+        ]
+        assert catalog.assistants_of("Teacher", LOid("DB1", "t3")) == []
+
+
+class TestFixtureHelpers:
+    def test_q1_text_parses(self):
+        query = parse_query(Q1_TEXT)
+        assert query.range_class == "Student"
+        assert len(query.predicates) == 3
+
+    def test_expected_answers_shape(self):
+        expected = expected_q1_answers()
+        assert expected["certain"] == (("Hedy", "Kelly"),)
+        assert expected["maybe"] == (("Tony", "Haley"),)
+
+    def test_builders_are_independent(self):
+        a = build_school_federation()
+        b = build_school_federation()
+        # Mutating one federation's store must not leak into the other.
+        from repro.objectdb.objects import LocalObject
+
+        a.db("DB1").insert(
+            LocalObject(LOid("DB1", "extra"), "Department", {"name": "XX"})
+        )
+        assert b.db("DB1").count("Department") == 2

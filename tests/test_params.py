@@ -1,0 +1,156 @@
+"""Unit tests for Table 2 parameter modelling and sampling."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload.params import (
+    ClassParams,
+    DbClassParams,
+    WorkloadParams,
+    combined_predicate_selectivity,
+    isomerism_ratio_for,
+    sample_params,
+    table2_rows,
+)
+
+
+class TestSelectivityLaws:
+    def test_r_ps_law(self):
+        assert combined_predicate_selectivity(0) == 1.0
+        assert combined_predicate_selectivity(1) == pytest.approx(0.45)
+        assert combined_predicate_selectivity(4) == pytest.approx(0.45 ** 2)
+
+    def test_r_iso_law(self):
+        assert isomerism_ratio_for(1) == 0.0
+        assert isomerism_ratio_for(3) == pytest.approx(1 - 0.9 ** 2)
+        assert isomerism_ratio_for(8) == pytest.approx(1 - 0.9 ** 7)
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            combined_predicate_selectivity(-1)
+        with pytest.raises(WorkloadError):
+            isomerism_ratio_for(0)
+
+    @given(st.integers(min_value=1, max_value=10))
+    def test_r_ps_decreasing(self, n):
+        assert combined_predicate_selectivity(n + 1) < combined_predicate_selectivity(n)
+
+    @given(st.integers(min_value=2, max_value=12))
+    def test_r_iso_increasing(self, n):
+        assert isomerism_ratio_for(n) > isomerism_ratio_for(n - 1)
+
+
+def tiny_params(n_dbs=2, n_pa=(1, 0), n_p=1):
+    db_names = tuple(f"DB{i+1}" for i in range(n_dbs))
+    per_db = {
+        name: DbClassParams(
+            n_objects=100,
+            n_local_pred_attrs=n_pa[i % len(n_pa)],
+            n_target_attrs=1,
+            r_missing=0.1 if n_pa[i % len(n_pa)] == n_p else 1.0,
+        )
+        for i, name in enumerate(db_names)
+    }
+    return WorkloadParams(
+        db_names=db_names,
+        classes=[ClassParams(n_predicates=n_p, r_referenced=0.8, per_db=per_db)],
+    )
+
+
+class TestParamsStructure:
+    def test_derived_quantities(self):
+        params = tiny_params()
+        assert params.n_dbs == 2
+        assert params.n_classes == 1
+        assert params.r_iso == pytest.approx(0.1)
+        assert params.total_predicates() == 1
+        cls = params.classes[0]
+        assert cls.predicate_selectivity == pytest.approx(0.45)
+        assert cls.local_selectivity("DB1") == pytest.approx(0.45)
+        assert cls.local_selectivity("DB2") == 1.0
+        assert cls.unsolved_count("DB2") == 1
+        assert cls.assistant_selectivity("DB2") == pytest.approx(0.55)
+        assert cls.signature_selectivity("DB2") == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadParams(db_names=(), classes=[])
+        with pytest.raises(WorkloadError):
+            WorkloadParams(db_names=("DB1",), classes=[])
+        with pytest.raises(WorkloadError):
+            DbClassParams(n_objects=-1, n_local_pred_attrs=0,
+                          n_target_attrs=0, r_missing=0.1)
+        with pytest.raises(WorkloadError):
+            DbClassParams(n_objects=1, n_local_pred_attrs=0,
+                          n_target_attrs=0, r_missing=1.5)
+        with pytest.raises(WorkloadError):
+            ClassParams(n_predicates=0, r_referenced=0.0, per_db={})
+
+    def test_missing_db_params_rejected(self):
+        params = tiny_params()
+        with pytest.raises(WorkloadError):
+            WorkloadParams(
+                db_names=("DB1", "DB2", "DB3"), classes=params.classes
+            )
+
+
+class TestSampling:
+    def test_defaults_in_table2_ranges(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            params = sample_params(rng)
+            assert params.n_dbs == 3
+            assert 1 <= params.n_classes <= 4
+            for cls in params.classes:
+                assert 0 <= cls.n_predicates <= 3
+                assert 0.5 <= cls.r_referenced <= 1.0
+                for db_params in cls.per_db.values():
+                    assert 5000 <= db_params.n_objects <= 6000
+                    assert 0 <= db_params.n_local_pred_attrs <= cls.n_predicates
+                    assert 0 <= db_params.n_target_attrs <= 2
+                    if cls.n_predicates > db_params.n_local_pred_attrs:
+                        assert db_params.r_missing <= 0.2  # clamped for generation
+                    else:
+                        assert 0.0 <= db_params.r_missing <= 0.2
+
+    def test_at_least_one_predicate(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            assert sample_params(rng).total_predicates() >= 1
+
+    def test_deterministic_given_rng(self):
+        a = sample_params(random.Random(42))
+        b = sample_params(random.Random(42))
+        assert a.db_names == b.db_names
+        assert [c.n_predicates for c in a.classes] == [
+            c.n_predicates for c in b.classes
+        ]
+
+    def test_local_pred_attr_bias(self):
+        rng = random.Random(2)
+        params = sample_params(rng, local_pred_attr_bias=1.0)
+        for cls in params.classes:
+            for db_params in cls.per_db.values():
+                assert db_params.n_local_pred_attrs == cls.n_predicates
+
+    def test_custom_ranges(self):
+        rng = random.Random(3)
+        params = sample_params(rng, n_dbs=5, n_objects_range=(10, 20))
+        assert params.n_dbs == 5
+        for cls in params.classes:
+            for db_params in cls.per_db.values():
+                assert 10 <= db_params.n_objects <= 20
+
+
+class TestTable2Rows:
+    def test_row_names(self):
+        names = [row[0] for row in table2_rows()]
+        assert "N_db" in names
+        assert "R_ps^k" in names
+        assert "R_ss^{i,k}" in names
+        assert len(names) == 14

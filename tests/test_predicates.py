@@ -1,0 +1,199 @@
+"""Unit tests for three-valued predicate evaluation over object graphs."""
+
+import pytest
+
+from repro.core.predicates import (
+    EvalMeter,
+    compare_values,
+    evaluate_conjunction,
+    evaluate_dnf,
+    evaluate_predicate,
+    walk_path,
+)
+from repro.core.query import Op, Path, Predicate
+from repro.core.tvl import TV
+from repro.errors import QueryError
+from repro.objectdb.ids import LOid
+from repro.objectdb.objects import LocalObject
+from repro.objectdb.values import MultiValue, NULL
+
+
+def obj(name, **values):
+    return LocalObject(loid=LOid("DB", name), class_name="C", values=values)
+
+
+def make_deref(*objects):
+    index = {o.loid: o for o in objects}
+    return lambda ref: index.get(ref)
+
+
+class TestCompareValues:
+    def test_null_is_unknown(self):
+        assert compare_values(Op.EQ, NULL, 1) is TV.UNKNOWN
+        assert compare_values(Op.LT, NULL, 1) is TV.UNKNOWN
+
+    def test_eq_ne(self):
+        assert compare_values(Op.EQ, 1, 1) is TV.TRUE
+        assert compare_values(Op.EQ, 1, 2) is TV.FALSE
+        assert compare_values(Op.NE, 1, 2) is TV.TRUE
+
+    def test_orderings(self):
+        assert compare_values(Op.LT, 1, 2) is TV.TRUE
+        assert compare_values(Op.LE, 2, 2) is TV.TRUE
+        assert compare_values(Op.GT, 3, 2) is TV.TRUE
+        assert compare_values(Op.GE, 1, 2) is TV.FALSE
+
+    def test_cross_type_eq_is_false(self):
+        assert compare_values(Op.EQ, "a", 1) is TV.FALSE
+
+    def test_cross_type_ordering_raises(self):
+        with pytest.raises(QueryError):
+            compare_values(Op.LT, "a", 1)
+
+    def test_multivalue_existential(self):
+        mv = MultiValue([1, 5])
+        assert compare_values(Op.EQ, mv, 5) is TV.TRUE
+        assert compare_values(Op.EQ, mv, 7) is TV.FALSE
+        assert compare_values(Op.LT, mv, 2) is TV.TRUE
+
+    def test_multivalue_contains(self):
+        mv = MultiValue(["a", "b"])
+        assert compare_values(Op.CONTAINS, mv, "a") is TV.TRUE
+        assert compare_values(Op.CONTAINS, mv, "z") is TV.FALSE
+
+    def test_contains_on_scalar_raises(self):
+        with pytest.raises(QueryError):
+            compare_values(Op.CONTAINS, "a", "a")
+
+    def test_empty_multivalue_is_unknown(self):
+        assert compare_values(Op.EQ, MultiValue([]), 1) is TV.UNKNOWN
+
+    def test_meter_counts(self):
+        meter = EvalMeter()
+        compare_values(Op.EQ, 1, 1, meter)
+        assert meter.comparisons == 1
+
+
+class TestWalkPath:
+    def test_direct_attribute(self):
+        walk = walk_path(obj("a", x=5), Path.parse("x"), make_deref())
+        assert walk.value == 5
+        assert not walk.is_missing
+
+    def test_nested(self):
+        target = obj("t", y=7)
+        root = obj("r", ref=target.loid)
+        walk = walk_path(root, Path.parse("ref.y"), make_deref(target))
+        assert walk.value == 7
+        assert [o.loid.value for o in walk.visited] == ["r", "t"]
+
+    def test_missing_attribute_on_root(self):
+        walk = walk_path(obj("a"), Path.parse("x"), make_deref())
+        assert walk.is_missing
+        assert walk.missing.attribute == "x"
+        assert walk.missing.depth == 0
+        assert walk.missing.holder_id == LOid("DB", "a")
+
+    def test_null_intermediate_blames_holder(self):
+        root = obj("r", ref=NULL)
+        walk = walk_path(root, Path.parse("ref.y"), make_deref())
+        assert walk.is_missing
+        assert walk.missing.attribute == "ref"
+        assert walk.missing.depth == 0
+
+    def test_missing_on_branch_object(self):
+        target = obj("t")  # y missing
+        root = obj("r", ref=target.loid)
+        walk = walk_path(root, Path.parse("ref.y"), make_deref(target))
+        assert walk.is_missing
+        assert walk.missing.holder_id == target.loid
+        assert walk.missing.depth == 1
+
+    def test_dangling_reference_is_missing(self):
+        root = obj("r", ref=LOid("DB", "gone"))
+        walk = walk_path(root, Path.parse("ref.y"), make_deref())
+        assert walk.is_missing
+        assert walk.missing.holder_id == root.loid
+
+    def test_primitive_midpath_raises(self):
+        root = obj("r", x=1)
+        with pytest.raises(QueryError):
+            walk_path(root, Path.parse("x.y"), make_deref())
+
+    def test_meter_derefs(self):
+        target = obj("t", y=1)
+        root = obj("r", ref=target.loid)
+        meter = EvalMeter()
+        walk_path(root, Path.parse("ref.y"), make_deref(target), meter)
+        assert meter.derefs == 1
+
+
+class TestEvaluatePredicate:
+    def test_true(self):
+        outcome = evaluate_predicate(
+            obj("a", x=5), Predicate.of("x", "=", 5), make_deref()
+        )
+        assert outcome.tv is TV.TRUE
+        assert outcome.missing is None
+
+    def test_false(self):
+        outcome = evaluate_predicate(
+            obj("a", x=5), Predicate.of("x", "=", 6), make_deref()
+        )
+        assert outcome.tv is TV.FALSE
+
+    def test_unknown_carries_location(self):
+        outcome = evaluate_predicate(
+            obj("a"), Predicate.of("x", "=", 6), make_deref()
+        )
+        assert outcome.tv is TV.UNKNOWN
+        assert outcome.missing is not None
+
+
+class TestConjunctionAndDnf:
+    def test_conjunction_unsolved(self):
+        o = obj("a", x=5)
+        preds = [Predicate.of("x", "=", 5), Predicate.of("y", "=", 1)]
+        outcome = evaluate_conjunction(o, preds, make_deref())
+        assert outcome.tv is TV.UNKNOWN
+        assert [u.predicate.path.first for u in outcome.unsolved] == ["y"]
+
+    def test_conjunction_short_circuit(self):
+        o = obj("a", x=5)
+        preds = [Predicate.of("x", "=", 0), Predicate.of("y", "=", 1)]
+        outcome = evaluate_conjunction(o, preds, make_deref(), short_circuit=True)
+        assert outcome.tv is TV.FALSE
+        assert len(outcome.outcomes) == 1
+
+    def test_empty_dnf_is_true(self):
+        assert evaluate_dnf(obj("a"), (), make_deref()).tv is TV.TRUE
+
+    def test_dnf_any_true(self):
+        o = obj("a", x=5)
+        where = (
+            (Predicate.of("x", "=", 0),),
+            (Predicate.of("x", "=", 5),),
+        )
+        assert evaluate_dnf(o, where, make_deref()).tv is TV.TRUE
+
+    def test_dnf_unknown_collects_unsolved(self):
+        o = obj("a", x=5)
+        where = (
+            (Predicate.of("x", "=", 0),),        # FALSE disjunct
+            (Predicate.of("y", "=", 1),),        # UNKNOWN disjunct
+        )
+        outcome = evaluate_dnf(o, where, make_deref())
+        assert outcome.tv is TV.UNKNOWN
+        assert [u.predicate.path.first for u in outcome.unsolved] == ["y"]
+
+    def test_dnf_all_false(self):
+        o = obj("a", x=5)
+        where = ((Predicate.of("x", "=", 0),), (Predicate.of("x", "=", 1),))
+        assert evaluate_dnf(o, where, make_deref()).tv is TV.FALSE
+
+    def test_unsolved_empty_when_true(self):
+        o = obj("a", x=5)
+        where = ((Predicate.of("x", "=", 5),), (Predicate.of("y", "=", 1),))
+        outcome = evaluate_dnf(o, where, make_deref())
+        assert outcome.tv is TV.TRUE
+        assert outcome.unsolved == ()

@@ -1,0 +1,171 @@
+"""Property tests: monotonicity of the certification rule.
+
+Information can only sharpen an answer, never corrupt it:
+
+* adding SATISFIED verdicts can promote maybes to certain but can never
+  eliminate an entity nor demote a certain result;
+* adding VIOLATED verdicts can eliminate maybes but can never promote;
+* adding UNKNOWN verdicts changes nothing.
+
+Fuzzes random verdict subsets over a fixed local-results scenario.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.certification import (
+    SATISFIED,
+    UNKNOWN_VERDICT,
+    VIOLATED,
+    VerdictIndex,
+    certify,
+)
+from repro.core.query import Path, Predicate, Query
+from repro.core.tvl import TV
+from repro.integration.global_schema import ClassCorrespondence, integrate_schemas
+from repro.integration.isomerism import table_from_correspondences
+from repro.integration.mapping import MappingCatalog
+from repro.objectdb.ids import GOid, LOid
+from repro.objectdb.local_query import (
+    LocalResultRow,
+    LocalResultSet,
+    RowKind,
+    UnsolvedItem,
+    UnsolvedPredicateOnObject,
+)
+from repro.objectdb.schema import ClassDef, ComponentSchema, complex_attr, primitive
+
+N_ENTITIES = 5
+
+PRED = Predicate.of("ref.x", "=", 1)
+RELATIVE = Predicate.of("x", "=", 1)
+QUERY = Query.conjunctive("S", ["k"], [PRED])
+
+
+def build_scenario():
+    """One site, N maybe rows, each with one unsolved item that has one
+    assistant at another site."""
+    db1 = ComponentSchema.of(
+        "DB1",
+        [ClassDef.of("S", [primitive("k"), complex_attr("ref", "T")]),
+         ClassDef.of("T", [primitive("k"), primitive("x")])],
+    )
+    db2 = ComponentSchema.of(
+        "DB2",
+        [ClassDef.of("S", [primitive("k"), complex_attr("ref", "T")]),
+         ClassDef.of("T", [primitive("k"), primitive("x")])],
+    )
+    global_schema = integrate_schemas(
+        {"DB1": db1, "DB2": db2},
+        [
+            ClassCorrespondence.of("S", [("DB1", "S"), ("DB2", "S")], "k"),
+            ClassCorrespondence.of("T", [("DB1", "T"), ("DB2", "T")], "k"),
+        ],
+    )
+    catalog = MappingCatalog()
+    catalog.register(table_from_correspondences(
+        "S", [(GOid(f"gs{i}"), [LOid("DB1", f"s{i}")]) for i in range(N_ENTITIES)]
+    ))
+    catalog.register(table_from_correspondences(
+        "T",
+        [
+            (GOid(f"gt{i}"), [LOid("DB1", f"t{i}"), LOid("DB2", f"t{i}x")])
+            for i in range(N_ENTITIES)
+        ],
+    ))
+    rows = []
+    for i in range(N_ENTITIES):
+        item = UnsolvedItem(
+            loid=LOid("DB1", f"t{i}"),
+            class_name="T",
+            reached_via=Path.parse("ref"),
+            unsolved=(
+                UnsolvedPredicateOnObject(
+                    original=PRED, relative_path=Path.parse("x")
+                ),
+            ),
+        )
+        rows.append(
+            LocalResultRow(
+                loid=LOid("DB1", f"s{i}"),
+                class_name="S",
+                kind=RowKind.MAYBE,
+                unsolved_items=(item,),
+                predicate_status={PRED: TV.UNKNOWN},
+            )
+        )
+    local = {"DB1": LocalResultSet(db_name="DB1", range_class="S", rows=rows)}
+    return global_schema, catalog, local
+
+
+SCENARIO = build_scenario()
+
+verdict_assignment = st.dictionaries(
+    st.integers(min_value=0, max_value=N_ENTITIES - 1),
+    st.sampled_from([SATISFIED, VIOLATED, UNKNOWN_VERDICT]),
+    max_size=N_ENTITIES,
+)
+
+
+def run(assignment):
+    global_schema, catalog, local = SCENARIO
+    verdicts = VerdictIndex()
+    for index, verdict in assignment.items():
+        verdicts.add(LOid("DB2", f"t{index}x"), RELATIVE, verdict)
+    answer = certify(QUERY, global_schema, catalog, local, verdicts)
+    return (
+        {r.goid.value for r in answer.certain},
+        {r.goid.value for r in answer.maybe},
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(verdict_assignment)
+def test_partition_matches_verdicts(assignment):
+    certain, maybe = run(assignment)
+    for i in range(N_ENTITIES):
+        name = f"gs{i}"
+        verdict = assignment.get(i)
+        if verdict == SATISFIED:
+            assert name in certain
+        elif verdict == VIOLATED:
+            assert name not in certain and name not in maybe
+        else:
+            assert name in maybe
+
+
+@settings(max_examples=80, deadline=None)
+@given(verdict_assignment, st.integers(min_value=0, max_value=N_ENTITIES - 1))
+def test_satisfied_monotone(assignment, extra):
+    """Adding one SATISFIED verdict never shrinks the answer set."""
+    base_certain, base_maybe = run(assignment)
+    upgraded = dict(assignment)
+    if upgraded.get(extra) == VIOLATED:
+        return  # violation precedence: not an information *addition*
+    upgraded[extra] = SATISFIED
+    new_certain, new_maybe = run(upgraded)
+    assert base_certain <= new_certain
+    assert new_certain | new_maybe >= base_certain | base_maybe - {f"gs{extra}"} | {f"gs{extra}"}
+
+
+@settings(max_examples=80, deadline=None)
+@given(verdict_assignment, st.integers(min_value=0, max_value=N_ENTITIES - 1))
+def test_violated_never_promotes(assignment, extra):
+    upgraded = dict(assignment)
+    upgraded[extra] = VIOLATED
+    certain, maybe = run(upgraded)
+    assert f"gs{extra}" not in certain
+    assert f"gs{extra}" not in maybe
+
+
+@settings(max_examples=40, deadline=None)
+@given(verdict_assignment)
+def test_unknown_equals_absent(assignment):
+    """UNKNOWN verdicts are equivalent to no verdict at all."""
+    stripped = {
+        index: verdict
+        for index, verdict in assignment.items()
+        if verdict != UNKNOWN_VERDICT
+    }
+    assert run(assignment) == run(stripped)

@@ -1,0 +1,168 @@
+"""Unit tests for the query model (Path, Predicate, Query)."""
+
+import pytest
+
+from repro.core.query import Op, Path, Predicate, Query
+from repro.errors import QueryError
+from repro.objectdb.schema import ClassDef, Schema, complex_attr, primitive
+
+
+def chain_schema() -> Schema:
+    return Schema(
+        [
+            ClassDef.of(
+                "A",
+                [primitive("x"), primitive("tags", multi_valued=True),
+                 complex_attr("ref", "B")],
+            ),
+            ClassDef.of("B", [primitive("y"), complex_attr("ref", "C")]),
+            ClassDef.of("C", [primitive("z")]),
+        ]
+    )
+
+
+class TestPath:
+    def test_parse(self):
+        assert Path.parse("a.b.c").steps == ("a", "b", "c")
+
+    def test_of(self):
+        assert Path.of("a", "b") == Path(("a", "b"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            Path(())
+        with pytest.raises(QueryError):
+            Path.parse("")
+
+    def test_invalid_steps_rejected(self):
+        with pytest.raises(QueryError):
+            Path(("a", ""))
+
+    def test_nested_flags(self):
+        assert Path.parse("a.b").is_nested
+        assert not Path.parse("a").is_nested
+
+    def test_prefix(self):
+        assert Path.parse("a.b.c").prefix == Path.parse("a.b")
+        with pytest.raises(QueryError):
+            _ = Path.parse("a").prefix
+
+    def test_accessors(self):
+        path = Path.parse("a.b.c")
+        assert path.first == "a"
+        assert path.last == "c"
+        assert len(path) == 3
+        assert str(path) == "a.b.c"
+
+    def test_ordering_and_hash(self):
+        assert Path.parse("a.b") < Path.parse("a.c")
+        assert len({Path.parse("a"), Path.parse("a")}) == 1
+
+
+class TestPredicate:
+    def test_of_with_string_op(self):
+        pred = Predicate.of("ref.y", "=", 5)
+        assert pred.op is Op.EQ
+        assert pred.path == Path.parse("ref.y")
+
+    def test_of_with_enum_op(self):
+        assert Predicate.of("x", Op.LT, 5).op is Op.LT
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(QueryError):
+            Predicate.of("x", "~", 5)
+
+    def test_str(self):
+        assert str(Predicate.of("x", "<", 5)) == "x < 5"
+
+
+class TestQueryConstruction:
+    def test_conjunctive(self):
+        query = Query.conjunctive("A", ["x", "ref.y"], [Predicate.of("x", "=", 1)])
+        assert query.is_conjunctive
+        assert query.predicates == (Predicate.of("x", "=", 1),)
+        assert query.targets == (Path.parse("x"), Path.parse("ref.y"))
+
+    def test_conjunctive_no_predicates(self):
+        query = Query.conjunctive("A", ["x"])
+        assert query.where == ()
+        assert query.predicates == ()
+
+    def test_disjunctive(self):
+        query = Query.disjunctive(
+            "A",
+            ["x"],
+            [[Predicate.of("x", "=", 1)], [Predicate.of("ref.y", "=", 2)]],
+        )
+        assert not query.is_conjunctive
+        with pytest.raises(QueryError):
+            _ = query.predicates
+
+    def test_all_predicates_dedupes(self):
+        p = Predicate.of("x", "=", 1)
+        q = Predicate.of("ref.y", "=", 2)
+        query = Query.disjunctive("A", ["x"], [[p, q], [p]])
+        assert query.all_predicates() == (p, q)
+
+    def test_all_paths_dedupes(self):
+        query = Query.conjunctive("A", ["x", "x"], [Predicate.of("x", "=", 1)])
+        assert query.all_paths() == (Path.parse("x"),)
+
+
+class TestQueryValidation:
+    def test_valid(self):
+        query = Query.conjunctive(
+            "A", ["x"], [Predicate.of("ref.ref.z", "=", 1)]
+        )
+        query.validate(chain_schema())
+
+    def test_unknown_range_class(self):
+        query = Query.conjunctive("Nope", ["x"])
+        with pytest.raises(QueryError):
+            query.validate(chain_schema())
+
+    def test_bad_path(self):
+        query = Query.conjunctive("A", ["nope"])
+        with pytest.raises(QueryError):
+            query.validate(chain_schema())
+
+    def test_predicate_on_complex_attribute_rejected(self):
+        query = Query.conjunctive("A", ["x"], [Predicate.of("ref", "=", 1)])
+        with pytest.raises(QueryError):
+            query.validate(chain_schema())
+
+    def test_contains_requires_multivalued(self):
+        bad = Query.conjunctive("A", ["x"], [Predicate.of("x", "contains", 1)])
+        with pytest.raises(QueryError):
+            bad.validate(chain_schema())
+        good = Query.conjunctive("A", ["x"], [Predicate.of("tags", "contains", 1)])
+        good.validate(chain_schema())
+
+
+class TestBranchClasses:
+    def test_simple(self):
+        query = Query.conjunctive("A", ["x"], [Predicate.of("ref.ref.z", "=", 1)])
+        assert query.branch_classes(chain_schema()) == ("B", "C")
+
+    def test_no_branches(self):
+        query = Query.conjunctive("A", ["x"])
+        assert query.branch_classes(chain_schema()) == ()
+
+    def test_projected_complex_target(self):
+        query = Query.conjunctive("A", ["ref"])
+        assert query.branch_classes(chain_schema()) == ("B",)
+
+
+class TestQueryStr:
+    def test_conjunctive_str(self):
+        query = Query.conjunctive("A", ["x"], [Predicate.of("x", "<", 5)])
+        assert str(query) == "Select X.x From A X Where X.x < 5"
+
+    def test_no_where(self):
+        assert str(Query.conjunctive("A", ["x"])) == "Select X.x From A X"
+
+    def test_disjunctive_str(self):
+        query = Query.disjunctive(
+            "A", ["x"], [[Predicate.of("x", "=", 1)], [Predicate.of("x", "=", 2)]]
+        )
+        assert "or" in str(query)

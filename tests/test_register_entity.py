@@ -1,0 +1,112 @@
+"""Tests for DistributedSystem.register_entity (dynamic federation growth)."""
+
+import pytest
+
+from repro.core.engine import GlobalQueryEngine
+from repro.errors import SchemaError
+from repro.objectdb.ids import GOid, LOid
+from repro.objectdb.values import NULL
+from repro.workload.paper_example import Q1_TEXT
+
+
+class TestRegistration:
+    def test_copies_stored_per_site_projection(self, school):
+        goid = school.register_entity(
+            "Student",
+            {
+                "DB1": {"s-no": 900001, "name": "Zoe", "age": 22,
+                        "advisor": GOid("gt4")},
+                "DB2": {"s-no": 900001, "name": "Zoe",
+                        "address": LOid("DB2", "a1'"),
+                        "advisor": GOid("gt4")},
+            },
+        )
+        copies = school.catalog.table("Student").loids_of(goid)
+        assert set(copies) == {"DB1", "DB2"}
+        db1_obj = school.db("DB1").get(copies["DB1"])
+        # age stored at DB1; address silently skipped (missing attribute).
+        assert db1_obj.get("age") == 22
+        assert db1_obj.get("address") is NULL
+        db2_obj = school.db("DB2").get(copies["DB2"])
+        assert db2_obj.get("address") == LOid("DB2", "a1'")
+        assert db2_obj.get("age") is NULL
+
+    def test_goid_references_translated_per_site(self, school):
+        goid = school.register_entity(
+            "Student",
+            {
+                "DB1": {"s-no": 900002, "name": "Kai", "advisor": GOid("gt4")},
+                "DB2": {"s-no": 900002, "name": "Kai", "advisor": GOid("gt4")},
+            },
+        )
+        copies = school.catalog.table("Student").loids_of(goid)
+        # gt4 = Kelly: t1' at DB2, t2'' at DB3, nothing at DB1.
+        assert school.db("DB1").get(copies["DB1"]).get("advisor") is NULL
+        assert school.db("DB2").get(copies["DB2"]).get("advisor") == LOid(
+            "DB2", "t1'"
+        )
+
+    def test_registered_entity_is_queryable(self, school):
+        school.register_entity(
+            "Student",
+            {
+                "DB2": {
+                    "s-no": 900003,
+                    "name": "Ada",
+                    "address": LOid("DB2", "a1'"),   # Taipei
+                    "advisor": LOid("DB2", "t1'"),   # Kelly, database
+                },
+            },
+        )
+        engine = GlobalQueryEngine(school)
+        outcomes = engine.compare(Q1_TEXT)
+        certain_names = {
+            row[0] for row in outcomes["CA"].results.certain_rows()
+        }
+        # Ada satisfies city + speciality; department unknown at DB2 but
+        # Kelly's DB3 copy certifies it -> certain.
+        assert "Ada" in certain_names
+
+    def test_explicit_goid(self, school):
+        goid = school.register_entity(
+            "Student",
+            {"DB1": {"s-no": 900004, "name": "Eve"}},
+            goid=GOid("gs-eve"),
+        )
+        assert goid == GOid("gs-eve")
+        assert school.catalog.table("Student").loids_of(goid)
+
+    def test_signatures_maintained(self, school):
+        school.build_signatures()
+        goid = school.register_entity(
+            "Teacher",
+            {"DB2": {"name": "Noor", "speciality": "database"}},
+        )
+        loid = school.catalog.table("Teacher").loid_in(goid, "DB2")
+        assert school.signatures.lookup("Teacher", loid) is not None
+
+
+class TestRegistrationErrors:
+    def test_unknown_global_class(self, school):
+        with pytest.raises(SchemaError):
+            school.register_entity("Ghost", {"DB1": {}})
+
+    def test_empty_copies(self, school):
+        with pytest.raises(SchemaError):
+            school.register_entity("Student", {})
+
+    def test_site_without_constituent(self, school):
+        with pytest.raises(SchemaError):
+            school.register_entity("Student", {"DB3": {"s-no": 1}})
+
+    def test_unknown_attribute(self, school):
+        with pytest.raises(SchemaError):
+            school.register_entity(
+                "Student", {"DB1": {"s-no": 1, "gpa": 4.0}}
+            )
+
+    def test_goid_into_primitive(self, school):
+        with pytest.raises(SchemaError):
+            school.register_entity(
+                "Student", {"DB1": {"s-no": 1, "name": GOid("gt1")}}
+            )

@@ -1,0 +1,111 @@
+"""Unit tests for replicated mapping-table maintenance."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.integration.replication import ReplicatedCatalog
+from repro.objectdb.ids import GOid, LOid
+from repro.workload.paper_example import figure5_catalog
+
+
+def l1(v):
+    return LOid("DB1", v)
+
+
+class TestEagerReplication:
+    def test_record_propagates_immediately(self):
+        rc = ReplicatedCatalog(["DB1", "DB2"])
+        rc.record("S", GOid("g1"), l1("s1"))
+        for site in ("DB1", "DB2"):
+            assert rc.replica(site).goid_of("S", l1("s1")) == GOid("g1")
+        assert rc.verify_consistent()
+
+    def test_conflicting_update_rejected_at_primary(self):
+        rc = ReplicatedCatalog(["DB1"])
+        rc.record("S", GOid("g1"), l1("s1"))
+        with pytest.raises(MappingError):
+            rc.record("S", GOid("g2"), l1("s1"))
+        assert rc.verify_consistent()  # failed update never hits the log
+
+
+class TestBatchedReplication:
+    def test_pending_and_sync(self):
+        rc = ReplicatedCatalog(["DB1", "DB2"], eager=False)
+        rc.record("S", GOid("g1"), l1("s1"))
+        rc.record("S", GOid("g2"), l1("s2"))
+        assert rc.pending("DB1") == 2
+        assert not rc.verify_consistent()
+        report = rc.sync()
+        assert report.updates == 4  # 2 updates x 2 sites
+        assert report.sites == 2
+        assert rc.pending("DB1") == 0
+        assert rc.verify_consistent()
+
+    def test_partial_sync(self):
+        rc = ReplicatedCatalog(["DB1", "DB2"], eager=False)
+        rc.record("S", GOid("g1"), l1("s1"))
+        rc.sync(sites=["DB1"])
+        assert rc.pending("DB1") == 0
+        assert rc.pending("DB2") == 1
+        assert not rc.verify_consistent()
+        rc.sync()
+        assert rc.verify_consistent()
+
+    def test_sync_idempotent(self):
+        rc = ReplicatedCatalog(["DB1"], eager=False)
+        rc.record("S", GOid("g1"), l1("s1"))
+        rc.sync()
+        report = rc.sync()
+        assert report.updates == 0
+        assert report.seconds_network == 0.0
+
+
+class TestCosts:
+    def test_propagation_bytes_and_time(self):
+        rc = ReplicatedCatalog(["DB1", "DB2", "DB3"], eager=False)
+        for i in range(10):
+            rc.record("S", GOid(f"g{i}"), l1(f"s{i}"))
+        report = rc.sync()
+        per_update = 16 + 16 + 32  # GOid + LOid + class tag
+        assert report.bytes_per_site == 10 * per_update
+        assert report.total_bytes == 3 * 10 * per_update
+        assert report.seconds_network == pytest.approx(
+            report.total_bytes * 8e-6
+        )
+
+
+class TestBulkLoad:
+    def test_figure5_load(self):
+        rc = ReplicatedCatalog(["DB1", "DB2", "DB3"], eager=False)
+        report = rc.bulk_load(figure5_catalog())
+        assert report.updates > 0
+        assert rc.verify_consistent()
+        # Replicas answer exactly like the source catalog.
+        source = figure5_catalog()
+        replica = rc.replica("DB2")
+        assert replica.goid_of("Teacher", LOid("DB2", "t1'")) == GOid("gt4")
+        assert (
+            replica.assistants_of("Teacher", LOid("DB1", "t2"))
+            == source.assistants_of("Teacher", LOid("DB1", "t2"))
+        )
+
+    def test_log_length(self):
+        rc = ReplicatedCatalog(["DB1"], eager=False)
+        rc.bulk_load(figure5_catalog())
+        # Figure 5 holds 20 (GOid, LOid) pairs across its four tables.
+        assert rc.log_length == 20
+
+
+class TestErrors:
+    def test_no_sites_rejected(self):
+        with pytest.raises(MappingError):
+            ReplicatedCatalog([])
+
+    def test_unknown_site(self):
+        rc = ReplicatedCatalog(["DB1"])
+        with pytest.raises(MappingError):
+            rc.replica("DB9")
+        with pytest.raises(MappingError):
+            rc.pending("DB9")
+        with pytest.raises(MappingError):
+            rc.sync(sites=["DB9"])

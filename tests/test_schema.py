@@ -1,0 +1,157 @@
+"""Unit tests for schemas, attributes and path resolution."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownAttributeError, UnknownClassError
+from repro.objectdb.schema import (
+    AttrKind,
+    AttributeDef,
+    ClassDef,
+    ComponentSchema,
+    Schema,
+    complex_attr,
+    missing_attributes,
+    primitive,
+)
+
+
+def school_db1_schema() -> Schema:
+    return Schema(
+        [
+            ClassDef.of(
+                "Student",
+                [
+                    primitive("name"),
+                    complex_attr("advisor", "Teacher"),
+                ],
+            ),
+            ClassDef.of(
+                "Teacher",
+                [primitive("name"), complex_attr("department", "Department")],
+            ),
+            ClassDef.of("Department", [primitive("name")]),
+        ]
+    )
+
+
+class TestAttributeDef:
+    def test_complex_requires_domain(self):
+        with pytest.raises(SchemaError):
+            AttributeDef(name="x", kind=AttrKind.COMPLEX)
+
+    def test_primitive_rejects_domain(self):
+        with pytest.raises(SchemaError):
+            AttributeDef(name="x", kind=AttrKind.PRIMITIVE, domain="Y")
+
+    def test_helpers(self):
+        assert not primitive("a").is_complex
+        assert complex_attr("r", "C").is_complex
+        assert complex_attr("r", "C").domain == "C"
+
+    def test_multi_valued_flag(self):
+        assert primitive("a", multi_valued=True).multi_valued
+        assert not primitive("a").multi_valued
+
+
+class TestClassDef:
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            ClassDef.of("C", [primitive("a"), primitive("a")])
+
+    def test_lookup(self):
+        cdef = ClassDef.of("C", [primitive("a"), complex_attr("r", "D")])
+        assert cdef.has_attribute("a")
+        assert not cdef.has_attribute("z")
+        assert cdef.attribute("r").domain == "D"
+        with pytest.raises(UnknownAttributeError):
+            cdef.attribute("z")
+
+    def test_partitions(self):
+        cdef = ClassDef.of("C", [primitive("a"), complex_attr("r", "D")])
+        assert [a.name for a in cdef.primitive_attributes()] == ["a"]
+        assert [a.name for a in cdef.complex_attributes()] == ["r"]
+        assert cdef.attribute_names() == ["a", "r"]
+
+
+class TestSchema:
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([ClassDef.of("C", []), ClassDef.of("C", [])])
+
+    def test_undefined_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([ClassDef.of("C", [complex_attr("r", "Nowhere")])])
+
+    def test_contains_and_lookup(self):
+        schema = school_db1_schema()
+        assert "Student" in schema
+        assert "Nope" not in schema
+        assert schema.cls("Teacher").name == "Teacher"
+        with pytest.raises(UnknownClassError):
+            schema.cls("Nope")
+        assert len(schema) == 3
+        assert set(schema.class_names) == {"Student", "Teacher", "Department"}
+
+
+class TestPathResolution:
+    def test_single_step(self):
+        schema = school_db1_schema()
+        chain = schema.resolve_path("Student", ("name",))
+        assert len(chain) == 1 and chain[0].name == "name"
+
+    def test_nested(self):
+        schema = school_db1_schema()
+        chain = schema.resolve_path("Student", ("advisor", "department", "name"))
+        assert [a.name for a in chain] == ["advisor", "department", "name"]
+
+    def test_final_complex_allowed(self):
+        schema = school_db1_schema()
+        chain = schema.resolve_path("Student", ("advisor",))
+        assert chain[0].is_complex
+
+    def test_primitive_midpath_rejected(self):
+        schema = school_db1_schema()
+        with pytest.raises(SchemaError):
+            schema.resolve_path("Student", ("name", "x"))
+
+    def test_unknown_step_rejected(self):
+        schema = school_db1_schema()
+        with pytest.raises(UnknownAttributeError):
+            schema.resolve_path("Student", ("advisor", "salary"))
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(SchemaError):
+            school_db1_schema().resolve_path("Student", ())
+
+    def test_classes_on_path(self):
+        schema = school_db1_schema()
+        assert schema.classes_on_path(
+            "Student", ("advisor", "department", "name")
+        ) == ["Student", "Teacher", "Department"]
+        assert schema.classes_on_path("Student", ("name",)) == ["Student"]
+
+
+class TestComponentSchema:
+    def test_of(self):
+        cs = ComponentSchema.of("DB1", [ClassDef.of("C", [primitive("a")])])
+        assert cs.db_name == "DB1"
+        assert "C" in cs
+        assert cs.cls("C").has_attribute("a")
+        assert cs.class_names == ["C"]
+
+
+class TestMissingAttributes:
+    def test_union_minus_local(self):
+        global_attrs = {
+            "a": primitive("a"),
+            "b": primitive("b"),
+            "r": complex_attr("r", "D"),
+        }
+        local = ClassDef.of("C", [primitive("a")])
+        missing = missing_attributes(global_attrs, local)
+        assert {m.name for m in missing} == {"b", "r"}
+
+    def test_nothing_missing(self):
+        global_attrs = {"a": primitive("a")}
+        local = ClassDef.of("C", [primitive("a")])
+        assert missing_attributes(global_attrs, local) == []

@@ -1,0 +1,120 @@
+"""Round-trip tests for federation serialization."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from helpers import make_workload
+from repro.core.engine import GlobalQueryEngine
+from repro.core.results import same_answers
+from repro.errors import ObjectStoreError
+from repro.objectdb.ids import GOid, LOid
+from repro.objectdb.serialize import (
+    decode_value,
+    encode_value,
+    federation_from_dict,
+    federation_to_dict,
+    load_federation,
+    save_federation,
+)
+from repro.objectdb.values import MultiValue, NULL
+from repro.workload.paper_example import Q1_TEXT, build_school_federation
+
+
+class TestValueRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            NULL,
+            1,
+            2.5,
+            "text",
+            True,
+            LOid("DB1", "s1"),
+            GOid("gs1"),
+            MultiValue([1, 2]),
+            MultiValue([LOid("DB1", "x"), "y"]),
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_json_compatible(self):
+        encoded = encode_value(MultiValue([NULL, 1, LOid("A", "b")]))
+        json.dumps(encoded)  # must not raise
+
+    @given(st.recursive(
+        st.one_of(st.integers(), st.text(max_size=6), st.booleans()),
+        lambda children: st.lists(children, max_size=3).map(MultiValue),
+        max_leaves=6,
+    ))
+    def test_roundtrip_property(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ObjectStoreError):
+            decode_value({"$wat": 1})
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(ObjectStoreError):
+            encode_value(object())
+
+
+class TestFederationRoundTrip:
+    def test_school_roundtrip_dict(self):
+        original = build_school_federation()
+        rebuilt = federation_from_dict(federation_to_dict(original))
+        # Same schemas.
+        assert set(rebuilt.databases) == set(original.databases)
+        for name in original.databases:
+            assert (
+                rebuilt.db(name).schema.class_names
+                == original.db(name).schema.class_names
+            )
+        # Same extents.
+        for name, db in original.databases.items():
+            for class_name in db.schema.class_names:
+                left = {
+                    l.value: o.values for l, o in db.extent(class_name).items()
+                }
+                right = {
+                    l.value: o.values
+                    for l, o in rebuilt.db(name).extent(class_name).items()
+                }
+                assert left == right
+        # Same catalog.
+        for table in original.catalog.tables():
+            rebuilt_table = rebuilt.catalog.table(table.global_class)
+            assert dict(rebuilt_table.entries()) == dict(table.entries())
+
+    def test_answers_survive_roundtrip(self):
+        original = build_school_federation()
+        rebuilt = federation_from_dict(federation_to_dict(original))
+        a = GlobalQueryEngine(original).execute(Q1_TEXT, "BL")
+        b = GlobalQueryEngine(rebuilt).execute(Q1_TEXT, "BL")
+        assert same_answers(a.results, b.results)
+        assert a.total_time == b.total_time
+
+    def test_generated_workload_roundtrip(self):
+        workload = make_workload(seed=303, scale=0.02)
+        rebuilt = federation_from_dict(federation_to_dict(workload.system))
+        a = GlobalQueryEngine(workload.system).execute(workload.query, "PL")
+        b = GlobalQueryEngine(rebuilt).execute(workload.query, "PL")
+        assert same_answers(a.results, b.results)
+
+    def test_file_roundtrip(self, tmp_path):
+        original = build_school_federation()
+        path = tmp_path / "school.json"
+        save_federation(original, str(path))
+        rebuilt = load_federation(str(path))
+        a = GlobalQueryEngine(original).execute(Q1_TEXT, "CA")
+        b = GlobalQueryEngine(rebuilt).execute(Q1_TEXT, "CA")
+        assert same_answers(a.results, b.results)
+
+    def test_version_guard(self):
+        raw = federation_to_dict(build_school_federation())
+        raw["format"] = 999
+        with pytest.raises(ObjectStoreError):
+            federation_from_dict(raw)

@@ -1,0 +1,152 @@
+"""Unit and property tests for object signatures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import Op, Path, Predicate
+from repro.objectdb.ids import LOid
+from repro.objectdb.objects import LocalObject
+from repro.objectdb.signatures import (
+    DEFAULT_WIDTH_BITS,
+    Signature,
+    SignatureCatalog,
+    make_signature,
+    predicate_mask,
+)
+from repro.objectdb.values import MultiValue, NULL
+
+
+def obj(name="o1", **values):
+    return LocalObject(LOid("DB", name), "C", values)
+
+
+class TestSignature:
+    def test_size(self):
+        sig = make_signature(obj(a=1))
+        assert sig.size_bytes == DEFAULT_WIDTH_BITS // 8 == 32
+
+    def test_superset(self):
+        sig = Signature(bits=0b111)
+        assert sig.superset_of(0b101)
+        assert not sig.superset_of(0b1000)
+
+    def test_encoding_is_deterministic(self):
+        assert make_signature(obj(a=1, b="x")) == make_signature(obj(a=1, b="x"))
+
+    def test_nulls_contribute_nothing(self):
+        assert make_signature(obj(a=NULL)).bits == 0
+
+    def test_references_contribute_nothing(self):
+        assert make_signature(obj(r=LOid("DB", "t"))).bits == 0
+
+    def test_value_inclusion(self):
+        sig = make_signature(obj(a=42))
+        assert sig.superset_of(predicate_mask("a", 42))
+
+    def test_type_sensitive(self):
+        # "1" and 1 encode differently (no accidental cross-type match).
+        sig = make_signature(obj(a="1"))
+        assert not sig.superset_of(predicate_mask("a", 1))
+
+    def test_popcount(self):
+        assert Signature(bits=0b1011).popcount == 3
+
+    def test_multivalue_members_encoded(self):
+        sig = make_signature(obj(a=MultiValue([1, 2])))
+        assert sig.superset_of(predicate_mask("a", 1))
+        assert sig.superset_of(predicate_mask("a", 2))
+
+
+class TestCatalog:
+    def make_catalog(self, *objects):
+        catalog = SignatureCatalog()
+        for o in objects:
+            catalog.index_object(o)
+        return catalog
+
+    def test_lookup(self):
+        o = obj(a=1)
+        catalog = self.make_catalog(o)
+        assert catalog.lookup("C", o.loid) is not None
+        assert catalog.lookup("C", LOid("DB", "zz")) is None
+
+    def test_true_value_never_filtered(self):
+        o = obj(a=42)
+        catalog = self.make_catalog(o)
+        assert catalog.may_satisfy("C", o.loid, Predicate.of("a", "=", 42))
+
+    def test_definitive_mismatch_filtered(self):
+        o = obj(a=42)
+        catalog = self.make_catalog(o)
+        # With 4 bits per code in 256 bits, a specific different value is
+        # overwhelmingly likely to be filtered; use one known-mismatching
+        # operand deterministically.
+        pred = Predicate.of("a", "=", "a-very-different-value")
+        assert catalog.may_satisfy("C", o.loid, pred) in (True, False)
+
+    def test_null_attribute_never_filtered(self):
+        o = obj(a=NULL)
+        catalog = self.make_catalog(o)
+        assert catalog.may_satisfy("C", o.loid, Predicate.of("a", "=", 1))
+
+    def test_unknown_object_never_filtered(self):
+        catalog = self.make_catalog()
+        assert catalog.may_satisfy("C", LOid("DB", "zz"), Predicate.of("a", "=", 1))
+
+    def test_non_equality_never_filtered(self):
+        o = obj(a=42)
+        catalog = self.make_catalog(o)
+        assert catalog.may_satisfy("C", o.loid, Predicate.of("a", "<", 1))
+
+    def test_nested_path_never_filtered(self):
+        o = obj(a=42)
+        catalog = self.make_catalog(o)
+        assert catalog.may_satisfy("C", o.loid, Predicate.of("r.a", "=", 1))
+
+    def test_index_extent(self):
+        catalog = SignatureCatalog()
+        count = catalog.index_extent([obj("a", x=1), obj("b", x=2)])
+        assert count == 2
+
+    def test_precheck_splits(self):
+        o1, o2 = obj("o1", a=1), obj("o2", a=2)
+        catalog = self.make_catalog(o1, o2)
+        pred = Predicate.of("a", "=", 1)
+        precheck = catalog.precheck_assistants(
+            "C", [o1.loid, o2.loid], [pred]
+        )
+        assert o1.loid in precheck.to_check
+        # o2 is (almost certainly) provably violating; if a false positive
+        # occurred it would be in to_check, never lost.
+        all_accounted = set(precheck.to_check) | {
+            l for ls in precheck.violated.values() for l in ls
+        }
+        assert all_accounted == {o1.loid, o2.loid}
+        assert precheck.comparisons == 2
+
+
+class TestNoFalseNegatives:
+    """The load-bearing signature property: a matching value always passes."""
+
+    @given(
+        st.one_of(st.integers(), st.text(max_size=12), st.booleans()),
+        st.text(min_size=1, max_size=8),
+    )
+    @settings(max_examples=80)
+    def test_equality_never_filters_match(self, value, attr):
+        o = LocalObject(LOid("DB", "x"), "C", {attr: value})
+        catalog = SignatureCatalog()
+        catalog.index_object(o)
+        pred = Predicate(path=Path((attr,)), op=Op.EQ, operand=value)
+        assert catalog.may_satisfy("C", o.loid, pred)
+
+    @given(st.integers(), st.integers())
+    @settings(max_examples=80)
+    def test_precheck_never_loses_satisfier(self, value, other):
+        o = obj("m", a=value)
+        catalog = SignatureCatalog()
+        catalog.index_object(o)
+        pred = Predicate.of("a", "=", value)
+        precheck = catalog.precheck_assistants("C", [o.loid], [pred])
+        assert o.loid in precheck.to_check

@@ -1,0 +1,273 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import (
+    Acquire,
+    AllOf,
+    Release,
+    Simulator,
+    Timeout,
+)
+
+
+class TestEventLoop:
+    def test_time_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(sim.now))
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        assert sim.run() == 2.0
+        assert seen == [1.0, 2.0]
+
+    def test_fifo_ties(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(1.0, lambda: seen.append("b"))
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(5.0, lambda: seen.append(5))
+        assert sim.run(until=2.0) == 2.0
+        assert seen == [1]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 1
+
+
+class TestEvents:
+    def test_trigger_resumes_waiters(self):
+        sim = Simulator()
+        evt = sim.event("e")
+        seen = []
+        evt.on_trigger(lambda e: seen.append(e.value))
+        sim.schedule(1.0, lambda: evt.trigger(42))
+        sim.run()
+        assert seen == [42]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        evt = sim.event("e")
+        evt.trigger()
+        with pytest.raises(SimulationError):
+            evt.trigger()
+
+    def test_late_waiter_fires_immediately(self):
+        sim = Simulator()
+        evt = sim.event("e")
+        evt.trigger(7)
+        seen = []
+        evt.on_trigger(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == [7]
+
+
+class TestProcesses:
+    def test_timeout_sequence(self):
+        sim = Simulator()
+        marks = []
+
+        def body():
+            yield Timeout(1.0)
+            marks.append(sim.now)
+            yield Timeout(2.0)
+            marks.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert marks == [1.0, 3.0]
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+
+        def body():
+            yield Timeout(-1.0)
+
+        sim.process(body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_done_event_carries_return(self):
+        sim = Simulator()
+
+        def body():
+            yield Timeout(1.0)
+            return "finished"
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.done.triggered
+        assert proc.done.value == "finished"
+
+    def test_wait_on_event(self):
+        sim = Simulator()
+        evt = sim.event()
+        order = []
+
+        def waiter():
+            value = yield evt
+            order.append(("woke", sim.now, value))
+
+        def trigger():
+            yield Timeout(3.0)
+            evt.trigger("go")
+
+        sim.process(waiter())
+        sim.process(trigger())
+        sim.run()
+        assert order == [("woke", 3.0, "go")]
+
+    def test_all_of(self):
+        sim = Simulator()
+        e1, e2 = sim.event(), sim.event()
+        done = []
+
+        def waiter():
+            yield AllOf((e1, e2))
+            done.append(sim.now)
+
+        def t1():
+            yield Timeout(1.0)
+            e1.trigger()
+
+        def t2():
+            yield Timeout(4.0)
+            e2.trigger()
+
+        sim.process(waiter())
+        sim.process(t1())
+        sim.process(t2())
+        sim.run()
+        assert done == [4.0]
+
+    def test_all_of_already_triggered(self):
+        sim = Simulator()
+        e1 = sim.event()
+        e1.trigger()
+        done = []
+
+        def waiter():
+            yield AllOf((e1,))
+            done.append(True)
+
+        sim.process(waiter())
+        sim.run()
+        assert done == [True]
+
+    def test_unknown_directive_rejected(self):
+        sim = Simulator()
+
+        def body():
+            yield "junk"
+
+        sim.process(body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_finishing_while_holding_resource_rejected(self):
+        sim = Simulator()
+        res = sim.resource("r")
+
+        def body():
+            yield Acquire(res)
+            # never releases
+
+        sim.process(body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_release_without_hold_rejected(self):
+        sim = Simulator()
+        res = sim.resource("r")
+
+        def body():
+            yield Release(res)
+
+        sim.process(body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestResources:
+    def test_capacity_one_serializes(self):
+        sim = Simulator()
+        res = sim.resource("disk")
+        spans = []
+
+        def worker(name):
+            yield Acquire(res)
+            start = sim.now
+            yield Timeout(2.0)
+            yield Release(res)
+            spans.append((name, start, sim.now))
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert spans == [("a", 0.0, 2.0), ("b", 2.0, 4.0)]
+
+    def test_capacity_two_overlaps(self):
+        sim = Simulator()
+        res = sim.resource("cpu", capacity=2)
+        finishes = []
+
+        def worker():
+            yield Acquire(res)
+            yield Timeout(2.0)
+            yield Release(res)
+            finishes.append(sim.now)
+
+        for _ in range(2):
+            sim.process(worker())
+        sim.run()
+        assert finishes == [2.0, 2.0]
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = sim.resource("r")
+        grabbed = res.acquire()
+        assert grabbed.triggered
+        waiting = res.acquire()
+        assert not waiting.triggered
+        assert res.queued == 1
+        res.release()
+        sim.run()
+        assert waiting.triggered
+
+    def test_busy_time_accounting(self):
+        sim = Simulator()
+        res = sim.resource("r")
+
+        def worker():
+            yield Acquire(res)
+            yield Timeout(3.0)
+            yield Release(res)
+
+        sim.process(worker())
+        sim.run()
+        assert res.busy_time == pytest.approx(3.0)
+
+    def test_release_idle_rejected(self):
+        sim = Simulator()
+        res = sim.resource("r")
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_zero_capacity_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.resource("r", capacity=0)

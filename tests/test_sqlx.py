@@ -1,0 +1,263 @@
+"""Unit tests for the SQL/X front-end (lexer + parser)."""
+
+import pytest
+
+from repro.core.query import Op, Path, Predicate
+from repro.errors import SqlxSyntaxError
+from repro.sqlx import parse, parse_query, tokenize
+from repro.sqlx.lexer import TokenKind
+from repro.workload.paper_example import Q1_TEXT
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT x FROM y WHERE z")
+        assert [t.text for t in tokens if t.kind is TokenKind.KEYWORD] == [
+            "select", "from", "where",
+        ]
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("Select Student")
+        idents = [t for t in tokens if t.kind is TokenKind.IDENT]
+        assert idents[0].text == "Student"
+
+    def test_operators(self):
+        tokens = tokenize("a = b != c <= d >= e < f > g <> h")
+        ops = [t.text for t in tokens if t.kind is TokenKind.OP]
+        assert ops == ["=", "!=", "<=", ">=", "<", ">", "!="]
+
+    def test_numbers(self):
+        tokens = tokenize("12 3.5")
+        nums = [t.text for t in tokens if t.kind is TokenKind.NUMBER]
+        assert nums == ["12", "3.5"]
+
+    def test_strings(self):
+        tokens = tokenize("'hello world' \"two\"")
+        strs = [t.text for t in tokens if t.kind is TokenKind.STRING]
+        assert strs == ["hello world", "two"]
+
+    def test_punctuation(self):
+        kinds = [t.kind for t in tokenize(". , ( ) @")][:-1]
+        assert kinds == [
+            TokenKind.DOT, TokenKind.COMMA, TokenKind.LPAREN,
+            TokenKind.RPAREN, TokenKind.AT,
+        ]
+
+    def test_junk_rejected_with_position(self):
+        with pytest.raises(SqlxSyntaxError) as err:
+            tokenize("a $ b")
+        assert err.value.position == 2
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+    def test_hyphenated_identifier(self):
+        # The paper's attribute "s-no".
+        tokens = tokenize("s-no")
+        assert tokens[0].text == "s-no"
+
+
+class TestParserQ1:
+    def test_q1_structure(self):
+        query = parse_query(Q1_TEXT)
+        assert query.range_class == "Student"
+        assert query.targets == (Path.parse("name"), Path.parse("advisor.name"))
+        assert query.is_conjunctive
+        assert {str(p) for p in query.predicates} == {
+            "address.city = 'Taipei'",
+            "advisor.speciality = 'database'",
+            "advisor.department.name = 'CS'",
+        }
+
+    def test_bare_identifiers_are_strings(self):
+        query = parse_query("Select X.a From C X Where X.a = Taipei")
+        assert query.predicates[0].operand == "Taipei"
+
+    def test_variable_metadata(self):
+        parsed = parse("Select Y.a From C Y Where Y.a = 1")
+        assert parsed.variable == "Y"
+        assert parsed.site is None
+
+    def test_site_qualifier(self):
+        parsed = parse("Select X.name From Student@DB1 X")
+        assert parsed.site == "DB1"
+        assert parsed.query.range_class == "Student"
+
+
+class TestParserForms:
+    def test_numeric_literals(self):
+        query = parse_query("Select X.a From C X Where X.a < 5 and X.b >= 2.5")
+        preds = query.predicates
+        assert preds[0].operand == 5 and isinstance(preds[0].operand, int)
+        assert preds[1].operand == 2.5
+
+    def test_quoted_literals(self):
+        query = parse_query("Select X.a From C X Where X.a = 'two words'")
+        assert query.predicates[0].operand == "two words"
+
+    def test_contains(self):
+        query = parse_query("Select X.a From C X Where X.tags contains 5")
+        assert query.predicates[0].op is Op.CONTAINS
+
+    def test_no_where(self):
+        query = parse_query("Select X.a From C X")
+        assert query.where == ()
+
+    def test_or_produces_dnf(self):
+        query = parse_query(
+            "Select X.a From C X Where X.a = 1 or X.b = 2"
+        )
+        assert len(query.where) == 2
+        assert not query.is_conjunctive
+
+    def test_and_binds_tighter_than_or(self):
+        query = parse_query(
+            "Select X.a From C X Where X.a = 1 and X.b = 2 or X.c = 3"
+        )
+        assert len(query.where) == 2
+        assert len(query.where[0]) == 2
+        assert len(query.where[1]) == 1
+
+    def test_parentheses_distribute(self):
+        query = parse_query(
+            "Select X.a From C X Where X.a = 1 and (X.b = 2 or X.c = 3)"
+        )
+        # (a AND b) OR (a AND c)
+        assert len(query.where) == 2
+        assert all(len(conj) == 2 for conj in query.where)
+
+    def test_nested_parentheses(self):
+        query = parse_query(
+            "Select X.a From C X Where ((X.a = 1))"
+        )
+        assert query.is_conjunctive
+
+    def test_unprefixed_paths_kept(self):
+        # A path not starting with the range variable is taken literally.
+        query = parse_query("Select name From C X Where age > 3")
+        assert query.targets == (Path.parse("name"),)
+        assert query.predicates[0].path == Path.parse("age")
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "From C X",                              # missing Select
+            "Select X.a C X",                        # missing From
+            "Select X.a From C",                     # missing variable
+            "Select X.a From C X Where",             # empty Where
+            "Select X.a From C X Where X.a",         # missing operator
+            "Select X.a From C X Where X.a =",       # missing literal
+            "Select X.a From C X Where (X.a = 1",    # unbalanced paren
+            "Select X.a From C X trailing",          # junk after query
+            "Select From C X",                       # empty target list
+            "Select X.a, From C X",                  # dangling comma
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(SqlxSyntaxError):
+            parse_query(text)
+
+
+class TestRoundTrip:
+    def test_str_reparses_equivalent(self):
+        query = parse_query(Q1_TEXT)
+        again = parse_query(str(query))
+        assert again.range_class == query.range_class
+        assert again.targets == query.targets
+        assert set(again.predicates) == set(query.predicates)
+
+
+class TestNegation:
+    def test_not_comparison_complements(self):
+        query = parse_query("Select X.a From C X Where not X.a = 1")
+        assert query.predicates == (Predicate.of("a", "!=", 1),)
+
+    def test_not_ordering(self):
+        query = parse_query("Select X.a From C X Where not X.a < 5")
+        assert query.predicates[0].op is Op.GE
+        query = parse_query("Select X.a From C X Where not X.a >= 5")
+        assert query.predicates[0].op is Op.LT
+
+    def test_de_morgan_over_and(self):
+        query = parse_query(
+            "Select X.a From C X Where not (X.a = 1 and X.b = 2)"
+        )
+        # NOT(a AND b) = (!a) OR (!b)
+        assert len(query.where) == 2
+        assert query.where[0] == (Predicate.of("a", "!=", 1),)
+        assert query.where[1] == (Predicate.of("b", "!=", 2),)
+
+    def test_de_morgan_over_or(self):
+        query = parse_query(
+            "Select X.a From C X Where not (X.a = 1 or X.b = 2)"
+        )
+        assert query.is_conjunctive
+        assert set(query.predicates) == {
+            Predicate.of("a", "!=", 1), Predicate.of("b", "!=", 2),
+        }
+
+    def test_double_negation(self):
+        query = parse_query("Select X.a From C X Where not not X.a = 1")
+        assert query.predicates == (Predicate.of("a", "=", 1),)
+
+    def test_not_contains(self):
+        query = parse_query(
+            "Select X.a From C X Where X.tags not contains 5"
+        )
+        assert query.predicates[0].op is Op.NOT_CONTAINS
+
+    def test_negated_contains(self):
+        query = parse_query(
+            "Select X.a From C X Where not X.tags contains 5"
+        )
+        assert query.predicates[0].op is Op.NOT_CONTAINS
+
+    def test_dangling_not_rejected(self):
+        with pytest.raises(SqlxSyntaxError):
+            parse_query("Select X.a From C X Where not")
+
+    def test_not_without_contains_after_path_rejected(self):
+        with pytest.raises(SqlxSyntaxError):
+            parse_query("Select X.a From C X Where X.a not 5")
+
+
+class TestNegationSemantics:
+    """NOT queries run end-to-end with 3VL semantics preserved."""
+
+    def test_negated_query_on_school(self):
+        from repro.core.engine import GlobalQueryEngine
+        from repro.workload.paper_example import build_school_federation
+
+        engine = GlobalQueryEngine(build_school_federation())
+        outcomes = engine.compare(
+            "Select X.name From Student X Where not X.sex = female"
+        )
+        certain = {r[0] for r in outcomes["CA"].results.certain_rows()}
+        maybe = {r[0] for r in outcomes["CA"].results.maybe_rows()}
+        # John (male via DB2) and Tony are certainly not female; nobody's
+        # sex is unknown after integration.
+        assert certain == {"John", "Tony"}
+        assert maybe == set()
+
+    def test_negation_keeps_unknown_unknown(self):
+        from repro.core.engine import GlobalQueryEngine
+        from repro.objectdb.ids import LOid
+        from repro.objectdb.values import NULL
+        from repro.workload.paper_example import build_school_federation
+
+        system = build_school_federation()
+        # Erase John's sex everywhere: 3VL keeps him maybe either way.
+        system.db("DB2").get(LOid("DB2", "s2'")).values["sex"] = NULL
+        engine = GlobalQueryEngine(system)
+        positive = engine.execute(
+            "Select X.name From Student X Where X.sex = female", "CA"
+        )
+        negative = engine.execute(
+            "Select X.name From Student X Where not X.sex = female", "CA"
+        )
+        pos_maybe = {r[0] for r in positive.results.maybe_rows()}
+        neg_maybe = {r[0] for r in negative.results.maybe_rows()}
+        assert "John" in pos_maybe
+        assert "John" in neg_maybe

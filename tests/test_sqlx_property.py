@@ -1,0 +1,74 @@
+"""Property-based round-trip tests for the SQL/X front-end.
+
+Random queries are built as ASTs, printed via ``str(Query)``, and parsed
+back: the reparsed query must be structurally identical.  This covers
+the printer/parser pair over the whole grammar (targets, nested paths,
+all operators, conjunctions, DNF).
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import Op, Path, Predicate, Query
+from repro.sqlx import parse_query
+
+# Identifiers that can't collide with keywords or the range variable.
+ident = st.text(
+    alphabet=string.ascii_lowercase, min_size=2, max_size=8
+).filter(lambda s: s not in {"select", "from", "where", "and", "or",
+                             "contains"})
+
+path = st.lists(ident, min_size=1, max_size=3).map(lambda steps: Path(tuple(steps)))
+
+operand = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    ident,  # bare identifiers parse back as strings
+)
+
+comparison_op = st.sampled_from(
+    [Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE]
+)
+
+predicate = st.builds(
+    lambda p, op, v: Predicate(path=p, op=op, operand=v),
+    path, comparison_op, operand,
+)
+
+conjunction = st.lists(predicate, min_size=1, max_size=3)
+
+
+@st.composite
+def queries(draw):
+    range_class = draw(ident.map(str.capitalize))
+    targets = draw(st.lists(path, min_size=1, max_size=3))
+    disjuncts = draw(st.lists(conjunction, min_size=0, max_size=3))
+    if not disjuncts:
+        return Query.conjunctive(range_class, targets, [])
+    if len(disjuncts) == 1:
+        return Query.conjunctive(range_class, targets, disjuncts[0])
+    return Query.disjunctive(range_class, targets, disjuncts)
+
+
+@settings(max_examples=150, deadline=None)
+@given(queries())
+def test_print_parse_roundtrip(query):
+    reparsed = parse_query(str(query))
+    assert reparsed.range_class == query.range_class
+    assert reparsed.targets == query.targets
+    assert reparsed.where == query.where
+
+
+@settings(max_examples=60, deadline=None)
+@given(queries())
+def test_double_roundtrip_is_fixpoint(query):
+    once = parse_query(str(query))
+    twice = parse_query(str(once))
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(path)
+def test_path_parse_roundtrip(p):
+    assert Path.parse(str(p)) == p

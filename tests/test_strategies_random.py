@@ -1,0 +1,172 @@
+"""Randomized strategy-equivalence and metric-invariant tests.
+
+The load-bearing property of the whole system: CA, BL, PL and the
+signature variants implement identical query semantics — over any
+generated federation they must return the same certain and the same
+maybe entities.  Costs may differ, but in paper-prescribed directions.
+"""
+
+import pytest
+
+from helpers import make_workload
+from repro.core.engine import GlobalQueryEngine
+from repro.core.results import same_answers
+
+SEEDS = [3, 11, 23, 47, 91]
+
+
+@pytest.fixture(scope="module")
+def executed():
+    """Execute all strategies over several generated workloads once."""
+    runs = []
+    for seed in SEEDS:
+        workload = make_workload(seed=seed, scale=0.02)
+        engine = GlobalQueryEngine(workload.system)
+        outcomes = {
+            name: engine.execute(workload.query, name)
+            for name in ("CA", "BL", "PL", "BL-S", "PL-S")
+        }
+        runs.append((workload, outcomes))
+    return runs
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("other", ["BL", "PL", "BL-S", "PL-S"])
+    def test_same_answers_as_ca(self, executed, other):
+        for workload, outcomes in executed:
+            assert same_answers(
+                outcomes["CA"].results, outcomes[other].results
+            ), f"seed failed: {workload.params.seed}"
+
+    def test_bindings_refine_toward_ca(self, executed):
+        """CA's bindings are at least as complete: the localized protocol
+        ships verdicts, not values, so a nested target whose value only
+        multi-site integration can assemble binds NULL in BL — but a
+        non-null localized binding always agrees with CA's."""
+        from repro.objectdb.values import is_null
+
+        for _workload, outcomes in executed:
+            ca = {r.goid: r for r in outcomes["CA"].results.certain}
+            bl = {r.goid: r for r in outcomes["BL"].results.certain}
+            for goid, ca_result in ca.items():
+                for target, value in ca_result.bindings.items():
+                    bl_value = bl[goid].bindings.get(target)
+                    if not is_null(bl_value):
+                        assert bl_value == value
+                    # CA never loses a value BL found.
+                    if is_null(value):
+                        assert is_null(bl_value)
+
+    def test_maybe_unsolved_nonempty(self, executed):
+        for _workload, outcomes in executed:
+            for result in outcomes["BL"].results.maybe:
+                assert result.unsolved
+
+
+class TestCostInvariants:
+    def test_bl_total_at_most_pl(self, executed):
+        for workload, outcomes in executed:
+            assert (
+                outcomes["BL"].total_time
+                <= outcomes["PL"].total_time * 1.001
+            ), workload.params.seed
+
+    def test_response_at_most_total(self, executed):
+        for _workload, outcomes in executed:
+            for outcome in outcomes.values():
+                assert outcome.response_time <= outcome.total_time + 1e-12
+
+    def test_signatures_never_increase_network(self, executed):
+        for _workload, outcomes in executed:
+            assert (
+                outcomes["BL-S"].metrics.work.bytes_network
+                <= outcomes["BL"].metrics.work.bytes_network
+            )
+            assert (
+                outcomes["PL-S"].metrics.work.bytes_network
+                <= outcomes["PL"].metrics.work.bytes_network
+            )
+
+    def test_pl_looks_up_at_least_bl(self, executed):
+        """PL probes the mapping tables for every object with missing
+        data, BL only for surviving maybe rows."""
+        for _workload, outcomes in executed:
+            assert (
+                outcomes["PL"].metrics.work.assistants_looked_up
+                >= outcomes["BL"].metrics.work.assistants_looked_up
+            )
+
+    def test_localized_ship_less_than_ca_when_selective(self, executed):
+        """BL ships survivors only — less than CA's everything, *unless*
+        the local predicates are unselective (the paper's Figure 11
+        effect: localized transfer grows with selectivity)."""
+        for _workload, outcomes in executed:
+            bl = outcomes["BL"]
+            survivors = bl.metrics.certain_results + bl.metrics.maybe_results
+            if survivors < bl.metrics.work.objects_scanned * 0.4:
+                assert (
+                    bl.metrics.work.bytes_network
+                    < outcomes["CA"].metrics.work.bytes_network
+                )
+
+    def test_work_counters_populated(self, executed):
+        for _workload, outcomes in executed:
+            ca = outcomes["CA"].metrics.work
+            assert ca.objects_scanned > 0
+            assert ca.objects_shipped == ca.objects_scanned
+            bl = outcomes["BL"].metrics.work
+            assert bl.objects_scanned > 0
+            assert bl.objects_shipped == 0
+
+
+class TestDeterminism:
+    def test_rerun_identical(self):
+        workload = make_workload(seed=5, scale=0.02)
+        engine = GlobalQueryEngine(workload.system)
+        first = engine.execute(workload.query, "BL")
+        second = engine.execute(workload.query, "BL")
+        assert first.total_time == second.total_time
+        assert first.response_time == second.response_time
+        assert same_answers(first.results, second.results)
+
+    def test_regenerated_workload_identical(self):
+        a = make_workload(seed=5, scale=0.02)
+        b = make_workload(seed=5, scale=0.02)
+        engine_a = GlobalQueryEngine(a.system)
+        engine_b = GlobalQueryEngine(b.system)
+        ra = engine_a.execute(a.query, "CA")
+        rb = engine_b.execute(b.query, "CA")
+        assert ra.total_time == rb.total_time
+        assert same_answers(ra.results, rb.results)
+
+
+class TestVaryingShapes:
+    @pytest.mark.parametrize("n_dbs", [2, 4, 5])
+    def test_equivalence_across_db_counts(self, n_dbs):
+        workload = make_workload(seed=100 + n_dbs, scale=0.02, n_dbs=n_dbs)
+        engine = GlobalQueryEngine(workload.system)
+        outcomes = engine.compare(workload.query)  # raises on disagreement
+        assert set(outcomes) == {"CA", "BL", "PL"}
+
+    def test_single_class_query(self):
+        workload = make_workload(seed=500, scale=0.02, n_classes_range=(1, 1))
+        engine = GlobalQueryEngine(workload.system)
+        engine.compare(workload.query)
+
+    def test_deep_chain_query(self):
+        workload = make_workload(seed=501, scale=0.015, n_classes_range=(4, 4))
+        engine = GlobalQueryEngine(workload.system)
+        engine.compare(workload.query)
+
+    def test_no_predicates_query(self):
+        from repro.core.query import Query
+
+        workload = make_workload(seed=502, scale=0.02, n_classes_range=(2, 2))
+        query = Query.conjunctive(
+            workload.query.range_class, workload.query.targets, []
+        )
+        engine = GlobalQueryEngine(workload.system)
+        outcomes = engine.compare(query)
+        # Without predicates everything is certain.
+        assert not outcomes["CA"].results.maybe
+        assert len(outcomes["CA"].results.certain) > 0

@@ -1,0 +1,163 @@
+"""Unit tests for activity-graph scheduling over the simulated federation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.costs import CostModel
+from repro.sim.taskgraph import (
+    FederationSim,
+    PHASE_I,
+    PHASE_O,
+    PHASE_P,
+    PHASE_SCAN,
+    PHASE_XFER,
+)
+
+#: Simple costs for readable arithmetic: 1 s/byte disk, 1 s/byte net,
+#: 1 s/comparison cpu, no seek.
+UNIT = CostModel(
+    disk_s_per_byte=1.0,
+    net_s_per_byte=1.0,
+    cpu_s_per_comparison=1.0,
+    disk_seek_s=0.0,
+)
+
+
+def fed(**kwargs):
+    return FederationSim(["A", "B"], global_site="G", cost_model=UNIT, **kwargs)
+
+
+class TestBasics:
+    def test_single_activity(self):
+        f = fed()
+        f.cpu("A", comparisons=5)
+        outcome = f.run()
+        assert outcome.total_time == 5
+        assert outcome.response_time == 5
+
+    def test_chain_adds_up(self):
+        f = fed()
+        a = f.disk("A", nbytes=3)
+        b = f.cpu("A", comparisons=4, deps=[a])
+        f.transfer("A", "G", nbytes=2, deps=[b])
+        outcome = f.run()
+        assert outcome.total_time == 9
+        assert outcome.response_time == 9
+
+    def test_parallel_sites_overlap(self):
+        f = fed()
+        f.cpu("A", comparisons=5)
+        f.cpu("B", comparisons=5)
+        outcome = f.run()
+        assert outcome.total_time == 10
+        assert outcome.response_time == 5
+
+    def test_same_site_serializes(self):
+        f = fed()
+        f.cpu("A", comparisons=5)
+        f.cpu("A", comparisons=5)
+        outcome = f.run()
+        assert outcome.response_time == 10
+
+    def test_cpu_and_disk_are_distinct_devices(self):
+        f = fed()
+        f.cpu("A", comparisons=5)
+        f.disk("A", nbytes=5)
+        outcome = f.run()
+        assert outcome.response_time == 5
+
+    def test_barrier_is_free(self):
+        f = fed()
+        a = f.cpu("A", comparisons=1)
+        b = f.cpu("B", comparisons=2)
+        bar = f.barrier([a, b])
+        f.cpu("G", comparisons=3, deps=[bar])
+        outcome = f.run()
+        assert outcome.response_time == 5
+
+
+class TestNetworkContention:
+    def test_shared_channel_serializes(self):
+        f = fed(shared_network=True)
+        f.transfer("A", "G", nbytes=4)
+        f.transfer("B", "G", nbytes=4)
+        outcome = f.run()
+        assert outcome.response_time == 8
+
+    def test_private_channels_overlap(self):
+        f = fed(shared_network=False)
+        f.transfer("A", "G", nbytes=4)
+        f.transfer("B", "G", nbytes=4)
+        outcome = f.run()
+        assert outcome.response_time == 4
+
+    def test_total_time_ignores_contention(self):
+        for shared in (True, False):
+            f = fed(shared_network=shared)
+            f.transfer("A", "G", nbytes=4)
+            f.transfer("B", "G", nbytes=4)
+            assert f.run().total_time == 8
+
+
+class TestAccounting:
+    def test_phase_breakdown(self):
+        f = fed()
+        scan = f.disk("A", nbytes=2, phase=PHASE_SCAN)
+        evaluate = f.cpu("A", comparisons=3, phase=PHASE_P, deps=[scan])
+        ship = f.transfer("A", "G", nbytes=4, deps=[evaluate])
+        f.cpu("G", comparisons=5, phase=PHASE_I, deps=[ship])
+        outcome = f.run()
+        assert outcome.phase_time[PHASE_SCAN] == 2
+        assert outcome.phase_time[PHASE_P] == 3
+        assert outcome.phase_time[PHASE_XFER] == 4
+        assert outcome.phase_time[PHASE_I] == 5
+
+    def test_bytes_transferred(self):
+        f = fed()
+        f.transfer("A", "G", nbytes=7)
+        assert f.run().bytes_transferred == 7
+
+    def test_site_busy(self):
+        f = fed()
+        f.cpu("A", comparisons=2)
+        f.disk("A", nbytes=3)
+        f.cpu("B", comparisons=4)
+        outcome = f.run()
+        assert outcome.site_busy["A"] == 5
+        assert outcome.site_busy["B"] == 4
+
+    def test_seeks_add_time(self):
+        model = CostModel(disk_s_per_byte=0.0, disk_seek_s=2.0)
+        f = FederationSim(["A"], global_site="G", cost_model=model)
+        f.disk("A", nbytes=100, seeks=3)
+        assert f.run().total_time == pytest.approx(6.0)
+
+
+class TestValidation:
+    def test_unknown_site_rejected(self):
+        f = fed()
+        with pytest.raises(SimulationError):
+            f.cpu("Z", comparisons=1)
+
+    def test_negative_duration_rejected(self):
+        f = fed()
+        with pytest.raises(SimulationError):
+            f.cpu("A", comparisons=-1)
+
+    def test_run_twice_rejected(self):
+        f = fed()
+        f.cpu("A", comparisons=1)
+        f.run()
+        with pytest.raises(SimulationError):
+            f.run()
+
+    def test_add_after_run_rejected(self):
+        f = fed()
+        f.cpu("A", comparisons=1)
+        f.run()
+        with pytest.raises(SimulationError):
+            f.cpu("A", comparisons=1)
+
+    def test_global_site_always_present(self):
+        f = FederationSim(["A"], global_site="G", cost_model=UNIT)
+        assert "G" in f.sites

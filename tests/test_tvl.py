@@ -1,0 +1,123 @@
+"""Unit and property tests for Kleene three-valued logic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tvl import TV, all3, any3, from_bool
+
+TVS = [TV.TRUE, TV.FALSE, TV.UNKNOWN]
+tv_strategy = st.sampled_from(TVS)
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            (TV.TRUE, TV.TRUE, TV.TRUE),
+            (TV.TRUE, TV.FALSE, TV.FALSE),
+            (TV.TRUE, TV.UNKNOWN, TV.UNKNOWN),
+            (TV.FALSE, TV.FALSE, TV.FALSE),
+            (TV.FALSE, TV.UNKNOWN, TV.FALSE),
+            (TV.UNKNOWN, TV.UNKNOWN, TV.UNKNOWN),
+        ],
+    )
+    def test_and(self, a, b, expected):
+        assert a.and_(b) is expected
+        assert b.and_(a) is expected
+
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            (TV.TRUE, TV.TRUE, TV.TRUE),
+            (TV.TRUE, TV.FALSE, TV.TRUE),
+            (TV.TRUE, TV.UNKNOWN, TV.TRUE),
+            (TV.FALSE, TV.FALSE, TV.FALSE),
+            (TV.FALSE, TV.UNKNOWN, TV.UNKNOWN),
+            (TV.UNKNOWN, TV.UNKNOWN, TV.UNKNOWN),
+        ],
+    )
+    def test_or(self, a, b, expected):
+        assert a.or_(b) is expected
+        assert b.or_(a) is expected
+
+    def test_not(self):
+        assert TV.TRUE.not_() is TV.FALSE
+        assert TV.FALSE.not_() is TV.TRUE
+        assert TV.UNKNOWN.not_() is TV.UNKNOWN
+
+    def test_flags(self):
+        assert TV.TRUE.is_true and not TV.TRUE.is_false
+        assert TV.FALSE.is_false and not TV.FALSE.is_unknown
+        assert TV.UNKNOWN.is_unknown and not TV.UNKNOWN.is_true
+
+
+class TestBoolGuard:
+    def test_bool_raises(self):
+        with pytest.raises(TypeError):
+            bool(TV.UNKNOWN)
+
+    def test_if_raises(self):
+        with pytest.raises(TypeError):
+            if TV.TRUE:  # pragma: no cover - raises before body
+                pass
+
+
+class TestAggregates:
+    def test_all3_empty_is_true(self):
+        assert all3([]) is TV.TRUE
+
+    def test_any3_empty_is_false(self):
+        assert any3([]) is TV.FALSE
+
+    def test_all3_false_dominates(self):
+        assert all3([TV.TRUE, TV.UNKNOWN, TV.FALSE]) is TV.FALSE
+
+    def test_all3_unknown(self):
+        assert all3([TV.TRUE, TV.UNKNOWN]) is TV.UNKNOWN
+
+    def test_any3_true_dominates(self):
+        assert any3([TV.FALSE, TV.UNKNOWN, TV.TRUE]) is TV.TRUE
+
+    def test_any3_unknown(self):
+        assert any3([TV.FALSE, TV.UNKNOWN]) is TV.UNKNOWN
+
+    def test_from_bool(self):
+        assert from_bool(True) is TV.TRUE
+        assert from_bool(False) is TV.FALSE
+
+
+class TestAlgebraicLaws:
+    @given(tv_strategy, tv_strategy)
+    def test_de_morgan_and(self, a, b):
+        assert a.and_(b).not_() is a.not_().or_(b.not_())
+
+    @given(tv_strategy, tv_strategy)
+    def test_de_morgan_or(self, a, b):
+        assert a.or_(b).not_() is a.not_().and_(b.not_())
+
+    @given(tv_strategy, tv_strategy, tv_strategy)
+    def test_and_associative(self, a, b, c):
+        assert a.and_(b).and_(c) is a.and_(b.and_(c))
+
+    @given(tv_strategy, tv_strategy, tv_strategy)
+    def test_or_distributes_over_and(self, a, b, c):
+        assert a.or_(b.and_(c)) is a.or_(b).and_(a.or_(c))
+
+    @given(tv_strategy)
+    def test_double_negation(self, a):
+        assert a.not_().not_() is a
+
+    @given(st.lists(tv_strategy, max_size=6))
+    def test_all3_matches_fold(self, values):
+        folded = TV.TRUE
+        for value in values:
+            folded = folded.and_(value)
+        assert all3(values) is folded
+
+    @given(st.lists(tv_strategy, max_size=6))
+    def test_any3_matches_fold(self, values):
+        folded = TV.FALSE
+        for value in values:
+            folded = folded.or_(value)
+        assert any3(values) is folded

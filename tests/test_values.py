@@ -1,0 +1,109 @@
+"""Unit tests for repro.objectdb.values (NULL, MultiValue)."""
+
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.objectdb.ids import GOid, LOid
+from repro.objectdb.values import (
+    MultiValue,
+    NULL,
+    Null,
+    is_null,
+    is_primitive,
+    is_reference,
+)
+
+
+class TestNull:
+    def test_singleton(self):
+        assert Null() is NULL
+        assert Null() is Null()
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_equals_only_itself(self):
+        assert NULL == NULL
+        assert NULL != 0
+        assert NULL != ""
+        assert NULL != False  # noqa: E712 - explicit cross-type check
+
+    def test_hashable(self):
+        assert {NULL: 1}[NULL] == 1
+
+    def test_pickle_preserves_singleton(self):
+        assert pickle.loads(pickle.dumps(NULL)) is NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(0)
+        assert not is_null("")
+        assert not is_null(None) is False or True  # None is not NULL
+        assert not is_null(None)
+
+
+class TestMultiValue:
+    def test_dedupes(self):
+        mv = MultiValue([1, 1, 2])
+        assert len(mv) == 2
+
+    def test_drops_nulls(self):
+        mv = MultiValue([1, NULL, 2])
+        assert len(mv) == 2
+        assert NULL not in mv
+
+    def test_flattens_nested(self):
+        mv = MultiValue([MultiValue([1, 2]), 3])
+        assert set(mv) == {1, 2, 3}
+
+    def test_empty_is_null(self):
+        assert is_null(MultiValue([]))
+        assert is_null(MultiValue([NULL]))
+
+    def test_nonempty_is_not_null(self):
+        assert not is_null(MultiValue([0]))
+
+    def test_contains(self):
+        mv = MultiValue(["a", "b"])
+        assert "a" in mv
+        assert "c" not in mv
+
+    def test_equality_and_hash(self):
+        assert MultiValue([1, 2]) == MultiValue([2, 1])
+        assert hash(MultiValue([1, 2])) == hash(MultiValue([2, 1]))
+        assert MultiValue([1]) != MultiValue([2])
+        assert MultiValue([1]) != frozenset([1])
+
+    def test_repr_is_deterministic(self):
+        assert repr(MultiValue([2, 1])) == repr(MultiValue([1, 2]))
+
+    def test_values_property(self):
+        assert MultiValue([1]).values == frozenset([1])
+
+    @given(st.lists(st.integers(), max_size=8), st.lists(st.integers(), max_size=8))
+    def test_union_via_concat(self, left, right):
+        merged = MultiValue(list(MultiValue(left)) + list(MultiValue(right)))
+        assert merged.values == frozenset(left) | frozenset(right)
+
+
+class TestPredicateHelpers:
+    def test_is_reference(self):
+        assert is_reference(LOid("DB1", "x"))
+        assert is_reference(GOid("g"))
+        assert not is_reference("x")
+        assert not is_reference(NULL)
+
+    def test_is_primitive(self):
+        assert is_primitive(1)
+        assert is_primitive(1.5)
+        assert is_primitive("s")
+        assert is_primitive(True)
+        assert not is_primitive(NULL)
+        assert not is_primitive(LOid("DB1", "x"))
+        assert not is_primitive(MultiValue([1]))
