@@ -21,6 +21,7 @@ Quickstart::
 
 from repro.core import (
     DistributedSystem,
+    ExecutionReport,
     GlobalQueryEngine,
     GlobalResult,
     Op,
@@ -54,6 +55,7 @@ __all__ = [
     "CentralizedStrategy",
     "CostModel",
     "DistributedSystem",
+    "ExecutionReport",
     "GlobalQueryEngine",
     "GlobalResult",
     "Op",

@@ -1,14 +1,20 @@
 """Plain-text rendering of experiment sweeps (tables + ASCII series).
 
 The benchmark harness prints, for every figure, the same rows/series the
-paper plots, so runs can be eyeballed against the paper's charts.
+paper plots, so runs can be eyeballed against the paper's charts.  It
+also dumps execution traces (:func:`dump_traces`) so any benchmarked
+schedule can be opened in ``chrome://tracing`` / Perfetto.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+import os
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence
 
 from repro.bench.experiments import STRATEGIES, SweepSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.report import ExecutionReport
 
 
 def format_table(
@@ -61,6 +67,53 @@ def ascii_chart(
             bar = "#" * max(1, int(round(value / peak * width)))
             lines.append(f"    {strategy:<3} {bar} {value:.3f}s")
     return "\n".join(lines)
+
+
+def dump_traces(
+    reports: Mapping[str, "ExecutionReport"],
+    directory: str,
+    jsonl: bool = False,
+) -> List[str]:
+    """Write each report's Chrome-trace JSON (and optionally its JSONL
+    log) into *directory*; returns the written paths.
+
+    File names are derived from the mapping keys (strategy names), with
+    path-hostile characters replaced.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    for name, report in reports.items():
+        stem = "".join(c if c.isalnum() or c in "-_" else "_" for c in name)
+        path = os.path.join(directory, f"{stem}.trace.json")
+        with open(path, "w") as handle:
+            handle.write(report.trace.to_chrome_json())
+        written.append(path)
+        if jsonl:
+            path = os.path.join(directory, f"{stem}.jsonl")
+            with open(path, "w") as handle:
+                handle.write(report.trace.to_jsonl())
+            written.append(path)
+    return written
+
+
+def utilization_table(reports: Mapping[str, "ExecutionReport"]) -> str:
+    """Cross-strategy utilization summary: response vs critical path vs
+    total busy time and queueing delay."""
+    rows = []
+    for name, report in reports.items():
+        util = report.utilization
+        rows.append([
+            name,
+            f"{report.response_time * 1000:.3f}",
+            f"{util.critical_path_time * 1000:.3f}",
+            f"{util.total_busy * 1000:.3f}",
+            f"{util.total_queue_delay * 1000:.3f}",
+        ])
+    return format_table(
+        ["strategy", "response (ms)", "critical path (ms)",
+         "busy (ms)", "queued (ms)"],
+        rows,
+    )
 
 
 def shape_report(series: SweepSeries) -> Dict[str, bool]:

@@ -2,35 +2,41 @@
 
 Commands:
 
-* ``demo``     — run the paper's Q1 on the school federation (all
+* ``demo``       — run the paper's Q1 on the school federation (all
   strategies) and print answers + simulated costs;
-* ``query``    — run an arbitrary SQL/X query against the school
-  federation with a chosen strategy;
-* ``study``    — regenerate the paper's performance study (Figures 9-11)
-  as tables;
-* ``compare``  — generate a synthetic Table 2 federation and compare all
-  five strategies on it;
-* ``tables``   — print Tables 1 and 2.
+* ``query``      — run an arbitrary SQL/X query against the school
+  federation with a chosen strategy (optionally exporting the trace);
+* ``explain``    — run a query once and print its full execution report
+  (answer, phase times, utilization, Gantt timeline);
+* ``strategies`` — list the registered strategies and their metadata;
+* ``study``      — regenerate the paper's performance study
+  (Figures 9-11) as tables;
+* ``compare``    — generate a synthetic Table 2 federation and compare
+  all five strategies on it (optionally exporting every trace);
+* ``tables``     — print Tables 1 and 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from typing import List, Optional
 
 from repro.bench.experiments import figure9, figure10, figure11
-from repro.bench.reporting import format_table, series_table
+from repro.bench.reporting import dump_traces, format_table, series_table
 from repro.core.engine import GlobalQueryEngine
+from repro.core.strategies import DEFAULT_REGISTRY
 from repro.sim.costs import table1_rows
 from repro.workload.generator import generate
 from repro.workload.paper_example import Q1_TEXT, build_school_federation
 from repro.workload.params import sample_params, table2_rows
 
-STRATEGY_CHOICES = ("CA", "BL", "PL", "BL-S", "PL-S")
-#: Names accepted by --strategy (adds the adaptive selector).
-QUERY_STRATEGIES = STRATEGY_CHOICES + ("AUTO",)
+#: Names accepted by --strategy (everything in the registry).
+QUERY_STRATEGIES = tuple(DEFAULT_REGISTRY.names())
+#: The concrete strategies (the adaptive selector delegates to these).
+STRATEGY_CHOICES = tuple(n for n in QUERY_STRATEGIES if n != "AUTO")
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -49,13 +55,37 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     engine = GlobalQueryEngine(build_school_federation())
-    outcome = engine.execute(args.sql, strategy=args.strategy)
+    report = engine.execute(args.sql, strategy=args.strategy)
     print(f"strategy: {args.strategy}")
-    print(f"certain:  {outcome.results.certain_rows()}")
-    print(f"maybe:    {outcome.results.maybe_rows()}")
-    for maybe in outcome.results.maybe:
+    print(f"certain:  {report.results.certain_rows()}")
+    print(f"maybe:    {report.results.maybe_rows()}")
+    for maybe in report.results.maybe:
         unsolved = ", ".join(str(p) for p in maybe.unsolved)
         print(f"  {maybe.goid}: unsolved {unsolved}")
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            handle.write(report.trace.to_chrome_json())
+        print(f"trace:    {args.trace} (load in chrome://tracing or Perfetto)")
+    if args.jsonl:
+        with open(args.jsonl, "w") as handle:
+            handle.write(report.trace.to_jsonl())
+        print(f"jsonl:    {args.jsonl}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    engine = GlobalQueryEngine(build_school_federation())
+    report = engine.execute(args.sql, strategy=args.strategy)
+    print(report.explain(width=args.width))
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            handle.write(report.trace.to_chrome_json())
+        print(f"\ntrace written to {args.trace}")
+    return 0
+
+
+def _cmd_strategies(_args: argparse.Namespace) -> int:
+    print(DEFAULT_REGISTRY.table())
     return 0
 
 
@@ -104,6 +134,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         ["strategy", "total (s)", "response (s)", "net bytes", "checked"],
         rows,
     ))
+    if args.trace_dir:
+        written = dump_traces(outcomes, args.trace_dir)
+        print(f"\ntraces written to {args.trace_dir}:")
+        for path in written:
+            print(f"  {path}")
     return 0
 
 
@@ -131,6 +166,27 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--strategy", default="BL", choices=QUERY_STRATEGIES
     )
+    query.add_argument(
+        "--trace", default="", help="write a Chrome-trace JSON here"
+    )
+    query.add_argument(
+        "--jsonl", default="", help="write a JSONL event log here"
+    )
+
+    explain = sub.add_parser(
+        "explain", help="run a query once and print its execution report"
+    )
+    explain.add_argument("sql", nargs="?", default=Q1_TEXT,
+                         help="SQL/X query text (default: the paper's Q1)")
+    explain.add_argument(
+        "--strategy", default="PL", choices=QUERY_STRATEGIES
+    )
+    explain.add_argument("--width", type=int, default=48)
+    explain.add_argument(
+        "--trace", default="", help="also write a Chrome-trace JSON here"
+    )
+
+    sub.add_parser("strategies", help="list registered strategies")
 
     study = sub.add_parser("study", help="regenerate Figures 9-11")
     study.add_argument("--samples", type=int, default=100)
@@ -142,6 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
                                              "synthetic federation")
     compare.add_argument("--seed", type=int, default=2026)
     compare.add_argument("--scale", type=float, default=0.05)
+    compare.add_argument(
+        "--trace-dir", default="",
+        help="write each strategy's Chrome-trace JSON into this directory",
+    )
 
     sub.add_parser("tables", help="print Tables 1 and 2")
     return parser
@@ -152,11 +212,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "demo": _cmd_demo,
         "query": _cmd_query,
+        "explain": _cmd_explain,
+        "strategies": _cmd_strategies,
         "study": _cmd_study,
         "compare": _cmd_compare,
         "tables": _cmd_tables,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,6 +20,7 @@ _EXPORTS = {
     "DnfOutcome": "repro.core.predicates",
     "EvalMeter": "repro.core.predicates",
     "GLOBAL_SITE": "repro.core.system",
+    "ExecutionReport": "repro.core.report",
     "GlobalQueryEngine": "repro.core.engine",
     "GlobalResult": "repro.core.results",
     "MissingAt": "repro.core.predicates",

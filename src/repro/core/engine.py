@@ -2,9 +2,12 @@
 
 :class:`GlobalQueryEngine` is the main entry point for library users: it
 accepts a :class:`~repro.core.query.Query` (or an SQL/X string), executes
-it with a chosen strategy, and returns the answer plus metrics.  It also
-runs head-to-head strategy comparisons, which is how the paper's
-experiments are driven.
+it with a chosen strategy, and returns a unified
+:class:`~repro.core.report.ExecutionReport` — the answer, the metrics,
+the span trace (with Chrome-trace / JSONL / Gantt exporters) and the
+per-site utilization profile of that one execution.  ``explain()`` and
+``compare()`` consume the same report object, so rendering a schedule
+never re-runs the query.
 """
 
 from __future__ import annotations
@@ -12,15 +15,13 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Union
 
 from repro.core.query import Query
+from repro.core.report import ExecutionReport
 from repro.core.results import same_answers
-from repro.core.strategies import (
-    PAPER_STRATEGIES,
-    Strategy,
-    StrategyResult,
-    strategy_by_name,
-)
+from repro.core.strategies import DEFAULT_REGISTRY, Strategy
+from repro.core.strategies.registry import StrategyRegistry
 from repro.core.system import DistributedSystem
 from repro.errors import ReproError
+from repro.obs.spans import TraceEvent
 
 
 class GlobalQueryEngine:
@@ -30,15 +31,16 @@ class GlobalQueryEngine:
         self,
         system: DistributedSystem,
         default_strategy: Union[str, Strategy] = "BL",
+        registry: Optional[StrategyRegistry] = None,
     ) -> None:
         self.system = system
+        self.registry = registry or DEFAULT_REGISTRY
         self.default_strategy = self._resolve(default_strategy)
 
-    @staticmethod
-    def _resolve(strategy: Union[str, Strategy]) -> Strategy:
+    def _resolve(self, strategy: Union[str, Strategy]) -> Strategy:
         if isinstance(strategy, Strategy):
             return strategy
-        return strategy_by_name(strategy)
+        return self.registry.create(strategy)
 
     def parse(self, text: str) -> Query:
         """Parse an SQL/X query string against the global schema."""
@@ -46,65 +48,72 @@ class GlobalQueryEngine:
 
         return parse_query(text)
 
+    def ensure_signatures(self) -> None:
+        """Build the signature catalog now if it is absent.
+
+        Signature strategies (BL-S/PL-S) need the catalog; without this
+        call the engine builds it implicitly on first use and records a
+        ``signatures.build`` event on that report.
+        """
+        self.system.ensure_signatures()
+
     def execute(
         self,
         query: Union[Query, str],
         strategy: Optional[Union[str, Strategy]] = None,
-    ) -> StrategyResult:
-        """Run *query* (Query object or SQL/X text) and return the answer.
+    ) -> ExecutionReport:
+        """Run *query* (Query object or SQL/X text) once.
 
-        Signature strategies require :meth:`DistributedSystem
-        .build_signatures` to have been called; the engine does it on
-        demand.
+        Returns an :class:`ExecutionReport`: the answer plus metrics
+        (it still quacks like the old ``StrategyResult``), with
+        ``.trace``, ``.registry`` and ``.utilization`` views derived
+        from the same run.
         """
+        query_text = query if isinstance(query, str) else ""
         if isinstance(query, str):
             query = self.parse(query)
         chosen = (
             self.default_strategy if strategy is None else self._resolve(strategy)
         )
+        built_signatures = False
         if getattr(chosen, "use_signatures", False) and self.system.signatures is None:
             self.system.build_signatures()
-        return chosen.execute(self.system, query)
+            built_signatures = True
+        report = ExecutionReport.from_result(
+            chosen.execute(self.system, query), query_text=query_text
+        )
+        if built_signatures:
+            report.record_event(TraceEvent.of(
+                "signatures.build",
+                implicit=True,
+                strategy=chosen.name,
+                hint="call engine.ensure_signatures() to build up front",
+            ))
+        return report
 
     def explain(
         self,
-        query: Union[Query, str],
+        query: Union[Query, str, ExecutionReport],
         strategy: Optional[Union[str, Strategy]] = None,
         width: int = 48,
     ) -> str:
-        """Execute *query* and render the simulated schedule as text.
+        """Render an execution's schedule as text.
 
-        Returns a report with the answer summary, the per-phase busy
-        times, and a timeline of every scheduled activity/transfer —
-        useful for seeing *where* a strategy spends its time (e.g. PL's
-        checks overlapping local evaluation).
+        Pass an :class:`ExecutionReport` to render a run you already
+        have — nothing is executed.  Pass a query (text or
+        :class:`Query`) and it is executed exactly once, then rendered
+        from that single run's report.
         """
-        from repro.sim.trace import format_timeline, phase_summary
-
-        outcome = self.execute(query, strategy)
-        metrics = outcome.metrics
-        header = (
-            f"strategy {metrics.strategy}: "
-            f"{outcome.results.summary()}; "
-            f"total={metrics.total_time * 1000:.3f} ms, "
-            f"response={metrics.response_time * 1000:.3f} ms"
-        )
-        return "\n".join(
-            [
-                header,
-                "",
-                phase_summary(metrics.trace),
-                "",
-                format_timeline(metrics.trace, width=width),
-            ]
-        )
+        if isinstance(query, ExecutionReport):
+            return query.explain(width=width)
+        return self.execute(query, strategy).explain(width=width)
 
     def compare(
         self,
         query: Union[Query, str],
         strategies: Optional[Sequence[Union[str, Strategy]]] = None,
         check_agreement: bool = True,
-    ) -> Dict[str, StrategyResult]:
+    ) -> Dict[str, ExecutionReport]:
         """Execute *query* under several strategies (default: CA, BL, PL).
 
         With ``check_agreement`` (the default) a :class:`ReproError` is
@@ -114,11 +123,11 @@ class GlobalQueryEngine:
         if isinstance(query, str):
             query = self.parse(query)
         chosen = (
-            [cls() for cls in PAPER_STRATEGIES]
+            [info.create() for info in self.registry.infos(paper_only=True)]
             if strategies is None
             else [self._resolve(s) for s in strategies]
         )
-        outcomes: Dict[str, StrategyResult] = {}
+        outcomes: Dict[str, ExecutionReport] = {}
         for strategy in chosen:
             outcomes[strategy.name] = self.execute(query, strategy)
         if check_agreement and len(outcomes) > 1:

@@ -25,15 +25,25 @@ from repro.core.strategies.localized import (
     SignatureBasicLocalizedStrategy,
     SignatureParallelLocalizedStrategy,
 )
+from repro.core.strategies.registry import (
+    DEFAULT_REGISTRY,
+    StrategyInfo,
+    StrategyRegistry,
+    resolve,
+)
 
-#: The paper's three algorithms, in presentation order.
+# --- deprecated shims --------------------------------------------------------
+# The tuples and strategy_by_name() predate the registry; they survive as
+# views of DEFAULT_REGISTRY so older callers keep working.
+
+#: Deprecated: use ``DEFAULT_REGISTRY.infos(paper_only=True)``.
 PAPER_STRATEGIES = (
     CentralizedStrategy,
     BasicLocalizedStrategy,
     ParallelLocalizedStrategy,
 )
 
-#: All implemented strategies, including the signature variants.
+#: Deprecated: use ``DEFAULT_REGISTRY.infos()``.
 ALL_STRATEGIES = PAPER_STRATEGIES + (
     SignatureBasicLocalizedStrategy,
     SignatureParallelLocalizedStrategy,
@@ -41,20 +51,13 @@ ALL_STRATEGIES = PAPER_STRATEGIES + (
 
 
 def strategy_by_name(name: str) -> Strategy:
-    """Instantiate a strategy from its short name (case-insensitive)."""
-    if name.lower() == "auto":
-        return AdaptiveStrategy()
-    for cls in ALL_STRATEGIES:
-        if cls.name.lower() == name.lower():
-            return cls()
-    raise ValueError(
-        f"unknown strategy {name!r}; choose from "
-        f"{[cls.name for cls in ALL_STRATEGIES] + ['AUTO']}"
-    )
+    """Deprecated alias for :func:`repro.core.strategies.registry.resolve`."""
+    return resolve(name)
 
 
 __all__ = [
     "ALL_STRATEGIES",
+    "DEFAULT_REGISTRY",
     "AdaptiveStrategy",
     "BasicLocalizedStrategy",
     "CentralizedStrategy",
@@ -64,10 +67,13 @@ __all__ = [
     "SignatureBasicLocalizedStrategy",
     "SignatureParallelLocalizedStrategy",
     "Strategy",
+    "StrategyInfo",
+    "StrategyRegistry",
     "StrategyResult",
     "collect_verdicts",
     "extract_params",
     "plan_dispatch",
+    "resolve",
     "run_checks",
     "strategy_by_name",
 ]

@@ -142,6 +142,7 @@ class AdaptiveStrategy(Strategy):
 
     def execute(self, system: DistributedSystem, query: Query) -> StrategyResult:
         from repro.core.strategies import strategy_by_name
+        from repro.obs.spans import TraceEvent
 
         predictions = self.predict(system, query)
         choice = min(predictions, key=predictions.get)
@@ -149,4 +150,11 @@ class AdaptiveStrategy(Strategy):
         self.last_predictions = predictions
         result = strategy_by_name(choice).execute(system, query)
         result.metrics.strategy = f"AUTO->{choice}"
+        result.metrics.add_event(TraceEvent.of(
+            "auto.predict",
+            choice=choice,
+            objective=self.objective,
+            **{f"predicted_{name}_s": f"{value:.6f}"
+               for name, value in sorted(predictions.items())},
+        ))
         return result

@@ -22,6 +22,7 @@ from repro.core.tvl import TV
 from repro.integration.outerjoin import IntegrationStats, materialize
 from repro.objectdb.objects import LocalObject
 from repro.objectdb.values import NULL
+from repro.obs.spans import TraceEvent
 from repro.sim.metrics import ExecutionMetrics, WorkCounters
 from repro.sim.taskgraph import PHASE_I, PHASE_P, PHASE_SCAN
 
@@ -162,5 +163,11 @@ class CentralizedStrategy(Strategy):
             work,
             certain_results=len(results.certain),
             maybe_results=len(results.maybe),
+            events=[TraceEvent.of(
+                "ca.integrate",
+                classes=len(involved_classes),
+                objects_shipped=work.objects_shipped,
+                outerjoin_comparisons=stats.comparisons,
+            )],
         )
         return StrategyResult(results=results.sort(), metrics=metrics)

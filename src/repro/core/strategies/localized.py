@@ -40,6 +40,7 @@ from repro.core.strategies.base import (
 )
 from repro.core.system import DistributedSystem
 from repro.objectdb.local_query import CheckReport, LocalResultSet
+from repro.obs.spans import TraceEvent
 from repro.sim.metrics import ExecutionMetrics, WorkCounters
 from repro.sim.taskgraph import FederationSim, Node, PHASE_I, PHASE_O, PHASE_P, PHASE_SCAN
 
@@ -62,6 +63,7 @@ class _LocalizedStrategy(Strategy):
         reports: List[CheckReport] = []
         signature_verdicts = []
         certify_deps: List[Node] = []
+        events: List[TraceEvent] = []
 
         branch_classes = query.branch_classes(system.global_schema.schema)
         queried = list(decomposed.local_queries)
@@ -102,6 +104,14 @@ class _LocalizedStrategy(Strategy):
                 db_name, items, system, use_signatures=self.use_signatures
             )
             signature_verdicts.extend(plan.signature_verdicts)
+            events.append(TraceEvent.of(
+                "dispatch.plan",
+                site=db_name,
+                unsolved_items=len(items),
+                assistants=plan.assistants_found,
+                check_requests=len(plan.requests),
+                signature_verdicts=len(plan.signature_verdicts),
+            ))
 
             work.objects_scanned += result.objects_scanned
             work.comparisons += result.comparisons
@@ -154,6 +164,7 @@ class _LocalizedStrategy(Strategy):
                     nbytes=request_bytes,
                     label=f"{self.name} check-req",
                     deps=[dispatch_node],
+                    phase=PHASE_O,
                 )
                 check_bytes = report.objects_checked * avg_branch_bytes
                 work.bytes_disk += int(check_bytes)
@@ -179,6 +190,7 @@ class _LocalizedStrategy(Strategy):
                         nbytes=reply_bytes,
                         label=f"{self.name} check-reply",
                         deps=[check_cpu],
+                        phase=PHASE_O,
                     )
                 )
 
@@ -187,6 +199,13 @@ class _LocalizedStrategy(Strategy):
         predicates = query.all_predicates()
         max_rounds = max((len(p.path) for p in predicates), default=0)
         chase_rounds = chase_blocked(reports, system, verdicts, max_rounds)
+        for round_no, chase in enumerate(chase_rounds, start=1):
+            events.append(TraceEvent.of(
+                "chase.round",
+                round=round_no,
+                requests=len(chase.requests),
+                mapping_lookups=chase.mapping_lookups,
+            ))
         prev_deps: List[Node] = list(certify_deps)
         for chase in chase_rounds:
             lookup = fed.cpu(
@@ -216,6 +235,7 @@ class _LocalizedStrategy(Strategy):
                     nbytes=request_bytes,
                     label=f"{self.name} chase-req",
                     deps=[lookup],
+                    phase=PHASE_O,
                 )
                 check_bytes = report.objects_checked * avg_branch_bytes
                 work.bytes_disk += int(check_bytes)
@@ -241,6 +261,7 @@ class _LocalizedStrategy(Strategy):
                         nbytes=reply_bytes,
                         label=f"{self.name} chase-reply",
                         deps=[check_cpu],
+                        phase=PHASE_O,
                     )
                 )
             certify_deps.extend(round_replies)
@@ -272,6 +293,7 @@ class _LocalizedStrategy(Strategy):
             work,
             certain_results=len(results.certain),
             maybe_results=len(results.maybe),
+            events=events,
         )
         return StrategyResult(results=results.sort(), metrics=metrics)
 

@@ -1,0 +1,63 @@
+"""Federation-wide observability: spans, metrics, utilization, exporters.
+
+The strategies describe their work as activity graphs scheduled on the
+discrete-event simulator; this package turns the executed schedule into
+first-class observability artifacts:
+
+* :mod:`repro.obs.spans` — structured **spans** (one per scheduled
+  activity or transfer, tagged with phase, site and resource) plus
+  instantaneous **events**, bundled into a :class:`~repro.obs.spans.Trace`
+  handle;
+* :mod:`repro.obs.registry` — a **metrics registry** of counters, gauges
+  and timing histograms, subsuming the ad-hoc ``WorkCounters``;
+* :mod:`repro.obs.utilization` — per-site/per-resource **utilization
+  profiles** (busy time, queueing delay, critical path) computed from the
+  schedule;
+* :mod:`repro.obs.exporters` — a Chrome-trace (``chrome://tracing`` /
+  Perfetto) JSON emitter, a flat JSONL event log, and the text Gantt.
+
+Everything here is pure post-processing over simulated timestamps: no
+wall clocks, no global state, no extra dependencies.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace_dict,
+    chrome_trace_json,
+    jsonl_log,
+    text_gantt,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry_from_metrics,
+)
+from repro.obs.spans import Span, Trace, TraceEvent, spans_from_nodes, trace_from_jsonl
+from repro.obs.utilization import (
+    ResourceProfile,
+    SiteProfile,
+    UtilizationReport,
+    compute_utilization,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ResourceProfile",
+    "SiteProfile",
+    "Span",
+    "Trace",
+    "TraceEvent",
+    "UtilizationReport",
+    "chrome_trace_dict",
+    "chrome_trace_json",
+    "compute_utilization",
+    "jsonl_log",
+    "registry_from_metrics",
+    "spans_from_nodes",
+    "text_gantt",
+    "trace_from_jsonl",
+]

@@ -1,0 +1,159 @@
+"""Trace exporters: Chrome-trace JSON, flat JSONL, and the text Gantt.
+
+* :func:`chrome_trace_dict` / :func:`chrome_trace_json` — the Trace
+  Event Format consumed by ``chrome://tracing`` and Perfetto.  Every
+  site becomes a *process* (pid) and every device at the site a
+  *thread* (tid), so the UI groups the schedule the way the paper's
+  figures do: one lane per resource.  Spans are complete events
+  (``"ph": "X"``) with microsecond timestamps; engine events are
+  global instants (``"ph": "i"``).
+* :func:`jsonl_log` — one self-describing JSON record per line
+  (``meta`` / ``span`` / ``event``), greppable and trivially parsed
+  back by :func:`repro.obs.spans.trace_from_jsonl`.
+* :func:`text_gantt` — the text timeline, rewritten on top of spans
+  (one row per span, a ``#`` bar on the response window).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.spans import Trace
+
+#: Simulated seconds -> Chrome trace microseconds.
+_US = 1_000_000.0
+
+
+def _pid_tid_tables(trace: "Trace") -> Dict[str, object]:
+    """Stable pid per site and tid per resource (1-based, sorted)."""
+    sites = sorted({span.site for span in trace.spans})
+    pids = {site: index + 1 for index, site in enumerate(sites)}
+    resources = sorted({span.resource for span in trace.spans})
+    tids = {resource: index + 1 for index, resource in enumerate(resources)}
+    return {"pids": pids, "tids": tids}
+
+
+def chrome_trace_dict(trace: "Trace") -> Dict[str, object]:
+    """Build the Chrome-trace dict for one execution trace."""
+    tables = _pid_tid_tables(trace)
+    pids: Dict[str, int] = tables["pids"]
+    tids: Dict[str, int] = tables["tids"]
+    events: List[Dict[str, object]] = []
+
+    for site, pid in pids.items():
+        events.append({
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"site {site}"},
+        })
+    # Name every (pid, tid) lane actually used by a span — network
+    # transfers run on the shared channel under their source site's pid.
+    named = set()
+    for span in trace.spans:
+        key = (pids[span.site], tids[span.resource])
+        if key in named:
+            continue
+        named.add(key)
+        events.append({
+            "ph": "M",
+            "name": "thread_name",
+            "pid": key[0],
+            "tid": key[1],
+            "args": {"name": span.resource},
+        })
+
+    for span in sorted(trace.spans, key=lambda s: (s.start, s.index)):
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.phase,
+            "ts": span.start * _US,
+            "dur": span.duration * _US,
+            "pid": pids[span.site],
+            "tid": tids[span.resource],
+            "args": {
+                "phase": span.phase,
+                "site": span.site,
+                "resource": span.resource,
+                "nbytes": span.nbytes,
+                "queue_delay_us": span.queue_delay * _US,
+                "deps": list(span.deps),
+            },
+        })
+    for event in trace.events:
+        events.append({
+            "ph": "i",
+            "s": "g",  # global-scope instant
+            "name": event.name,
+            "cat": "engine",
+            "ts": event.ts * _US,
+            "pid": 0,
+            "tid": 0,
+            "args": event.attr_dict(),
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "strategy": trace.strategy,
+            "query": trace.query_text,
+        },
+    }
+
+
+def chrome_trace_json(trace: "Trace", indent: Optional[int] = None) -> str:
+    return json.dumps(chrome_trace_dict(trace), indent=indent)
+
+
+def jsonl_log(trace: "Trace") -> str:
+    """One JSON record per line: a ``meta`` header, then spans, then
+    events — ordered by simulated start time."""
+    lines = [json.dumps({
+        "record": "meta",
+        "strategy": trace.strategy,
+        "query_text": trace.query_text,
+        "spans": len(trace.spans),
+        "events": len(trace.events),
+        "response_time": trace.response_time,
+    })]
+    for span in sorted(trace.spans, key=lambda s: (s.start, s.index)):
+        record = {"record": "span"}
+        record.update(span.to_dict())
+        lines.append(json.dumps(record))
+    for event in trace.events:
+        record = {"record": "event"}
+        record.update(event.to_dict())
+        lines.append(json.dumps(record))
+    return "\n".join(lines) + "\n"
+
+
+def text_gantt(
+    trace: "Trace", width: int = 48, min_duration: float = 0.0
+) -> str:
+    """Render the trace as a text timeline (one row per span)."""
+    spans = [s for s in trace.spans
+             if s.duration >= min_duration or s.duration == 0]
+    if not spans:
+        return "(empty schedule)"
+    horizon = max(s.finish for s in spans) or 1.0
+    label_width = min(36, max(len(s.name) for s in spans))
+    resource_width = max(len(s.resource) for s in spans)
+    lines = []
+    for span in spans:
+        begin = int(span.start / horizon * width)
+        length = max(1, int(round(span.duration / horizon * width)))
+        length = min(length, width - begin)
+        bar = " " * begin + "#" * length
+        lines.append(
+            f"{span.start * 1000:9.3f}ms |{bar.ljust(width)}| "
+            f"{span.resource.ljust(resource_width)}  "
+            f"{span.name[:label_width]}"
+        )
+    for event in trace.events:
+        attrs = ", ".join(f"{k}={v}" for k, v in event.attrs)
+        lines.append(f"   (event) {event.name}" + (f" [{attrs}]" if attrs else ""))
+    return "\n".join(lines)

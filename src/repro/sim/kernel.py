@@ -28,7 +28,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional
+from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional, Tuple
 
 from collections import deque
 
@@ -102,10 +102,15 @@ class Resource:
         self.name = name
         self.capacity = capacity
         self._in_use = 0
-        self._queue: Deque[Event] = deque()
+        self._queue: Deque[Tuple[Event, float]] = deque()
         # Utilization accounting.
         self.busy_time = 0.0
         self._busy_since: Optional[float] = None
+        # Queueing accounting (observability): total time grants spent
+        # waiting in the FIFO, and how many had to wait at all.
+        self.wait_time = 0.0
+        self.grants = 0
+        self.grants_queued = 0
 
     def acquire(self) -> Event:
         """Return an event that triggers when a server is granted."""
@@ -113,13 +118,14 @@ class Resource:
         if self._in_use < self.capacity:
             self._grant(grant)
         else:
-            self._queue.append(grant)
+            self._queue.append((grant, self.sim.now))
         return grant
 
     def _grant(self, grant: Event) -> None:
         if self._in_use == 0:
             self._busy_since = self.sim.now
         self._in_use += 1
+        self.grants += 1
         grant.trigger(self)
 
     def release(self) -> None:
@@ -130,7 +136,10 @@ class Resource:
             self.busy_time += self.sim.now - self._busy_since
             self._busy_since = None
         if self._queue and self._in_use < self.capacity:
-            self._grant(self._queue.popleft())
+            grant, enqueued = self._queue.popleft()
+            self.wait_time += self.sim.now - enqueued
+            self.grants_queued += 1
+            self._grant(grant)
 
     @property
     def queued(self) -> int:

@@ -9,8 +9,9 @@ and correctness in one object.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
+from repro.obs.spans import Span, TraceEvent, spans_from_nodes
 from repro.sim.taskgraph import SimOutcome
 from repro.sim.trace import TraceEntry, entries_from_nodes
 
@@ -53,6 +54,12 @@ class ExecutionMetrics:
     maybe_results: int = 0
     #: The full simulated schedule, for tracing/explain.
     trace: Tuple[TraceEntry, ...] = ()
+    #: Structured spans of the schedule (site/resource/queue-delay aware).
+    spans: Tuple[Span, ...] = ()
+    #: Instantaneous observability events recorded by the strategy/engine.
+    events: Tuple[TraceEvent, ...] = ()
+    #: Kernel-measured FIFO wait per resource (queueing delay).
+    resource_wait: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_outcome(
@@ -62,6 +69,7 @@ class ExecutionMetrics:
         work: Optional[WorkCounters] = None,
         certain_results: int = 0,
         maybe_results: int = 0,
+        events: Sequence[TraceEvent] = (),
     ) -> "ExecutionMetrics":
         return cls(
             strategy=strategy,
@@ -73,7 +81,14 @@ class ExecutionMetrics:
             certain_results=certain_results,
             maybe_results=maybe_results,
             trace=tuple(entries_from_nodes(outcome.scheduled)),
+            spans=spans_from_nodes(outcome.scheduled),
+            events=tuple(events),
+            resource_wait=dict(outcome.resource_wait),
         )
+
+    def add_event(self, event: TraceEvent) -> None:
+        """Append one observability event (engine/strategy bookkeeping)."""
+        self.events = self.events + (event,)
 
     def summary(self) -> str:
         return (

@@ -53,6 +53,9 @@ class Node:
     deps: Tuple["Node", ...] = ()
     start: Optional[float] = None
     finish: Optional[float] = None
+    #: When dependencies completed and the node began queueing for its
+    #: resource — ``start - ready`` is the FIFO queueing delay.
+    ready: Optional[float] = None
 
 
 class FederationSim:
@@ -159,11 +162,15 @@ class FederationSim:
         nbytes: float,
         label: str = "transfer",
         deps: Iterable[Node] = (),
+        phase: str = PHASE_XFER,
     ) -> Node:
         """Network transfer, charged at T_net per byte.
 
         On the shared channel all transfers serialize; otherwise each
-        (src, dst) pair has its own channel.
+        (src, dst) pair has its own channel.  Transfers that belong to a
+        protocol phase (e.g. shipping assistant-check requests is phase-O
+        work) may carry that phase tag; they still occupy the network,
+        not a site device.
         """
         self._check_site(src)
         self._check_site(dst)
@@ -172,7 +179,7 @@ class FederationSim:
             f"{label} {src}->{dst}",
             resource,
             self.cost_model.net_time(nbytes),
-            PHASE_XFER,
+            phase,
             src,
             nbytes=int(nbytes),
             deps=deps,
@@ -209,6 +216,7 @@ class FederationSim:
             dep_events = tuple(done_events[d.index] for d in node.deps)
             if dep_events:
                 yield AllOf(dep_events)
+            node.ready = sim.now
             resource = get_resource(node.resource_name)
             yield Acquire(resource)
             node.start = sim.now
@@ -243,6 +251,10 @@ class SimOutcome:
     nodes: int = 0
     #: The scheduled nodes (with start/finish), for tracing/explain.
     scheduled: Tuple[Node, ...] = ()
+    #: Kernel-measured busy time per resource (device utilization).
+    resource_busy: Dict[str, float] = field(default_factory=dict)
+    #: Kernel-measured FIFO wait time per resource (queueing delay).
+    resource_wait: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_nodes(
@@ -258,7 +270,9 @@ class SimOutcome:
         for node in nodes:
             total += node.seconds
             phase_time[node.phase] = phase_time.get(node.phase, 0.0) + node.seconds
-            if node.phase == PHASE_XFER:
+            # Network nodes (shared channel or per-pair channels) move
+            # bytes; everything else is busy time at its site's devices.
+            if node.resource_name == "net" or node.resource_name.startswith("net:"):
                 bytes_transferred += node.nbytes
             else:
                 site_busy[node.site] = site_busy.get(node.site, 0.0) + node.seconds
@@ -270,4 +284,10 @@ class SimOutcome:
             bytes_transferred=bytes_transferred,
             nodes=len(nodes),
             scheduled=tuple(nodes),
+            resource_busy={
+                name: res.busy_time for name, res in sorted(resources.items())
+            },
+            resource_wait={
+                name: res.wait_time for name, res in sorted(resources.items())
+            },
         )
