@@ -1,0 +1,188 @@
+"""Chaos bench: fault rate x strategy, measuring time AND completeness.
+
+Sweeps the school federation's Q1 through CA/BL/PL under
+
+* the fault-free reference,
+* every single-site loss (``FaultPlan.single_site_loss``), and
+* random chaos plans at increasing per-site outage rates
+  (``FaultPlan.chaos``),
+
+and reports, per cell: total/response time, certain/maybe counts, and
+*completeness* — the certain count as a fraction of that strategy's
+fault-free certain count.  This is the experiment behind the headline
+robustness claim: losing one site collapses CA's fused outerjoin to
+zero certainty while BL/PL still certify every row whose provenance
+avoids the dead site.
+
+Runs standalone (CI calls it twice and diffs the JSON for determinism)::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py --quick --json out.json
+
+The JSON output is fully determined by ``(--seed, --rates, --quick)``:
+no timestamps, no dict-order dependence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+if __package__ in (None, ""):  # runnable as a plain script from anywhere
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+    _SRC = pathlib.Path(__file__).parent.parent / "src"
+    if _SRC.is_dir():
+        sys.path.insert(0, str(_SRC))
+
+from bench_common import write_result
+
+from repro.bench.reporting import format_table
+from repro.core.engine import GlobalQueryEngine
+from repro.faults import FaultPlan
+from repro.workload.paper_example import Q1_TEXT, build_school_federation
+
+STRATEGIES = ("CA", "BL", "PL")
+FULL_RATES = (0.25, 0.5, 0.75, 1.0)
+QUICK_RATES = (0.5, 1.0)
+
+
+#: Chaos window horizon, matched to Q1's simulated timescale (~80 ms)
+#: so random windows actually land inside the execution.
+CHAOS_HORIZON = 0.1
+
+
+def _scenarios(sites, rates, seed):
+    """(label, plan) pairs; the fault-free reference comes first."""
+    yield "none", None
+    for site in sites:
+        yield f"loss:{site}", FaultPlan.single_site_loss(site, seed=seed)
+    for rate in rates:
+        yield f"chaos:{rate:g}", FaultPlan.chaos(
+            sites, rate, seed=seed, horizon=CHAOS_HORIZON
+        )
+
+
+def _assert_fault_visibility(report, plan):
+    """Every faulted run must surface its faults in the observability
+    layer — the bench doubles as a smoke test for that contract."""
+    events = {event.name for event in report.metrics.events}
+    if "faults.plan" not in events:
+        raise AssertionError("active plan left no faults.plan event")
+    if plan.outages and not report.metrics.fault_windows:
+        raise AssertionError("outages missing from metrics.fault_windows")
+    snapshot = report.registry.snapshot()
+    for name in ("work.retries", "work.timeouts", "work.messages_lost"):
+        if name not in snapshot:
+            raise AssertionError(f"counter {name} missing from registry")
+
+
+def run_cell(strategy, plan, seed):
+    """One (strategy, scenario) execution on a fresh federation."""
+    engine = GlobalQueryEngine(build_school_federation())
+    report = engine.execute(Q1_TEXT, strategy,
+                            fault_plan=plan, fault_seed=seed)
+    if plan is not None and plan.active:
+        _assert_fault_visibility(report, plan)
+    return {
+        "certain": len(report.results.certain),
+        "maybe": len(report.results.maybe),
+        "total_s": round(report.total_time, 6),
+        "response_s": round(report.response_time, 6),
+        "retries": report.metrics.work.retries,
+        "timeouts": report.metrics.work.timeouts,
+        "complete": report.availability.complete,
+        "availability": report.availability.summary(),
+    }
+
+
+def sweep(rates, seed):
+    sites = sorted(build_school_federation().databases)
+    rows = []
+    reference = {}
+    for label, plan in _scenarios(sites, rates, seed):
+        for strategy in STRATEGIES:
+            cell = run_cell(strategy, plan, seed)
+            if label == "none":
+                reference[strategy] = cell["certain"]
+            base = reference[strategy]
+            cell["completeness"] = (
+                round(cell["certain"] / base, 4) if base else 1.0
+            )
+            rows.append({"scenario": label, "strategy": strategy, **cell})
+    return {"query": Q1_TEXT, "seed": seed, "sites": sites, "rows": rows}
+
+
+def render(result):
+    headers = ["scenario", "strategy", "certain", "maybe", "completeness",
+               "total (s)", "response (s)", "retries", "availability"]
+    table_rows = [
+        [row["scenario"], row["strategy"], str(row["certain"]),
+         str(row["maybe"]), f"{row['completeness']:.2f}",
+         f"{row['total_s']:.3f}", f"{row['response_s']:.3f}",
+         str(row["retries"]), row["availability"]]
+        for row in result["rows"]
+    ]
+    return format_table(headers, table_rows)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer chaos rates (CI smoke)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rates", default="",
+                        help="comma-separated chaos rates, e.g. 0.25,0.5")
+    parser.add_argument("--json", default="", dest="json_path",
+                        help="also write the machine-readable result here")
+    args = parser.parse_args(argv)
+
+    if args.rates:
+        rates = tuple(float(r) for r in args.rates.split(","))
+    else:
+        rates = QUICK_RATES if args.quick else FULL_RATES
+
+    result = sweep(rates, args.seed)
+    text = render(result)
+    print(text)
+    write_result("chaos", text)
+
+    # The acceptance contrast: under any single-site loss CA certifies
+    # strictly less than the localized strategies do.
+    by_key = {(r["scenario"], r["strategy"]): r for r in result["rows"]}
+    degraded = [s for s in result["sites"]
+                if not by_key[(f"loss:{s}", "CA")]["complete"]]
+    for site in degraded:
+        ca = by_key[(f"loss:{site}", "CA")]["certain"]
+        bl = by_key[(f"loss:{site}", "BL")]["certain"]
+        pl = by_key[(f"loss:{site}", "PL")]["certain"]
+        if not (ca <= bl and ca <= pl):
+            raise AssertionError(
+                f"loss:{site}: CA certified {ca} > localized ({bl}/{pl})"
+            )
+
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\njson written to {args.json_path}")
+    return 0
+
+
+def test_chaos_sweep(benchmark):
+    """pytest-benchmark entry point (quick rates)."""
+    from bench_common import run_once
+
+    result = run_once(benchmark, lambda: sweep(QUICK_RATES, seed=7))
+    write_result("chaos", render(result))
+    losses = [r for r in result["rows"] if r["scenario"].startswith("loss:")]
+    assert any(not r["complete"] for r in losses)
+    # CA never certifies more than BL/PL under a single-site loss.
+    by_key = {(r["scenario"], r["strategy"]): r for r in result["rows"]}
+    for site in result["sites"]:
+        assert (by_key[(f"loss:{site}", "CA")]["certain"]
+                <= by_key[(f"loss:{site}", "BL")]["certain"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ from repro.bench.experiments import figure9, figure10, figure11
 from repro.bench.reporting import dump_traces, format_table, series_table
 from repro.core.engine import GlobalQueryEngine
 from repro.core.strategies import DEFAULT_REGISTRY
+from repro.faults import POLICIES, FaultPlan
 from repro.sim.costs import table1_rows
 from repro.workload.generator import generate
 from repro.workload.paper_example import Q1_TEXT, build_school_federation
@@ -53,15 +54,61 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """Build the plan from --faults: a JSON file path or an inline spec
+    (``"DB2@0:1.5,link:*>DB1:loss0.3"``)."""
+    raw = getattr(args, "faults", "")
+    if not raw:
+        return None
+    seed = getattr(args, "fault_seed", 0)
+    if os.path.exists(raw):
+        with open(raw) as handle:
+            plan = FaultPlan.from_json(handle.read())
+        # The CLI seed wins over the file's when given explicitly.
+        if seed:
+            plan = FaultPlan(
+                seed=seed, outages=plan.outages, links=plan.links
+            )
+        return plan
+    return FaultPlan.from_spec(raw, seed=seed)
+
+
+def _add_fault_args(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--faults", default="",
+        help="fault plan: a JSON file path or an inline spec like "
+             "'DB2@0:1.5,link:*>DB1:loss0.3'",
+    )
+    command.add_argument(
+        "--fault-seed", type=int, default=0, dest="fault_seed",
+        help="seed for loss draws and backoff jitter",
+    )
+    command.add_argument(
+        "--policy", default="degrade", choices=sorted(POLICIES),
+        help="fault-handling policy (default: degrade to partial answers)",
+    )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     engine = GlobalQueryEngine(build_school_federation())
-    report = engine.execute(args.sql, strategy=args.strategy)
+    report = engine.execute(
+        args.sql,
+        strategy=args.strategy,
+        fault_plan=_load_fault_plan(args),
+        policy=args.policy,
+        fault_seed=args.fault_seed,
+    )
     print(f"strategy: {args.strategy}")
+    availability = report.availability.summary()
+    if availability != "complete":
+        print(f"degraded: {availability}")
     print(f"certain:  {report.results.certain_rows()}")
     print(f"maybe:    {report.results.maybe_rows()}")
     for maybe in report.results.maybe:
         unsolved = ", ".join(str(p) for p in maybe.unsolved)
         print(f"  {maybe.goid}: unsolved {unsolved}")
+        for note in maybe.notes:
+            print(f"  {maybe.goid}: {note}")
     if args.trace:
         with open(args.trace, "w") as handle:
             handle.write(report.trace.to_chrome_json())
@@ -75,7 +122,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     engine = GlobalQueryEngine(build_school_federation())
-    report = engine.execute(args.sql, strategy=args.strategy)
+    report = engine.execute(
+        args.sql,
+        strategy=args.strategy,
+        fault_plan=_load_fault_plan(args),
+        policy=args.policy,
+        fault_seed=args.fault_seed,
+    )
     print(report.explain(width=args.width))
     if args.trace:
         with open(args.trace, "w") as handle:
@@ -118,22 +171,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     workload = generate(params, scale=args.scale)
     engine = GlobalQueryEngine(workload.system)
     print(f"query: {workload.query}")
-    outcomes = engine.compare(workload.query, strategies=list(STRATEGY_CHOICES))
+    outcomes = engine.compare(
+        workload.query,
+        strategies=list(STRATEGY_CHOICES),
+        fault_plan=_load_fault_plan(args),
+        policy=args.policy,
+        fault_seed=args.fault_seed,
+    )
     print(f"answer: {outcomes['CA'].results.summary()}\n")
-    rows = [
-        [
+    headers = ["strategy", "total (s)", "response (s)", "net bytes", "checked"]
+    with_faults = bool(args.faults)
+    if with_faults:
+        headers.append("availability")
+    rows = []
+    for name in STRATEGY_CHOICES:
+        row = [
             name,
             f"{outcomes[name].total_time:.3f}",
             f"{outcomes[name].response_time:.3f}",
             str(outcomes[name].metrics.work.bytes_network),
             str(outcomes[name].metrics.work.assistants_checked),
         ]
-        for name in STRATEGY_CHOICES
-    ]
-    print(format_table(
-        ["strategy", "total (s)", "response (s)", "net bytes", "checked"],
-        rows,
-    ))
+        if with_faults:
+            row.append(outcomes[name].availability.summary())
+        rows.append(row)
+    print(format_table(headers, rows))
     if args.trace_dir:
         written = dump_traces(outcomes, args.trace_dir)
         print(f"\ntraces written to {args.trace_dir}:")
@@ -172,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--jsonl", default="", help="write a JSONL event log here"
     )
+    _add_fault_args(query)
 
     explain = sub.add_parser(
         "explain", help="run a query once and print its execution report"
@@ -185,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--trace", default="", help="also write a Chrome-trace JSON here"
     )
+    _add_fault_args(explain)
 
     sub.add_parser("strategies", help="list registered strategies")
 
@@ -202,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", default="",
         help="write each strategy's Chrome-trace JSON into this directory",
     )
+    _add_fault_args(compare)
 
     sub.add_parser("tables", help="print Tables 1 and 2")
     return parser

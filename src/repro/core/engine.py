@@ -8,6 +8,14 @@ the span trace (with Chrome-trace / JSONL / Gantt exporters) and the
 per-site utilization profile of that one execution.  ``explain()`` and
 ``compare()`` consume the same report object, so rendering a schedule
 never re-runs the query.
+
+Fault tolerance: pass a :class:`~repro.faults.plan.FaultPlan` (and
+optionally an :class:`~repro.faults.policy.ExecutionPolicy`) to inject
+deterministic site outages and link degradation into an execution.  An
+empty/inactive plan leaves execution byte-identical to a fault-free run;
+an active plan makes strategies retry, wait, skip unreachable sites, and
+annotate the degraded answer with its
+:class:`~repro.core.results.Availability`.
 """
 
 from __future__ import annotations
@@ -16,11 +24,14 @@ from typing import Dict, Optional, Sequence, Union
 
 from repro.core.query import Query
 from repro.core.report import ExecutionReport
-from repro.core.results import same_answers
+from repro.core.results import certified_subset, same_answers
 from repro.core.strategies import DEFAULT_REGISTRY, Strategy
 from repro.core.strategies.registry import StrategyRegistry
 from repro.core.system import DistributedSystem
 from repro.errors import ReproError
+from repro.faults.injector import ExecutionContext
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ExecutionPolicy, resolve_policy
 from repro.obs.spans import TraceEvent
 
 
@@ -32,10 +43,16 @@ class GlobalQueryEngine:
         system: DistributedSystem,
         default_strategy: Union[str, Strategy] = "BL",
         registry: Optional[StrategyRegistry] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        policy: Union[str, ExecutionPolicy, None] = None,
+        fault_seed: int = 0,
     ) -> None:
         self.system = system
         self.registry = registry or DEFAULT_REGISTRY
         self.default_strategy = self._resolve(default_strategy)
+        self.fault_plan = fault_plan
+        self.policy = resolve_policy(policy)
+        self.fault_seed = fault_seed
 
     def _resolve(self, strategy: Union[str, Strategy]) -> Strategy:
         if isinstance(strategy, Strategy):
@@ -57,10 +74,34 @@ class GlobalQueryEngine:
         """
         self.system.ensure_signatures()
 
+    def _fault_context(
+        self,
+        fault_plan: Optional[FaultPlan],
+        policy: Union[str, ExecutionPolicy, None],
+        fault_seed: Optional[int],
+    ) -> Optional[ExecutionContext]:
+        """The execution's fault context, or None when faults are off.
+
+        A ``None`` context is load-bearing: strategies then run their
+        original two-argument code path, so fault-free executions are
+        byte-identical to the pre-fault-layer engine.
+        """
+        plan = fault_plan if fault_plan is not None else self.fault_plan
+        if plan is None or not plan.active:
+            return None
+        chosen_policy = (
+            self.policy if policy is None else resolve_policy(policy)
+        )
+        seed = self.fault_seed if fault_seed is None else fault_seed
+        return ExecutionContext(plan, chosen_policy, seed=seed)
+
     def execute(
         self,
         query: Union[Query, str],
         strategy: Optional[Union[str, Strategy]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        policy: Union[str, ExecutionPolicy, None] = None,
+        fault_seed: Optional[int] = None,
     ) -> ExecutionReport:
         """Run *query* (Query object or SQL/X text) once.
 
@@ -68,8 +109,17 @@ class GlobalQueryEngine:
         (it still quacks like the old ``StrategyResult``), with
         ``.trace``, ``.registry`` and ``.utilization`` views derived
         from the same run.
+
+        *fault_plan* / *policy* / *fault_seed* override the engine-wide
+        fault configuration for this execution only.
+
+        Raises:
+            UnavailableError: a site stayed unreachable under a
+                fail-fast policy.
+            ExecutionTimeout: cumulative fault waits exceeded the
+                policy's deadline.
         """
-        query_text = query if isinstance(query, str) else ""
+        query_text = query if isinstance(query, str) else str(query)
         if isinstance(query, str):
             query = self.parse(query)
         chosen = (
@@ -79,15 +129,27 @@ class GlobalQueryEngine:
         if getattr(chosen, "use_signatures", False) and self.system.signatures is None:
             self.system.build_signatures()
             built_signatures = True
-        report = ExecutionReport.from_result(
-            chosen.execute(self.system, query), query_text=query_text
-        )
+        ctx = self._fault_context(fault_plan, policy, fault_seed)
+        if ctx is None:
+            result = chosen.execute(self.system, query)
+        else:
+            result = chosen.execute(self.system, query, ctx)
+        report = ExecutionReport.from_result(result, query_text=query_text)
         if built_signatures:
             report.record_event(TraceEvent.of(
                 "signatures.build",
                 implicit=True,
                 strategy=chosen.name,
                 hint="call engine.ensure_signatures() to build up front",
+            ))
+        if ctx is not None:
+            report.record_event(TraceEvent.of(
+                "faults.plan",
+                outages=len(ctx.plan.outages),
+                links=len(ctx.plan.links),
+                policy=ctx.policy.name,
+                seed=ctx.injector.seed,
+                complete=ctx.complete,
             ))
         return report
 
@@ -113,12 +175,20 @@ class GlobalQueryEngine:
         query: Union[Query, str],
         strategies: Optional[Sequence[Union[str, Strategy]]] = None,
         check_agreement: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        policy: Union[str, ExecutionPolicy, None] = None,
+        fault_seed: Optional[int] = None,
     ) -> Dict[str, ExecutionReport]:
         """Execute *query* under several strategies (default: CA, BL, PL).
 
         With ``check_agreement`` (the default) a :class:`ReproError` is
         raised if any two strategies return different answers — they
         implement the same query semantics and may only differ in cost.
+        Under an active fault plan the check relaxes to
+        *completeness-aware agreement*: complete executions must agree
+        exactly, and every incomplete (degraded) execution may only
+        certify a subset of what a complete one certifies — degradation
+        must never add certainty.
         """
         if isinstance(query, str):
             query = self.parse(query)
@@ -129,15 +199,42 @@ class GlobalQueryEngine:
         )
         outcomes: Dict[str, ExecutionReport] = {}
         for strategy in chosen:
-            outcomes[strategy.name] = self.execute(query, strategy)
+            outcomes[strategy.name] = self.execute(
+                query,
+                strategy,
+                fault_plan=fault_plan,
+                policy=policy,
+                fault_seed=fault_seed,
+            )
         if check_agreement and len(outcomes) > 1:
-            names = list(outcomes)
-            baseline = outcomes[names[0]]
-            for name in names[1:]:
-                if not same_answers(baseline.results, outcomes[name].results):
-                    raise ReproError(
-                        f"strategies {names[0]} and {name} disagree: "
-                        f"{baseline.results.summary()} vs "
-                        f"{outcomes[name].results.summary()}"
-                    )
+            self._check_agreement(outcomes)
         return outcomes
+
+    @staticmethod
+    def _check_agreement(outcomes: Dict[str, ExecutionReport]) -> None:
+        complete = {
+            name: report
+            for name, report in outcomes.items()
+            if report.availability.complete
+        }
+        names = list(complete)
+        baseline = complete[names[0]] if names else None
+        for name in names[1:]:
+            if not same_answers(baseline.results, complete[name].results):
+                raise ReproError(
+                    f"strategies {names[0]} and {name} disagree: "
+                    f"{baseline.results.summary()} vs "
+                    f"{complete[name].results.summary()}"
+                )
+        if baseline is None:
+            # All executions degraded: nothing to anchor agreement on.
+            return
+        for name, report in outcomes.items():
+            if report.availability.complete:
+                continue
+            if not certified_subset(report.results, baseline.results):
+                raise ReproError(
+                    f"degraded strategy {name} certified results the "
+                    f"complete execution {names[0]} does not — "
+                    "degradation added certainty"
+                )

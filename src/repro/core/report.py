@@ -43,6 +43,7 @@ class ExecutionReport(StrategyResult):
         return cls(
             results=result.results,
             metrics=result.metrics,
+            availability=result.availability,
             query_text=query_text,
         )
 
@@ -55,6 +56,7 @@ class ExecutionReport(StrategyResult):
             spans=self.metrics.spans,
             events=self.metrics.events,
             query_text=self.query_text,
+            fault_windows=self.metrics.fault_windows,
         )
 
     @cached_property
@@ -75,12 +77,16 @@ class ExecutionReport(StrategyResult):
     # --- rendering --------------------------------------------------------
 
     def summary(self) -> str:
-        return (
+        text = (
             f"strategy {self.metrics.strategy}: "
             f"{self.results.summary()}; "
             f"total={self.metrics.total_time * 1000:.3f} ms, "
             f"response={self.metrics.response_time * 1000:.3f} ms"
         )
+        availability = self.availability.summary()
+        if availability != "complete":
+            text += f" [{availability}]"
+        return text
 
     def phase_table(self) -> str:
         """Per-phase busy seconds, widest first."""
@@ -126,6 +132,7 @@ class ExecutionReport(StrategyResult):
                 "maybe": self.metrics.maybe_results,
                 "rows": self.results.to_dicts(),
             },
+            "availability": self.availability.to_dict(),
             "metrics": self.registry.snapshot(),
             "trace": self.trace.to_dict(),
             "utilization": self.utilization.to_dict(),

@@ -40,6 +40,9 @@ class GlobalResult:
     kind: ResultKind
     bindings: Dict[Path, Value] = field(default_factory=dict)
     unsolved: Tuple[Predicate, ...] = ()
+    #: Degradation annotations ("uncertified: site DB2 unavailable") —
+    #: why this row is weaker than a fault-free execution would make it.
+    notes: Tuple[str, ...] = ()
 
     @property
     def is_certain(self) -> bool:
@@ -129,6 +132,8 @@ class ResultSet:
                 row[str(target)] = exported
             if result.unsolved:
                 row["unsolved"] = [str(p) for p in result.unsolved]
+            if result.notes:
+                row["notes"] = list(result.notes)
             rows.append(row)
         return rows
 
@@ -137,6 +142,66 @@ class ResultSet:
         import json
 
         return json.dumps(self.to_dicts(), indent=indent, default=str)
+
+
+@dataclass(frozen=True)
+class Availability:
+    """How much of the federation one execution actually reached.
+
+    Fault-free executions carry the default (complete) annotation; a
+    degraded execution records which sites were skipped, how often links
+    were retried, and how much simulated time was burned waiting.
+    """
+
+    complete: bool = True
+    sites_contacted: Tuple[str, ...] = ()
+    sites_skipped: Tuple[str, ...] = ()
+    #: (site, retry count) for links that succeeded only after retries.
+    retries: Tuple[Tuple[str, int], ...] = ()
+    checks_skipped: int = 0
+    messages_lost: int = 0
+    fault_wait_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "complete": self.complete,
+            "sites_contacted": list(self.sites_contacted),
+            "sites_skipped": list(self.sites_skipped),
+            "retries": {site: count for site, count in self.retries},
+            "checks_skipped": self.checks_skipped,
+            "messages_lost": self.messages_lost,
+            "fault_wait_s": self.fault_wait_s,
+        }
+
+    def summary(self) -> str:
+        if self.complete and not self.retries and not self.messages_lost:
+            return "complete"
+        parts = ["complete" if self.complete else "INCOMPLETE"]
+        if self.sites_skipped:
+            parts.append(f"skipped={','.join(self.sites_skipped)}")
+        if self.retries:
+            parts.append(
+                "retries=" + ",".join(f"{s}:{n}" for s, n in self.retries)
+            )
+        if self.checks_skipped:
+            parts.append(f"checks_skipped={self.checks_skipped}")
+        if self.messages_lost:
+            parts.append(f"lost={self.messages_lost}")
+        if self.fault_wait_s:
+            parts.append(f"waited={self.fault_wait_s:.3f}s")
+        return " ".join(parts)
+
+
+def certified_subset(degraded: ResultSet, full: ResultSet) -> bool:
+    """True when *degraded* certifies no GOid that *full* does not.
+
+    The soundness contract of degradation: losing a site may demote
+    certain results to maybe (or drop rows), but must never *add*
+    certainty that the complete execution lacks.
+    """
+    degraded_certain = {r.goid for r in degraded.certain}
+    full_certain = {r.goid for r in full.certain}
+    return degraded_certain <= full_certain
 
 
 def _row_key(row: Tuple[Value, ...]) -> Tuple:

@@ -140,7 +140,7 @@ class AdaptiveStrategy(Strategy):
             return {n: o.response_time for n, o in outcomes.items()}
         return {n: o.total_time for n, o in outcomes.items()}
 
-    def execute(self, system: DistributedSystem, query: Query) -> StrategyResult:
+    def execute(self, system: DistributedSystem, query: Query, ctx=None) -> StrategyResult:
         from repro.core.strategies import strategy_by_name
         from repro.obs.spans import TraceEvent
 
@@ -148,7 +148,11 @@ class AdaptiveStrategy(Strategy):
         choice = min(predictions, key=predictions.get)
         self.last_choice = choice
         self.last_predictions = predictions
-        result = strategy_by_name(choice).execute(system, query)
+        delegate = strategy_by_name(choice)
+        if ctx is None:
+            result = delegate.execute(system, query)
+        else:
+            result = delegate.execute(system, query, ctx)
         result.metrics.strategy = f"AUTO->{choice}"
         result.metrics.add_event(TraceEvent.of(
             "auto.predict",

@@ -24,12 +24,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.certification import SATISFIED, VIOLATED, VerdictIndex
 from repro.core.decompose import missing_depth
 from repro.core.query import Predicate, Query
-from repro.core.results import ResultSet
+from repro.core.results import Availability, ResultSet
 from repro.core.system import DistributedSystem
 from repro.errors import QueryError
+from repro.faults.injector import ExecutionContext, Negotiation
+from repro.obs.spans import TraceEvent
 from repro.objectdb.ids import LOid
 from repro.objectdb.local_query import CheckReport, CheckRequest, UnsolvedItem
 from repro.sim.metrics import ExecutionMetrics, WorkCounters
+from repro.sim.taskgraph import FederationSim, Node
 
 
 @dataclass
@@ -38,6 +41,9 @@ class StrategyResult:
 
     results: ResultSet
     metrics: ExecutionMetrics
+    #: How much of the federation this execution reached (complete on
+    #: fault-free runs; degraded runs list skipped sites and retries).
+    availability: Availability = field(default_factory=Availability)
 
     @property
     def total_time(self) -> float:
@@ -55,11 +61,75 @@ class Strategy(abc.ABC):
     name: str = "?"
 
     @abc.abstractmethod
-    def execute(self, system: DistributedSystem, query: Query) -> StrategyResult:
-        """Run *query* on *system*; return answer and metrics."""
+    def execute(
+        self,
+        system: DistributedSystem,
+        query: Query,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> StrategyResult:
+        """Run *query* on *system*; return answer and metrics.
+
+        *ctx* is the fault context of this execution; ``None`` (the
+        default, and what fault-free engine runs pass) means no fault
+        injection and must leave the execution byte-identical to the
+        pre-fault-layer behavior.
+        """
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"
+
+
+def fault_wait_chain(
+    fed: FederationSim,
+    ctx: ExecutionContext,
+    negotiation: Negotiation,
+    events: List[TraceEvent],
+    deps: Iterable[Node] = (),
+) -> List[Node]:
+    """Schedule a negotiation's timeout/backoff ladder as delay nodes.
+
+    Returns the dependency frontier downstream work should wait on: the
+    last wait node of the chain, or *deps* unchanged when the link
+    negotiated cleanly (or its ladder was already scheduled — the memoized
+    negotiation pays its waits only once per execution).  One trace event
+    is recorded per failed attempt, so every injected fault is visible.
+    """
+    key = (negotiation.src, negotiation.dst)
+    frontier = list(deps)
+    if not negotiation.failures or key in ctx.scheduled_links:
+        return frontier
+    ctx.scheduled_links.add(key)
+    for attempt_no, attempt in enumerate(negotiation.failures, start=1):
+        node = fed.delay(
+            negotiation.src,
+            attempt.wait_s,
+            label=(
+                f"wait {negotiation.src}->{negotiation.dst} "
+                f"attempt{attempt_no} ({attempt.outcome})"
+            ),
+            deps=frontier,
+        )
+        events.append(
+            TraceEvent.of(
+                "fault.attempt",
+                src=negotiation.src,
+                dst=negotiation.dst,
+                attempt=attempt_no,
+                outcome=attempt.outcome,
+                wait_s=f"{attempt.wait_s:.6f}",
+            )
+        )
+        frontier = [node]
+    if negotiation.ok:
+        events.append(
+            TraceEvent.of(
+                "fault.recovered",
+                src=negotiation.src,
+                dst=negotiation.dst,
+                retries=negotiation.retries,
+            )
+        )
+    return frontier
 
 
 @dataclass
@@ -221,6 +291,9 @@ class ChaseRound:
     requests: List[CheckRequest] = field(default_factory=list)
     reports: List[CheckReport] = field(default_factory=list)
     mapping_lookups: int = 0
+    #: Sites whose follow-up checks were skipped (unreachable under the
+    #: execution's fault plan) — the affected chains stay UNKNOWN.
+    skipped_sites: List[str] = field(default_factory=list)
 
 
 def chase_blocked(
@@ -228,6 +301,7 @@ def chase_blocked(
     system: DistributedSystem,
     verdicts: VerdictIndex,
     max_rounds: int,
+    ctx: Optional[ExecutionContext] = None,
 ) -> List[ChaseRound]:
     """Resolve multi-hop missing-reference chains by iterated checking.
 
@@ -275,6 +349,15 @@ def chase_blocked(
                 )
                 if depth is not None and depth == 0:
                     continue  # cannot even start the walk there
+                if ctx is not None and not ctx.reachable(
+                    system.global_site, assistant.db
+                ):
+                    # The follow-up check cannot be issued; the chain
+                    # stays UNKNOWN and the row remains maybe.
+                    if assistant.db not in round_data.skipped_sites:
+                        round_data.skipped_sites.append(assistant.db)
+                    ctx.note_skipped_check()
+                    continue
                 answerable.append(assistant)
                 target_class = system.global_schema.constituent_class(
                     assistant.db, global_class

@@ -10,15 +10,16 @@ step CA_G3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.decompose import attributes_needed
 from repro.core.predicates import EvalMeter, evaluate_dnf, walk_path
 from repro.core.query import Query
-from repro.core.results import GlobalResult, ResultKind, ResultSet
-from repro.core.strategies.base import Strategy, StrategyResult
+from repro.core.results import Availability, GlobalResult, ResultKind, ResultSet
+from repro.core.strategies.base import Strategy, StrategyResult, fault_wait_chain
 from repro.core.system import DistributedSystem
 from repro.core.tvl import TV
+from repro.faults.injector import ExecutionContext
 from repro.integration.outerjoin import IntegrationStats, materialize
 from repro.objectdb.objects import LocalObject
 from repro.objectdb.values import NULL
@@ -32,11 +33,18 @@ class CentralizedStrategy(Strategy):
 
     name = "CA"
 
-    def execute(self, system: DistributedSystem, query: Query) -> StrategyResult:
+    def execute(
+        self,
+        system: DistributedSystem,
+        query: Query,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> StrategyResult:
         query.validate(system.global_schema.schema)
-        fed = system.simulator()
+        fed = system.simulator(ctx.plan if ctx is not None else None)
         work = WorkCounters()
         cost = system.cost_model
+        fault_events: List[TraceEvent] = []
+        skipped_sites: List[str] = []
 
         involved_classes = (query.range_class,) + query.branch_classes(
             system.global_schema.schema
@@ -48,6 +56,25 @@ class CentralizedStrategy(Strategy):
         }
         ship_nodes = []
         for db_name, db in system.databases.items():
+            entry_deps: List = []
+            if ctx is not None:
+                negotiation = ctx.contact(system.global_site, db_name)
+                entry_deps = fault_wait_chain(
+                    fed, ctx, negotiation, fault_events
+                )
+                if not negotiation.ok:
+                    # The extent never ships: the fused outerjoin will
+                    # run over a partial materialization.
+                    skipped_sites.append(db_name)
+                    fault_events.append(
+                        TraceEvent.of(
+                            "fault.site_skipped",
+                            site=db_name,
+                            reason=negotiation.reason,
+                            attempts=len(negotiation.attempts),
+                        )
+                    )
+                    continue
             site_bytes = 0
             site_objects = 0
             shipped: List[Tuple[str, List[LocalObject]]] = []
@@ -82,6 +109,7 @@ class CentralizedStrategy(Strategy):
                 nbytes=site_bytes,
                 label=f"CA_C1 scan@{db_name}",
                 phase=PHASE_SCAN,
+                deps=entry_deps,
             )
             project = fed.cpu(
                 db_name,
@@ -156,6 +184,39 @@ class CentralizedStrategy(Strategy):
             deps=[integrate],
         )
 
+        # --- degraded-answer semantics under site loss ---------------------
+        # CA fuses every shipped extent into one outerjoin, erasing
+        # per-site provenance: with any extent missing, a TRUE predicate
+        # can rest on an incomplete materialization, so no row can be
+        # soundly *certified*.  All certain results demote to maybe.
+        if ctx is not None and skipped_sites:
+            note = (
+                "uncertified: outerjoin incomplete (site "
+                + ", ".join(sorted(skipped_sites))
+                + " unavailable)"
+            )
+            demoted = results.certain
+            results.certain = []
+            for result in demoted:
+                result.kind = ResultKind.MAYBE
+                result.notes = result.notes + (note,)
+                results.maybe.append(result)
+            fault_events.append(
+                TraceEvent.of(
+                    "fault.degraded",
+                    strategy=self.name,
+                    demoted=len(demoted),
+                    sites_skipped=",".join(sorted(skipped_sites)),
+                )
+            )
+
+        fault_windows = ()
+        if ctx is not None:
+            work.retries = ctx.retries
+            work.timeouts = ctx.timeouts
+            work.messages_lost = ctx.messages_lost
+            fault_windows = ctx.plan.fault_windows(fed.sites)
+
         outcome_sim = fed.run()
         metrics = ExecutionMetrics.from_outcome(
             self.name,
@@ -168,6 +229,13 @@ class CentralizedStrategy(Strategy):
                 classes=len(involved_classes),
                 objects_shipped=work.objects_shipped,
                 outerjoin_comparisons=stats.comparisons,
-            )],
+            )] + fault_events,
+            fault_windows=fault_windows,
         )
-        return StrategyResult(results=results.sort(), metrics=metrics)
+        return StrategyResult(
+            results=results.sort(),
+            metrics=metrics,
+            availability=(
+                ctx.availability() if ctx is not None else Availability()
+            ),
+        )

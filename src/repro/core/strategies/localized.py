@@ -24,21 +24,24 @@ comparisons.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.certification import CertificationStats, certify
 from repro.core.decompose import attributes_needed, decompose
 from repro.core.query import Query
+from repro.core.results import Availability
 from repro.core.strategies.base import (
     DispatchPlan,
     Strategy,
     StrategyResult,
     chase_blocked,
     collect_verdicts,
+    fault_wait_chain,
     plan_dispatch,
     run_checks,
 )
 from repro.core.system import DistributedSystem
+from repro.faults.injector import ExecutionContext
 from repro.objectdb.local_query import CheckReport, LocalResultSet
 from repro.obs.spans import TraceEvent
 from repro.sim.metrics import ExecutionMetrics, WorkCounters
@@ -53,9 +56,14 @@ class _LocalizedStrategy(Strategy):
     #: True for the signature variants.
     use_signatures: bool = False
 
-    def execute(self, system: DistributedSystem, query: Query) -> StrategyResult:
+    def execute(
+        self,
+        system: DistributedSystem,
+        query: Query,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> StrategyResult:
         decomposed = decompose(query, system.global_schema)
-        fed = system.simulator()
+        fed = system.simulator(ctx.plan if ctx is not None else None)
         work = WorkCounters()
         cost = system.cost_model
 
@@ -64,6 +72,10 @@ class _LocalizedStrategy(Strategy):
         signature_verdicts = []
         certify_deps: List[Node] = []
         events: List[TraceEvent] = []
+        #: Assistant home sites whose checks could not be dispatched.
+        unreachable_check_sites: List[str] = []
+        #: Entities whose assistant checks were skipped -> the down sites.
+        skipped_goids: Dict[object, set] = {}
 
         branch_classes = query.branch_classes(system.global_schema.schema)
         queried = list(decomposed.local_queries)
@@ -75,6 +87,24 @@ class _LocalizedStrategy(Strategy):
         ) if queried else 0.0
 
         for db_name, local_query in decomposed.local_queries.items():
+            entry_deps: List[Node] = []
+            if ctx is not None:
+                negotiation = ctx.contact(system.global_site, db_name)
+                entry_deps = fault_wait_chain(fed, ctx, negotiation, events)
+                if not negotiation.ok:
+                    # The whole site block drops out: its local results
+                    # are lost, but every other site's provenance is
+                    # intact — certification proceeds over the sites
+                    # actually queried.
+                    events.append(
+                        TraceEvent.of(
+                            "fault.site_skipped",
+                            site=db_name,
+                            reason=negotiation.reason,
+                            attempts=len(negotiation.attempts),
+                        )
+                    )
+                    continue
             db = system.db(db_name)
             root_obj_bytes, branch_obj_bytes = self._object_sizes(
                 system, query, db_name
@@ -123,11 +153,13 @@ class _LocalizedStrategy(Strategy):
                 eval_node, dispatch_node = self._build_pl_site(
                     fed, db_name, result, scan, scan_meter, plan,
                     root_obj_bytes, branch_obj_bytes, branch_capacity, work,
+                    entry_deps=entry_deps,
                 )
             else:
                 eval_node, dispatch_node = self._build_bl_site(
                     fed, db_name, result, plan,
                     root_obj_bytes, branch_obj_bytes, branch_capacity, work,
+                    entry_deps=entry_deps,
                 )
 
             # --- ship local results to the global processing site -------
@@ -144,9 +176,41 @@ class _LocalizedStrategy(Strategy):
             )
 
             # --- dispatch assistant checks -------------------------------
-            site_reports = run_checks(plan.requests, system)
+            # Requests to unreachable assistant sites are skipped: their
+            # verdicts never arrive, so the affected rows stay maybe.
+            runnable = []
+            for request in plan.requests:
+                if ctx is not None and not ctx.reachable(
+                    db_name, request.db_name
+                ):
+                    if request.db_name not in unreachable_check_sites:
+                        unreachable_check_sites.append(request.db_name)
+                    g_cls = system.global_schema.global_class_of(
+                        request.db_name, request.class_name
+                    )
+                    for loid in request.loids:
+                        goid = (
+                            system.catalog.goid_of(g_cls, loid)
+                            if g_cls is not None else None
+                        )
+                        if goid is not None:
+                            skipped_goids.setdefault(goid, set()).add(
+                                request.db_name
+                            )
+                    ctx.note_skipped_check()
+                    events.append(
+                        TraceEvent.of(
+                            "fault.check_skipped",
+                            src=db_name,
+                            dst=request.db_name,
+                            assistants=len(request.loids),
+                        )
+                    )
+                    continue
+                runnable.append(request)
+            site_reports = run_checks(runnable, system)
             reports.extend(site_reports)
-            for request, report in zip(plan.requests, site_reports):
+            for request, report in zip(runnable, site_reports):
                 request_bytes = cost.check_request_bytes(
                     len(request.loids), len(request.predicates)
                 )
@@ -158,12 +222,21 @@ class _LocalizedStrategy(Strategy):
                 work.assistants_checked += report.objects_checked
                 work.comparisons += report.comparisons
 
+                send_deps: List[Node] = [dispatch_node]
+                if ctx is not None:
+                    send_deps = fault_wait_chain(
+                        fed,
+                        ctx,
+                        ctx.contact(db_name, request.db_name),
+                        events,
+                        deps=send_deps,
+                    )
                 send = fed.transfer(
                     db_name,
                     request.db_name,
                     nbytes=request_bytes,
                     label=f"{self.name} check-req",
-                    deps=[dispatch_node],
+                    deps=send_deps,
                     phase=PHASE_O,
                 )
                 check_bytes = report.objects_checked * avg_branch_bytes
@@ -198,7 +271,9 @@ class _LocalizedStrategy(Strategy):
         verdicts = collect_verdicts(reports, signature_verdicts)
         predicates = query.all_predicates()
         max_rounds = max((len(p.path) for p in predicates), default=0)
-        chase_rounds = chase_blocked(reports, system, verdicts, max_rounds)
+        chase_rounds = chase_blocked(
+            reports, system, verdicts, max_rounds, ctx=ctx
+        )
         for round_no, chase in enumerate(chase_rounds, start=1):
             events.append(TraceEvent.of(
                 "chase.round",
@@ -206,6 +281,15 @@ class _LocalizedStrategy(Strategy):
                 requests=len(chase.requests),
                 mapping_lookups=chase.mapping_lookups,
             ))
+            for site in chase.skipped_sites:
+                if site not in unreachable_check_sites:
+                    unreachable_check_sites.append(site)
+                events.append(TraceEvent.of(
+                    "fault.check_skipped",
+                    src=system.global_site,
+                    dst=site,
+                    round=round_no,
+                ))
         prev_deps: List[Node] = list(certify_deps)
         for chase in chase_rounds:
             lookup = fed.cpu(
@@ -286,6 +370,57 @@ class _LocalizedStrategy(Strategy):
             deps=certify_deps,
         )
 
+        # --- degraded-answer annotations under site loss -------------------
+        # Localized strategies keep per-site provenance, so only the
+        # rows whose certification depended on an unreachable assistant
+        # site are affected: they simply stay maybe, annotated with why.
+        if ctx is not None and unreachable_check_sites:
+            down = set(unreachable_check_sites)
+            table = system.catalog.table(query.range_class)
+            # root goid -> goids of its unsolved items: the (possibly
+            # branch-class) entities whose assistant checks this row's
+            # certification depended on.
+            item_goids: Dict[object, set] = {}
+            for site_result in local_results.values():
+                for row in site_result.maybe_rows:
+                    root = system.catalog.goid_of(
+                        query.range_class, row.loid
+                    )
+                    if root is None:
+                        continue
+                    bag = item_goids.setdefault(root, set())
+                    for item in row.unsolved_items:
+                        g_cls = system.global_schema.global_class_of(
+                            item.loid.db, item.class_name
+                        )
+                        if g_cls is None:
+                            continue
+                        goid = system.catalog.goid_of(g_cls, item.loid)
+                        if goid is not None:
+                            bag.add(goid)
+            for result_row in results.maybe:
+                if not result_row.unsolved:
+                    continue
+                # The row is affected when an assistant check for it (or
+                # for one of its unsolved items) was skipped, or when the
+                # entity has a copy at a down site (its certification
+                # evidence may live there).
+                sites = set(skipped_goids.get(result_row.goid, ()))
+                for goid in item_goids.get(result_row.goid, ()):
+                    sites |= set(skipped_goids.get(goid, ()))
+                sites |= set(table.loids_of(result_row.goid)) & down
+                for site in sorted(sites):
+                    note = f"uncertified: site {site} unavailable"
+                    if note not in result_row.notes:
+                        result_row.notes = result_row.notes + (note,)
+
+        fault_windows = ()
+        if ctx is not None:
+            work.retries = ctx.retries
+            work.timeouts = ctx.timeouts
+            work.messages_lost = ctx.messages_lost
+            fault_windows = ctx.plan.fault_windows(fed.sites)
+
         outcome = fed.run()
         metrics = ExecutionMetrics.from_outcome(
             self.name,
@@ -294,8 +429,15 @@ class _LocalizedStrategy(Strategy):
             certain_results=len(results.certain),
             maybe_results=len(results.maybe),
             events=events,
+            fault_windows=fault_windows,
         )
-        return StrategyResult(results=results.sort(), metrics=metrics)
+        return StrategyResult(
+            results=results.sort(),
+            metrics=metrics,
+            availability=(
+                ctx.availability() if ctx is not None else Availability()
+            ),
+        )
 
     # --- per-site graphs ----------------------------------------------------
 
@@ -309,6 +451,7 @@ class _LocalizedStrategy(Strategy):
         branch_obj_bytes: int,
         branch_capacity: int,
         work: WorkCounters,
+        entry_deps: Tuple[Node, ...] = (),
     ) -> Tuple[Node, Node]:
         """BL at one site: evaluate (P), then look up assistants (O).
 
@@ -327,7 +470,7 @@ class _LocalizedStrategy(Strategy):
         )
         scan = fed.disk(
             db_name, nbytes=scan_bytes, label="BL_C1 scan", phase=PHASE_SCAN,
-            seeks=scan_seeks,
+            seeks=scan_seeks, deps=entry_deps,
         )
         evaluate = fed.cpu(
             db_name,
@@ -359,6 +502,7 @@ class _LocalizedStrategy(Strategy):
         branch_obj_bytes: int,
         branch_capacity: int,
         work: WorkCounters,
+        entry_deps: Tuple[Node, ...] = (),
     ) -> Tuple[Node, Node]:
         """PL at one site: scan for missing data + dispatch (O), then
         evaluate (P).
@@ -377,7 +521,8 @@ class _LocalizedStrategy(Strategy):
         work.bytes_disk += int(scan_bytes)
         work.comparisons += scan_meter.comparisons + plan.mapping_lookups
         read = fed.disk(
-            db_name, nbytes=scan_bytes, label="PL_C1 scan", phase=PHASE_SCAN
+            db_name, nbytes=scan_bytes, label="PL_C1 scan", phase=PHASE_SCAN,
+            deps=entry_deps,
         )
         dispatch = fed.cpu(
             db_name,

@@ -84,3 +84,44 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload parameter set is out of its documented range."""
+
+
+class FaultPlanError(ReproError):
+    """A fault plan is malformed (negative windows, bad probabilities)."""
+
+
+class UnavailableError(ReproError):
+    """A site could not be reached and the execution policy is fail-fast.
+
+    Raised by the strategies when every attempt (initial try plus
+    retries) to contact a component database failed under the active
+    :class:`~repro.faults.FaultPlan` and the
+    :class:`~repro.faults.ExecutionPolicy` forbids degrading to a
+    partial answer.
+    """
+
+    def __init__(self, site: str, attempts: int = 1, reason: str = "down") -> None:
+        super().__init__(
+            f"site {site!r} unavailable after {attempts} attempt(s) "
+            f"({reason}); policy is fail-fast"
+        )
+        self.site = site
+        self.attempts = attempts
+        self.reason = reason
+
+
+class ExecutionTimeout(ReproError):
+    """The cumulative fault-handling wait exceeded the policy deadline.
+
+    Raised regardless of the fail-fast/degrade setting: the deadline is
+    a hard cap on how long one execution may spend in timeouts and
+    backoff waits before the caller gets an answer (or this error).
+    """
+
+    def __init__(self, waited_s: float, deadline_s: float) -> None:
+        super().__init__(
+            f"execution spent {waited_s:.3f}s waiting on unavailable "
+            f"sites, exceeding the policy deadline of {deadline_s:.3f}s"
+        )
+        self.waited_s = waited_s
+        self.deadline_s = deadline_s

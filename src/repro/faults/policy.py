@@ -1,0 +1,91 @@
+"""Execution policies: how a strategy behaves when a site won't answer.
+
+An :class:`ExecutionPolicy` bundles the fault-handling knobs one
+execution runs under:
+
+* ``timeout_s`` — how long the requester waits for a response before
+  declaring one attempt dead;
+* ``max_retries`` — how many times a dead attempt is retried;
+* ``backoff_base_s`` / ``backoff_multiplier`` / ``jitter`` — the
+  exponential backoff between attempts (jitter is a seeded fraction, so
+  runs stay deterministic);
+* ``fail_fast`` — raise :class:`~repro.errors.UnavailableError` instead
+  of degrading to a partial answer when a site stays unreachable;
+* ``deadline_s`` — optional hard cap on the cumulative fault wait of one
+  execution (exceeding it raises
+  :class:`~repro.errors.ExecutionTimeout` even in degrade mode).
+
+The named presets (``DEGRADE``, ``FAIL_FAST``, ``PATIENT``) are what the
+CLI's ``--policy`` flag selects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.errors import FaultPlanError
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Timeout / retry / degrade behavior of one query execution."""
+
+    name: str = "degrade"
+    timeout_s: float = 0.25
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.5
+    fail_fast: bool = False
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise FaultPlanError(f"policy timeout {self.timeout_s} <= 0")
+        if self.max_retries < 0:
+            raise FaultPlanError(f"negative max_retries {self.max_retries}")
+        if self.backoff_base_s < 0 or self.backoff_multiplier < 1.0:
+            raise FaultPlanError("backoff must be non-negative and growing")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise FaultPlanError(f"jitter {self.jitter} outside [0, 1]")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise FaultPlanError(f"deadline {self.deadline_s} <= 0")
+
+    def backoff_s(self, attempt: int, u: float) -> float:
+        """Backoff after the *attempt*-th failure (0-based); ``u`` in
+        [0, 1) is the seeded jitter draw."""
+        base = self.backoff_base_s * self.backoff_multiplier ** attempt
+        return base * (1.0 + self.jitter * u)
+
+
+#: Skip unreachable sites and return an annotated partial answer.
+DEGRADE = ExecutionPolicy(name="degrade")
+
+#: Raise UnavailableError on the first site that exhausts its retries.
+FAIL_FAST = ExecutionPolicy(name="fail-fast", fail_fast=True, max_retries=0)
+
+#: Wait out transient outages: longer timeout, more retries.
+PATIENT = ExecutionPolicy(
+    name="patient", timeout_s=0.5, max_retries=5, backoff_base_s=0.1
+)
+
+POLICIES: Dict[str, ExecutionPolicy] = {
+    policy.name: policy for policy in (DEGRADE, FAIL_FAST, PATIENT)
+}
+
+
+def resolve_policy(
+    policy: Union[str, ExecutionPolicy, None]
+) -> ExecutionPolicy:
+    """Accept a policy object, a preset name, or None (-> DEGRADE)."""
+    if policy is None:
+        return DEGRADE
+    if isinstance(policy, ExecutionPolicy):
+        return policy
+    try:
+        return POLICIES[policy]
+    except KeyError:
+        raise FaultPlanError(
+            f"unknown policy {policy!r}; choose from {sorted(POLICIES)}"
+        ) from None

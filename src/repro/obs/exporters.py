@@ -95,6 +95,23 @@ def chrome_trace_dict(trace: "Trace") -> Dict[str, object]:
             "tid": 0,
             "args": event.attr_dict(),
         })
+    # Injected outage windows render as background slices on the down
+    # site's pid (tid 0 sorts above the device lanes), clamped to the
+    # schedule horizon so an open-ended outage stays viewable.
+    horizon = trace.response_time
+    for site, start, end in trace.fault_windows:
+        shown_end = min(end, max(horizon, start))
+        events.append({
+            "ph": "X",
+            "name": f"OUTAGE {site}",
+            "cat": "fault",
+            "ts": start * _US,
+            "dur": max(0.0, shown_end - start) * _US,
+            "pid": pids.get(site, 0),
+            "tid": 0,
+            "cname": "terrible",
+            "args": {"site": site, "start": start, "end": end},
+        })
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -128,6 +145,11 @@ def jsonl_log(trace: "Trace") -> str:
         record = {"record": "event"}
         record.update(event.to_dict())
         lines.append(json.dumps(record))
+    for site, start, end in trace.fault_windows:
+        lines.append(json.dumps({
+            "record": "fault_window", "site": site,
+            "start": start, "end": end,
+        }))
     return "\n".join(lines) + "\n"
 
 
@@ -156,4 +178,15 @@ def text_gantt(
     for event in trace.events:
         attrs = ", ".join(f"{k}={v}" for k, v in event.attrs)
         lines.append(f"   (event) {event.name}" + (f" [{attrs}]" if attrs else ""))
+    for site, start, end in trace.fault_windows:
+        begin = int(min(start, horizon) / horizon * width)
+        shown = min(end, horizon)
+        length = max(1, int(round((shown - min(start, horizon)) / horizon * width)))
+        length = min(length, width - begin)
+        bar = " " * begin + "x" * length
+        tail = "+" if end > horizon else ""
+        lines.append(
+            f"{start * 1000:9.3f}ms |{bar.ljust(width)}| "
+            f"OUTAGE {site} ({start:.3f}s..{end:.3f}s{tail})"
+        )
     return "\n".join(lines)

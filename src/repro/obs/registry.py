@@ -220,6 +220,9 @@ def registry_from_metrics(metrics: object) -> MetricsRegistry:
         "comparisons",
         "bytes_disk",
         "bytes_network",
+        "retries",
+        "timeouts",
+        "messages_lost",
     ):
         registry.counter(f"work.{fname}").inc(getattr(work, fname))
     registry.counter("answers.certain").inc(metrics.certain_results)

@@ -162,6 +162,9 @@ class Trace:
     spans: Tuple[Span, ...] = ()
     events: Tuple[TraceEvent, ...] = ()
     query_text: str = ""
+    #: Injected outage windows as (site, start, end) — rendered by the
+    #: exporters as background slices behind the site's spans.
+    fault_windows: Tuple[Tuple[str, float, float], ...] = ()
 
     # --- inspection -------------------------------------------------------
 
@@ -211,12 +214,15 @@ class Trace:
     # --- round-trip -------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "strategy": self.strategy,
             "query_text": self.query_text,
             "spans": [s.to_dict() for s in self.spans],
             "events": [e.to_dict() for e in self.events],
         }
+        if self.fault_windows:
+            payload["fault_windows"] = [list(w) for w in self.fault_windows]
+        return payload
 
     @classmethod
     def from_dict(cls, raw: Mapping[str, object]) -> "Trace":
@@ -225,6 +231,10 @@ class Trace:
             query_text=str(raw.get("query_text", "")),
             spans=tuple(Span.from_dict(s) for s in raw.get("spans", ())),
             events=tuple(TraceEvent.from_dict(e) for e in raw.get("events", ())),
+            fault_windows=tuple(
+                (str(w[0]), float(w[1]), float(w[2]))
+                for w in raw.get("fault_windows", ())
+            ),
         )
 
 
@@ -234,6 +244,7 @@ def trace_from_jsonl(text: str) -> Trace:
     query_text = ""
     spans: List[Span] = []
     events: List[TraceEvent] = []
+    windows: List[Tuple[str, float, float]] = []
     for line in text.splitlines():
         line = line.strip()
         if not line:
@@ -247,9 +258,15 @@ def trace_from_jsonl(text: str) -> Trace:
             spans.append(Span.from_dict(record))
         elif kind == "event":
             events.append(TraceEvent.from_dict(record))
+        elif kind == "fault_window":
+            windows.append(
+                (str(record["site"]), float(record["start"]),
+                 float(record["end"]))
+            )
     return Trace(
         strategy=strategy,
         spans=tuple(spans),
         events=tuple(events),
         query_text=query_text,
+        fault_windows=tuple(windows),
     )

@@ -124,7 +124,11 @@ def compute_utilization(
         window = max((s.finish for s in spans), default=0.0)
     by_resource: Dict[str, List[Span]] = {}
     for span in spans:
-        by_resource.setdefault(span.resource, []).append(span)
+        # Resource-less spans are pure waiting (fault timeouts and
+        # backoffs): they occupy no device, so label them as a per-site
+        # wait lane instead of leaving a blank utilization row.
+        name = span.resource or f"{span.site}:fault-wait"
+        by_resource.setdefault(name, []).append(span)
 
     resources: Dict[str, ResourceProfile] = {}
     site_busy: Dict[str, float] = {}
@@ -142,6 +146,10 @@ def compute_utilization(
             nbytes=sum(s.nbytes for s in members),
         )
         resources[name] = prof
+        if name.endswith(":fault-wait"):
+            # Waiting keeps no device busy; show the lane but leave the
+            # site's device-busy aggregate untouched.
+            continue
         site_busy[site] = site_busy.get(site, 0.0) + prof.busy
         site_delay[site] = site_delay.get(site, 0.0) + prof.queue_delay
         site_spans[site] = site_spans.get(site, 0) + prof.spans

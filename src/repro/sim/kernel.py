@@ -93,7 +93,14 @@ class AllOf:
 
 
 class Resource:
-    """A FIFO pool of identical servers (capacity 1 = serial device)."""
+    """A FIFO pool of identical servers (capacity 1 = serial device).
+
+    A resource can carry *downtime windows* (fault injection: the device
+    is crashed during ``[start, end)``).  A down resource grants nothing;
+    acquires issued during a window queue and are served, FIFO, when the
+    window closes.  Work already holding a server is not preempted —
+    crashes take effect at operation granularity.
+    """
 
     def __init__(self, sim: "Simulator", name: str, capacity: int = 1) -> None:
         if capacity < 1:
@@ -103,6 +110,8 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._queue: Deque[Tuple[Event, float]] = deque()
+        #: Crash windows (start, end), sorted; grants stall while inside.
+        self._downtimes: List[Tuple[float, float]] = []
         # Utilization accounting.
         self.busy_time = 0.0
         self._busy_since: Optional[float] = None
@@ -112,10 +121,36 @@ class Resource:
         self.grants = 0
         self.grants_queued = 0
 
+    def add_downtime(self, start: float, end: float) -> None:
+        """Declare the resource down (no grants) during ``[start, end)``."""
+        if end <= start:
+            raise SimulationError(
+                f"resource {self.name!r}: empty downtime [{start}, {end})"
+            )
+        if start < 0:
+            raise SimulationError(
+                f"resource {self.name!r}: downtime starts in the past"
+            )
+        self._downtimes.append((start, end))
+        self._downtimes.sort()
+
+    def down_until(self, t: float) -> Optional[float]:
+        """End of the downtime window covering *t* (None when up)."""
+        for start, end in self._downtimes:
+            if start <= t < end:
+                return end
+            if start > t:
+                break
+        return None
+
     def acquire(self) -> Event:
         """Return an event that triggers when a server is granted."""
         grant = Event(self.sim, name=f"grant:{self.name}")
-        if self._in_use < self.capacity:
+        down = self.down_until(self.sim.now)
+        if down is not None:
+            self._queue.append((grant, self.sim.now))
+            self.sim.schedule(down - self.sim.now, self._drain)
+        elif self._in_use < self.capacity:
             self._grant(grant)
         else:
             self._queue.append((grant, self.sim.now))
@@ -135,7 +170,16 @@ class Resource:
         if self._in_use == 0 and self._busy_since is not None:
             self.busy_time += self.sim.now - self._busy_since
             self._busy_since = None
-        if self._queue and self._in_use < self.capacity:
+        self._drain()
+
+    def _drain(self) -> None:
+        """Serve queued grants, FIFO, while capacity is free and the
+        resource is up; re-arm at the window end when down."""
+        while self._queue and self._in_use < self.capacity:
+            down = self.down_until(self.sim.now)
+            if down is not None:
+                self.sim.schedule(down - self.sim.now, self._drain)
+                return
             grant, enqueued = self._queue.popleft()
             self.wait_time += self.sim.now - enqueued
             self.grants_queued += 1

@@ -28,6 +28,10 @@ class WorkCounters:
     comparisons: int = 0
     bytes_disk: int = 0
     bytes_network: int = 0
+    # Fault-tolerance work (zero on fault-free executions).
+    retries: int = 0
+    timeouts: int = 0
+    messages_lost: int = 0
 
     def merge(self, other: "WorkCounters") -> None:
         self.objects_scanned += other.objects_scanned
@@ -38,6 +42,9 @@ class WorkCounters:
         self.comparisons += other.comparisons
         self.bytes_disk += other.bytes_disk
         self.bytes_network += other.bytes_network
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.messages_lost += other.messages_lost
 
 
 @dataclass
@@ -60,6 +67,8 @@ class ExecutionMetrics:
     events: Tuple[TraceEvent, ...] = ()
     #: Kernel-measured FIFO wait per resource (queueing delay).
     resource_wait: Dict[str, float] = field(default_factory=dict)
+    #: Injected outage windows as (site, start, end), for trace export.
+    fault_windows: Tuple[Tuple[str, float, float], ...] = ()
 
     @classmethod
     def from_outcome(
@@ -70,6 +79,7 @@ class ExecutionMetrics:
         certain_results: int = 0,
         maybe_results: int = 0,
         events: Sequence[TraceEvent] = (),
+        fault_windows: Sequence[Tuple[str, float, float]] = (),
     ) -> "ExecutionMetrics":
         return cls(
             strategy=strategy,
@@ -84,6 +94,7 @@ class ExecutionMetrics:
             spans=spans_from_nodes(outcome.scheduled),
             events=tuple(events),
             resource_wait=dict(outcome.resource_wait),
+            fault_windows=tuple(fault_windows),
         )
 
     def add_event(self, event: TraceEvent) -> None:

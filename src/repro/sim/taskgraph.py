@@ -25,9 +25,12 @@ component databases transfer data simultaneously".  Pass
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids a hard dep
+    from repro.faults.plan import FaultPlan
 from repro.sim.costs import CostModel, PAPER_COSTS
 from repro.sim.kernel import Acquire, AllOf, Event, Release, Resource, Simulator, Timeout
 
@@ -37,6 +40,7 @@ PHASE_I = "I"  # integration / certification
 PHASE_P = "P"  # predicate evaluation
 PHASE_XFER = "transfer"
 PHASE_SCAN = "scan"  # disk retrieval of extents
+PHASE_FAULT = "fault"  # timeout/backoff waits on unreachable sites
 
 
 @dataclass
@@ -50,6 +54,9 @@ class Node:
     phase: str
     site: str
     nbytes: int = 0
+    #: Destination site of a transfer ("" for site-local work) — lets the
+    #: scheduler stall transfers whose endpoint is inside an outage window.
+    dst: str = ""
     deps: Tuple["Node", ...] = ()
     start: Optional[float] = None
     finish: Optional[float] = None
@@ -76,11 +83,15 @@ class FederationSim:
         global_site: str = "GPS",
         cost_model: CostModel = PAPER_COSTS,
         shared_network: bool = True,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         self.cost_model = cost_model
         self.global_site = global_site
         self.sites: Tuple[str, ...] = tuple(dict.fromkeys(list(sites) + [global_site]))
         self.shared_network = shared_network
+        # Kept None when no faults are injected so the fault-free path
+        # schedules exactly as before (zero overhead when off).
+        self.fault_plan = fault_plan if fault_plan and fault_plan.active else None
         self._nodes: List[Node] = []
         self._ran = False
 
@@ -95,6 +106,7 @@ class FederationSim:
         site: str,
         nbytes: int = 0,
         deps: Iterable[Node] = (),
+        dst: str = "",
     ) -> Node:
         if self._ran:
             raise SimulationError("cannot add nodes after run()")
@@ -108,6 +120,7 @@ class FederationSim:
             phase=phase,
             site=site,
             nbytes=nbytes,
+            dst=dst,
             deps=tuple(deps),
         )
         self._nodes.append(node)
@@ -175,15 +188,32 @@ class FederationSim:
         self._check_site(src)
         self._check_site(dst)
         resource = "net" if self.shared_network else f"net:{src}->{dst}"
+        seconds = self.cost_model.net_time(nbytes)
+        if self.fault_plan is not None:
+            seconds *= self.fault_plan.latency_multiplier(src, dst)
         return self._add(
             f"{label} {src}->{dst}",
             resource,
-            self.cost_model.net_time(nbytes),
+            seconds,
             phase,
             src,
             nbytes=int(nbytes),
             deps=deps,
+            dst=dst,
         )
+
+    def delay(
+        self,
+        site: str,
+        seconds: float,
+        label: str = "wait",
+        phase: str = PHASE_FAULT,
+        deps: Iterable[Node] = (),
+    ) -> Node:
+        """Pure waiting at *site* (timeout/backoff): occupies simulated
+        time but no device — the requester is blocked, not working."""
+        self._check_site(site)
+        return self._add(label, "", seconds, phase, site, deps=deps)
 
     def barrier(self, deps: Iterable[Node], label: str = "barrier") -> Node:
         """A zero-cost synchronization node at the global site."""
@@ -207,9 +237,19 @@ class FederationSim:
         resources: Dict[str, Resource] = {}
         done_events: Dict[int, Event] = {}
 
+        plan = self.fault_plan
+
         def get_resource(name: str) -> Resource:
             if name not in resources:
-                resources[name] = sim.resource(name)
+                resource = sim.resource(name)
+                # Site devices ("DB1:cpu", "DB1:disk") inherit the
+                # site's outage windows: work queued during a crash is
+                # served when the site recovers.
+                if plan is not None and ":" in name and not name.startswith("net"):
+                    site = name.split(":", 1)[0]
+                    for window in plan.windows(site):
+                        resource.add_downtime(window.start, window.end)
+                resources[name] = resource
             return resources[name]
 
         def node_body(node: Node):
@@ -217,6 +257,24 @@ class FederationSim:
             if dep_events:
                 yield AllOf(dep_events)
             node.ready = sim.now
+            if not node.resource_name:
+                # A pure delay (fault wait): holds no device.
+                node.start = sim.now
+                yield Timeout(node.seconds)
+                node.finish = sim.now
+                done_events[node.index].trigger()
+                return
+            if plan is not None and node.dst:
+                # A transfer cannot progress while either endpoint is
+                # inside an outage window — stall until both are up.
+                while True:
+                    up = max(
+                        plan.next_up(node.site, sim.now),
+                        plan.next_up(node.dst, sim.now),
+                    )
+                    if up <= sim.now:
+                        break
+                    yield Timeout(up - sim.now)
             resource = get_resource(node.resource_name)
             yield Acquire(resource)
             node.start = sim.now
@@ -271,10 +329,12 @@ class SimOutcome:
             total += node.seconds
             phase_time[node.phase] = phase_time.get(node.phase, 0.0) + node.seconds
             # Network nodes (shared channel or per-pair channels) move
-            # bytes; everything else is busy time at its site's devices.
+            # bytes; resource-less nodes are pure waiting (fault
+            # timeouts/backoffs) and keep no device busy; everything
+            # else is busy time at its site's devices.
             if node.resource_name == "net" or node.resource_name.startswith("net:"):
                 bytes_transferred += node.nbytes
-            else:
+            elif node.resource_name:
                 site_busy[node.site] = site_busy.get(node.site, 0.0) + node.seconds
         return cls(
             response_time=response_time,

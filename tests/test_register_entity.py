@@ -110,3 +110,35 @@ class TestRegistrationErrors:
             school.register_entity(
                 "Student", {"DB1": {"s-no": 1, "name": GOid("gt1")}}
             )
+
+
+class TestGoidAutogeneration:
+    def test_autogen_skips_past_explicit_collision(self, school):
+        """An explicit goid sitting exactly where the counter would land
+        must not be silently merged into (it used to be)."""
+        taken = school.register_entity(
+            "Student",
+            {"DB1": {"s-no": 910001, "name": "Iris"}},
+            goid=GOid("gstudent-r6"),  # table grows to 5 -> counter says 6
+        )
+        auto = school.register_entity(
+            "Student", {"DB1": {"s-no": 910002, "name": "Jo"}}
+        )
+        assert auto != taken
+        table = school.catalog.table("Student")
+        # Both entities keep exactly their own copies.
+        assert set(table.loids_of(taken)) == {"DB1"}
+        assert set(table.loids_of(auto)) == {"DB1"}
+        assert (
+            school.db("DB1").get(table.loid_in(auto, "DB1")).get("name")
+            == "Jo"
+        )
+
+    def test_autogen_ids_are_distinct_across_many_inserts(self, school):
+        goids = {
+            school.register_entity(
+                "Student", {"DB1": {"s-no": 920000 + i, "name": f"S{i}"}}
+            )
+            for i in range(5)
+        }
+        assert len(goids) == 5

@@ -271,3 +271,128 @@ class TestResources:
         sim = Simulator()
         with pytest.raises(SimulationError):
             sim.resource("r", capacity=0)
+
+
+class TestWaitAccounting:
+    def test_fifo_wait_time_sums_per_grant(self):
+        sim = Simulator()
+        res = sim.resource("r")
+
+        def worker(hold):
+            yield Acquire(res)
+            yield Timeout(hold)
+            yield Release(res)
+
+        sim.process(worker(2.0))
+        sim.process(worker(1.0))
+        sim.process(worker(1.0))
+        sim.run()
+        # Second grant waits 2.0 (behind the first), third waits 3.0.
+        assert res.wait_time == pytest.approx(5.0)
+        assert res.grants == 3
+        assert res.grants_queued == 2
+
+    def test_uncontended_grants_accrue_no_wait(self):
+        sim = Simulator()
+        res = sim.resource("r", capacity=2)
+
+        def worker():
+            yield Acquire(res)
+            yield Timeout(1.0)
+            yield Release(res)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert res.wait_time == 0.0
+        assert res.grants_queued == 0
+
+
+class TestDowntime:
+    def test_acquire_during_window_queues_until_recovery(self):
+        sim = Simulator()
+        res = sim.resource("r")
+        res.add_downtime(0.0, 5.0)
+        granted_at = []
+
+        def worker():
+            yield Acquire(res)
+            granted_at.append(sim.now)
+            yield Release(res)
+
+        sim.process(worker())
+        sim.run()
+        assert granted_at == [5.0]
+        # Downtime queueing counts as ordinary wait time.
+        assert res.wait_time == pytest.approx(5.0)
+        assert res.grants_queued == 1
+
+    def test_holder_is_not_preempted(self):
+        sim = Simulator()
+        res = sim.resource("r")
+        res.add_downtime(1.0, 2.0)
+
+        def worker():
+            yield Acquire(res)  # granted at t=0, before the window
+            yield Timeout(3.0)
+            yield Release(res)
+
+        sim.process(worker())
+        assert sim.run() == pytest.approx(3.0)
+        assert res.busy_time == pytest.approx(3.0)
+
+    def test_release_inside_window_stalls_successor(self):
+        sim = Simulator()
+        res = sim.resource("r")
+        res.add_downtime(2.0, 4.0)
+        granted_at = []
+
+        def holder():
+            yield Acquire(res)
+            yield Timeout(3.0)  # releases at t=3, inside the window
+            yield Release(res)
+
+        def waiter():
+            yield Acquire(res)
+            granted_at.append(sim.now)
+            yield Release(res)
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run()
+        assert granted_at == [4.0]  # drained at the window end
+        assert res.wait_time == pytest.approx(4.0)
+
+    def test_chained_windows_drain_in_fifo_order(self):
+        sim = Simulator()
+        res = sim.resource("r")
+        res.add_downtime(0.0, 1.0)
+        res.add_downtime(1.0, 2.0)
+        order = []
+
+        def worker(tag):
+            yield Acquire(res)
+            order.append((tag, sim.now))
+            yield Release(res)
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert order == [("a", 2.0), ("b", 2.0)]
+
+    def test_down_until(self):
+        res = Simulator().resource("r")
+        res.add_downtime(1.0, 2.0)
+        res.add_downtime(3.0, 4.0)
+        assert res.down_until(0.5) is None
+        assert res.down_until(1.0) == 2.0
+        assert res.down_until(2.5) is None
+        assert res.down_until(3.5) == 4.0
+        assert res.down_until(4.0) is None
+
+    def test_window_validation(self):
+        res = Simulator().resource("r")
+        with pytest.raises(SimulationError):
+            res.add_downtime(1.0, 1.0)  # empty
+        with pytest.raises(SimulationError):
+            res.add_downtime(-1.0, 2.0)  # starts in the past

@@ -13,12 +13,12 @@ from hypothesis import strategies as st
 
 from repro.core.query import Op, Path, Predicate, Query
 from repro.sqlx import parse_query
+from repro.sqlx.lexer import KEYWORDS
 
 # Identifiers that can't collide with keywords or the range variable.
 ident = st.text(
     alphabet=string.ascii_lowercase, min_size=2, max_size=8
-).filter(lambda s: s not in {"select", "from", "where", "and", "or",
-                             "contains"})
+).filter(lambda s: s not in KEYWORDS)
 
 path = st.lists(ident, min_size=1, max_size=3).map(lambda steps: Path(tuple(steps)))
 
