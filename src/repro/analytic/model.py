@@ -250,8 +250,19 @@ class AnalyticModel:
             f"analytic model knows CA/BL/PL/BL-S/PL-S, not {strategy!r}"
         )
 
-    def evaluate_all(self) -> Dict[str, AnalyticOutcome]:
-        return {name: self.evaluate(name) for name in ("CA", "BL", "PL")}
+    def evaluate_all(
+        self, include_signatures: bool = False
+    ) -> Dict[str, AnalyticOutcome]:
+        """Expected metrics for every strategy the model can rank.
+
+        ``include_signatures`` adds BL-S/PL-S — only meaningful when the
+        federation has actually built its signature catalogs, so callers
+        (the adaptive selector) gate it on that.
+        """
+        names = ("CA", "BL", "PL")
+        if include_signatures:
+            names = names + ("BL-S", "PL-S")
+        return {name: self.evaluate(name) for name in names}
 
     def _signature_pass_rate(self) -> float:
         """Average fraction of assistants the signature filter passes.

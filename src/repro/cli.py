@@ -89,8 +89,18 @@ def _add_fault_args(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_batch_arg(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--no-batch", action="store_true", dest="no_batch",
+        help="disable per-link batching of phase-O check messages "
+             "(one request/reply pair per check request)",
+    )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    engine = GlobalQueryEngine(build_school_federation())
+    engine = GlobalQueryEngine(
+        build_school_federation(), batch_checks=not args.no_batch
+    )
     report = engine.execute(
         args.sql,
         strategy=args.strategy,
@@ -121,7 +131,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    engine = GlobalQueryEngine(build_school_federation())
+    engine = GlobalQueryEngine(
+        build_school_federation(), batch_checks=not args.no_batch
+    )
     report = engine.execute(
         args.sql,
         strategy=args.strategy,
@@ -169,7 +181,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     params = sample_params(rng)
     params.seed = args.seed
     workload = generate(params, scale=args.scale)
-    engine = GlobalQueryEngine(workload.system)
+    engine = GlobalQueryEngine(
+        workload.system, batch_checks=not args.no_batch
+    )
     print(f"query: {workload.query}")
     outcomes = engine.compare(
         workload.query,
@@ -235,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jsonl", default="", help="write a JSONL event log here"
     )
     _add_fault_args(query)
+    _add_batch_arg(query)
 
     explain = sub.add_parser(
         "explain", help="run a query once and print its execution report"
@@ -249,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default="", help="also write a Chrome-trace JSON here"
     )
     _add_fault_args(explain)
+    _add_batch_arg(explain)
 
     sub.add_parser("strategies", help="list registered strategies")
 
@@ -267,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write each strategy's Chrome-trace JSON into this directory",
     )
     _add_fault_args(compare)
+    _add_batch_arg(compare)
 
     sub.add_parser("tables", help="print Tables 1 and 2")
     return parser

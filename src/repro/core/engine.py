@@ -46,6 +46,7 @@ class GlobalQueryEngine:
         fault_plan: Optional[FaultPlan] = None,
         policy: Union[str, ExecutionPolicy, None] = None,
         fault_seed: int = 0,
+        batch_checks: bool = True,
     ) -> None:
         self.system = system
         self.registry = registry or DEFAULT_REGISTRY
@@ -53,6 +54,10 @@ class GlobalQueryEngine:
         self.fault_plan = fault_plan
         self.policy = resolve_policy(policy)
         self.fault_seed = fault_seed
+        #: Coalesce phase-O check/chase messages per (src, dst) link.
+        #: ``False`` restores the one-message-per-request wire protocol
+        #: (the CLI's ``--no-batch`` escape hatch).
+        self.batch_checks = batch_checks
 
     def _resolve(self, strategy: Union[str, Strategy]) -> Strategy:
         if isinstance(strategy, Strategy):
@@ -102,6 +107,7 @@ class GlobalQueryEngine:
         fault_plan: Optional[FaultPlan] = None,
         policy: Union[str, ExecutionPolicy, None] = None,
         fault_seed: Optional[int] = None,
+        batch_checks: Optional[bool] = None,
     ) -> ExecutionReport:
         """Run *query* (Query object or SQL/X text) once.
 
@@ -110,8 +116,8 @@ class GlobalQueryEngine:
         ``.trace``, ``.registry`` and ``.utilization`` views derived
         from the same run.
 
-        *fault_plan* / *policy* / *fault_seed* override the engine-wide
-        fault configuration for this execution only.
+        *fault_plan* / *policy* / *fault_seed* / *batch_checks* override
+        the engine-wide configuration for this execution only.
 
         Raises:
             UnavailableError: a site stayed unreachable under a
@@ -125,15 +131,25 @@ class GlobalQueryEngine:
         chosen = (
             self.default_strategy if strategy is None else self._resolve(strategy)
         )
+        chosen.batch_checks = (
+            self.batch_checks if batch_checks is None else batch_checks
+        )
         built_signatures = False
         if getattr(chosen, "use_signatures", False) and self.system.signatures is None:
             self.system.build_signatures()
             built_signatures = True
         ctx = self._fault_context(fault_plan, policy, fault_seed)
+        cache_before = self.system.cache_stats()
         if ctx is None:
             result = chosen.execute(self.system, query)
         else:
             result = chosen.execute(self.system, query, ctx)
+        # Strategies do not see the cache layer; attribute the traffic
+        # this execution generated (mapping-index + decomposition) to its
+        # metrics before the lazy registry snapshot is built.
+        cache_delta = self.system.cache_stats().delta(cache_before)
+        result.metrics.work.cache_hits = cache_delta.hits
+        result.metrics.work.cache_misses = cache_delta.misses
         report = ExecutionReport.from_result(result, query_text=query_text)
         if built_signatures:
             report.record_event(TraceEvent.of(
@@ -178,6 +194,7 @@ class GlobalQueryEngine:
         fault_plan: Optional[FaultPlan] = None,
         policy: Union[str, ExecutionPolicy, None] = None,
         fault_seed: Optional[int] = None,
+        batch_checks: Optional[bool] = None,
     ) -> Dict[str, ExecutionReport]:
         """Execute *query* under several strategies (default: CA, BL, PL).
 
@@ -205,6 +222,7 @@ class GlobalQueryEngine:
                 fault_plan=fault_plan,
                 policy=policy,
                 fault_seed=fault_seed,
+                batch_checks=batch_checks,
             )
         if check_agreement and len(outcomes) > 1:
             self._check_agreement(outcomes)

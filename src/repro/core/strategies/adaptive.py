@@ -19,13 +19,14 @@ strategies are answer-equivalent).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.analytic.model import AnalyticModel
 from repro.core.query import Query
 from repro.core.strategies.base import Strategy, StrategyResult
 from repro.core.system import DistributedSystem
 from repro.errors import QueryError
+from repro.faults.injector import ExecutionContext
 from repro.objectdb.values import is_null
 from repro.workload.params import ClassParams, DbClassParams, WorkloadParams
 
@@ -124,31 +125,76 @@ class AdaptiveStrategy(Strategy):
         self.last_choice: Optional[str] = None
         #: The analytic predictions backing the most recent choice.
         self.last_predictions: Dict[str, float] = {}
+        #: Sites the most recent prediction considered unreachable.
+        self.last_unreachable: Tuple[str, ...] = ()
+
+    @staticmethod
+    def _unreachable_sites(
+        system: DistributedSystem, ctx: Optional[ExecutionContext]
+    ) -> Tuple[str, ...]:
+        """Sites the fault plan makes unreachable at dispatch time.
+
+        Read from the *plan* only (down at t=0, or a link from the
+        global site whose composed loss makes delivery hopeless):
+        probing via ``ctx.contact`` here would consume negotiation
+        outcomes before the delegate runs and corrupt the execution's
+        availability bookkeeping.
+        """
+        if ctx is None or not ctx.plan.active:
+            return ()
+        down: List[str] = []
+        for site in system.site_names:
+            if ctx.plan.is_down(site, 0.0):
+                down.append(site)
+                continue
+            _, loss = ctx.plan.link(system.global_site, site)
+            if loss >= 0.99:
+                down.append(site)
+        return tuple(down)
 
     def predict(
-        self, system: DistributedSystem, query: Query
+        self,
+        system: DistributedSystem,
+        query: Query,
+        ctx: Optional[ExecutionContext] = None,
     ) -> Dict[str, float]:
-        """Analytic per-strategy predictions for the chosen objective."""
+        """Analytic per-strategy predictions for the chosen objective.
+
+        Signature variants join the ranking when the federation has
+        already built its signature catalog (their indexing cost is then
+        sunk).  Under a fault plan, CA's prediction is penalized per
+        unreachable site: centralized collection stalls on the retry
+        ladder of every dead export, while the localized strategies
+        degrade that site to a partial answer and move on.
+        """
         params = extract_params(system, query)
         model = AnalyticModel(
             params,
             cost_model=system.cost_model,
             shared_network=system.shared_network,
         )
-        outcomes = model.evaluate_all()
+        outcomes = model.evaluate_all(
+            include_signatures=system.signatures is not None
+        )
         if self.objective == "response":
-            return {n: o.response_time for n, o in outcomes.items()}
-        return {n: o.total_time for n, o in outcomes.items()}
+            predictions = {n: o.response_time for n, o in outcomes.items()}
+        else:
+            predictions = {n: o.total_time for n, o in outcomes.items()}
+        self.last_unreachable = self._unreachable_sites(system, ctx)
+        if self.last_unreachable and "CA" in predictions:
+            predictions["CA"] *= 1e3 * len(self.last_unreachable)
+        return predictions
 
     def execute(self, system: DistributedSystem, query: Query, ctx=None) -> StrategyResult:
         from repro.core.strategies import strategy_by_name
         from repro.obs.spans import TraceEvent
 
-        predictions = self.predict(system, query)
+        predictions = self.predict(system, query, ctx)
         choice = min(predictions, key=predictions.get)
         self.last_choice = choice
         self.last_predictions = predictions
         delegate = strategy_by_name(choice)
+        delegate.batch_checks = self.batch_checks
         if ctx is None:
             result = delegate.execute(system, query)
         else:
@@ -158,6 +204,7 @@ class AdaptiveStrategy(Strategy):
             "auto.predict",
             choice=choice,
             objective=self.objective,
+            unreachable=",".join(self.last_unreachable) or "none",
             **{f"predicted_{name}_s": f"{value:.6f}"
                for name, value in sorted(predictions.items())},
         ))

@@ -13,6 +13,16 @@ provide the missing data (paper: assistants are found "by checking the
 GOid mapping tables and the other component schemas"), optionally
 pre-filter through object signatures, and group what remains into
 per-site check requests.
+
+It also covers phase O's *wire protocol*: by default every check (and
+chase) request a site holds for one destination is coalesced into a
+single batched request/reply exchange (:class:`CheckBatch`) — one
+network message pair per ``(src, dst)`` link instead of one per
+:class:`~repro.objectdb.local_query.CheckRequest`, matching the
+aggregated per-peer exchange the analytic model already charges.
+Reports stay keyed by their request (:func:`run_checks_paired`), so
+verdict collection, certification and fault skip/annotation logic are
+untouched by batching.
 """
 
 from __future__ import annotations
@@ -59,6 +69,11 @@ class Strategy(abc.ABC):
 
     #: Short name used in reports ("CA", "BL", "PL", "BL-S", "PL-S").
     name: str = "?"
+    #: Coalesce phase-O check/chase requests per (src, dst) link into one
+    #: batched exchange (the engine's ``--no-batch`` escape hatch flips
+    #: this to the historical one-message-per-request protocol).  Only
+    #: the localized strategies dispatch checks; CA ignores the flag.
+    batch_checks: bool = True
 
     @abc.abstractmethod
     def execute(
@@ -274,14 +289,101 @@ def _answerable_predicates(
     return answerable
 
 
+def run_checks_paired(
+    requests: Sequence[CheckRequest], system: DistributedSystem
+) -> List[Tuple[CheckRequest, CheckReport]]:
+    """Execute check requests at their home databases (steps BL_C3/PL_C3).
+
+    Returns explicit ``(request, report)`` pairs so callers never rely on
+    positional alignment between a request list and a report list — the
+    seam batching rewrites, and the one a dropped or reordered report
+    would silently corrupt.
+    """
+    return [
+        (request, system.db(request.db_name).check_assistants(request))
+        for request in requests
+    ]
+
+
 def run_checks(
     requests: Sequence[CheckRequest], system: DistributedSystem
 ) -> List[CheckReport]:
-    """Execute check requests at their home databases (steps BL_C3/PL_C3)."""
-    return [
-        system.db(request.db_name).check_assistants(request)
-        for request in requests
-    ]
+    """Reports only (legacy view of :func:`run_checks_paired`)."""
+    return [report for _, report in run_checks_paired(requests, system)]
+
+
+@dataclass
+class CheckBatch:
+    """Every check request one site sends to one destination, coalesced
+    into a single request/reply exchange.
+
+    The request message carries all assistant LOids plus the *distinct*
+    predicate descriptors of the batch (shared predicates ship once);
+    the reply carries every verdict of the batch.  Individual
+    :class:`CheckReport`s stay keyed by their request inside ``pairs``.
+    """
+
+    src: str
+    dst: str
+    pairs: List[Tuple[CheckRequest, CheckReport]] = field(
+        default_factory=list
+    )
+
+    @property
+    def requests(self) -> List[CheckRequest]:
+        return [request for request, _ in self.pairs]
+
+    @property
+    def reports(self) -> List[CheckReport]:
+        return [report for _, report in self.pairs]
+
+    @property
+    def total_loids(self) -> int:
+        return sum(len(request.loids) for request, _ in self.pairs)
+
+    @property
+    def distinct_predicates(self) -> int:
+        seen = set()
+        for request, _ in self.pairs:
+            seen.update(request.predicates)
+        return len(seen)
+
+    @property
+    def total_verdicts(self) -> int:
+        return sum(
+            sum(len(v) for v in report.satisfied.values())
+            + sum(len(v) for v in report.violated.values())
+            for _, report in self.pairs
+        )
+
+    def request_bytes(self, cost) -> int:
+        """One aggregated check-request message for the whole batch."""
+        return cost.check_request_bytes(
+            self.total_loids, self.distinct_predicates
+        )
+
+    def reply_bytes(self, cost) -> int:
+        """One aggregated check-reply message for the whole batch."""
+        return cost.check_reply_bytes(max(self.total_verdicts, 1))
+
+
+def batch_exchanges(
+    src: str, pairs: Sequence[Tuple[CheckRequest, CheckReport]]
+) -> List[CheckBatch]:
+    """Group ``(request, report)`` pairs into one batch per destination.
+
+    Batches come out ordered by destination name for deterministic
+    scheduling; pairs keep their relative order within a batch.
+    """
+    by_dst: Dict[str, CheckBatch] = {}
+    for request, report in pairs:
+        batch = by_dst.get(request.db_name)
+        if batch is None:
+            batch = by_dst[request.db_name] = CheckBatch(
+                src=src, dst=request.db_name
+            )
+        batch.pairs.append((request, report))
+    return [by_dst[dst] for dst in sorted(by_dst)]
 
 
 @dataclass
@@ -290,6 +392,10 @@ class ChaseRound:
 
     requests: List[CheckRequest] = field(default_factory=list)
     reports: List[CheckReport] = field(default_factory=list)
+    #: The same data keyed explicitly: one (request, report) pair each.
+    pairs: List[Tuple[CheckRequest, CheckReport]] = field(
+        default_factory=list
+    )
     mapping_lookups: int = 0
     #: Sites whose follow-up checks were skipped (unreachable under the
     #: execution's fault plan) — the affected chains stay UNKNOWN.
@@ -384,7 +490,8 @@ def chase_blocked(
                     predicates=(predicate,),
                 )
             )
-        round_data.reports = run_checks(round_data.requests, system)
+        round_data.pairs = run_checks_paired(round_data.requests, system)
+        round_data.reports = [report for _, report in round_data.pairs]
         rounds.append(round_data)
 
         # Index this round's verdicts and blocks.

@@ -104,6 +104,7 @@ class CentralizedStrategy(Strategy):
             work.objects_shipped += site_objects
             work.bytes_disk += site_bytes
             work.bytes_network += site_bytes
+            work.messages += 1
             scan = fed.disk(
                 db_name,
                 nbytes=site_bytes,

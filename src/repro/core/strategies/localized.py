@@ -27,18 +27,19 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.certification import CertificationStats, certify
-from repro.core.decompose import attributes_needed, decompose
+from repro.core.decompose import attributes_needed
 from repro.core.query import Query
 from repro.core.results import Availability
 from repro.core.strategies.base import (
     DispatchPlan,
     Strategy,
     StrategyResult,
+    batch_exchanges,
     chase_blocked,
     collect_verdicts,
     fault_wait_chain,
     plan_dispatch,
-    run_checks,
+    run_checks_paired,
 )
 from repro.core.system import DistributedSystem
 from repro.faults.injector import ExecutionContext
@@ -62,7 +63,7 @@ class _LocalizedStrategy(Strategy):
         query: Query,
         ctx: Optional[ExecutionContext] = None,
     ) -> StrategyResult:
-        decomposed = decompose(query, system.global_schema)
+        decomposed = system.decompose(query)
         fed = system.simulator(ctx.plan if ctx is not None else None)
         work = WorkCounters()
         cost = system.cost_model
@@ -80,11 +81,19 @@ class _LocalizedStrategy(Strategy):
         branch_classes = query.branch_classes(system.global_schema.schema)
         queried = list(decomposed.local_queries)
         # Checks execute at assistants' home sites; size their reads with
-        # the federation-average branch object.
-        avg_branch_bytes = (
-            sum(self._object_sizes(system, query, d)[1] for d in queried)
-            / len(queried)
-        ) if queried else 0.0
+        # the average branch object of the sites actually consulted.
+        # Under a fault plan, sites whose negotiation fails drop out of
+        # the execution entirely, so they must not skew the average
+        # (negotiations are memoized — the per-site loop below reuses
+        # these outcomes without re-paying any retry ladder).
+        if ctx is None:
+            surviving = queried
+        else:
+            surviving = [
+                db for db in queried
+                if ctx.contact(system.global_site, db).ok
+            ]
+        avg_branch_bytes = self._avg_branch_bytes(system, query, surviving)
 
         for db_name, local_query in decomposed.local_queries.items():
             entry_deps: List[Node] = []
@@ -165,6 +174,7 @@ class _LocalizedStrategy(Strategy):
             # --- ship local results to the global processing site -------
             result_bytes = self._result_bytes(result, query, cost)
             work.bytes_network += int(result_bytes)
+            work.messages += 1
             certify_deps.append(
                 fed.transfer(
                     db_name,
@@ -208,64 +218,12 @@ class _LocalizedStrategy(Strategy):
                     )
                     continue
                 runnable.append(request)
-            site_reports = run_checks(runnable, system)
-            reports.extend(site_reports)
-            for request, report in zip(runnable, site_reports):
-                request_bytes = cost.check_request_bytes(
-                    len(request.loids), len(request.predicates)
-                )
-                verdict_count = sum(
-                    len(v) for v in report.satisfied.values()
-                ) + sum(len(v) for v in report.violated.values())
-                reply_bytes = cost.check_reply_bytes(max(verdict_count, 1))
-                work.bytes_network += request_bytes + reply_bytes
-                work.assistants_checked += report.objects_checked
-                work.comparisons += report.comparisons
-
-                send_deps: List[Node] = [dispatch_node]
-                if ctx is not None:
-                    send_deps = fault_wait_chain(
-                        fed,
-                        ctx,
-                        ctx.contact(db_name, request.db_name),
-                        events,
-                        deps=send_deps,
-                    )
-                send = fed.transfer(
-                    db_name,
-                    request.db_name,
-                    nbytes=request_bytes,
-                    label=f"{self.name} check-req",
-                    deps=send_deps,
-                    phase=PHASE_O,
-                )
-                check_bytes = report.objects_checked * avg_branch_bytes
-                work.bytes_disk += int(check_bytes)
-                check_disk = fed.disk(
-                    request.db_name,
-                    nbytes=check_bytes,
-                    label=f"{self.name} check read",
-                    phase=PHASE_O,
-                    deps=[send],
-                    seeks=report.objects_checked,
-                )
-                check_cpu = fed.cpu(
-                    request.db_name,
-                    comparisons=report.comparisons,
-                    label=f"{self.name} check eval",
-                    phase=PHASE_O,
-                    deps=[check_disk],
-                )
-                certify_deps.append(
-                    fed.transfer(
-                        request.db_name,
-                        system.global_site,
-                        nbytes=reply_bytes,
-                        label=f"{self.name} check-reply",
-                        deps=[check_cpu],
-                        phase=PHASE_O,
-                    )
-                )
+            paired = run_checks_paired(runnable, system)
+            reports.extend(report for _, report in paired)
+            self._dispatch_checks(
+                fed, system, ctx, db_name, paired, dispatch_node,
+                certify_deps, work, avg_branch_bytes, events,
+            )
 
         # --- chase rounds for multi-hop missing-reference chains ------------
         verdicts = collect_verdicts(reports, signature_verdicts)
@@ -291,7 +249,7 @@ class _LocalizedStrategy(Strategy):
                     round=round_no,
                 ))
         prev_deps: List[Node] = list(certify_deps)
-        for chase in chase_rounds:
+        for round_no, chase in enumerate(chase_rounds, start=1):
             lookup = fed.cpu(
                 system.global_site,
                 comparisons=chase.mapping_lookups,
@@ -302,52 +260,22 @@ class _LocalizedStrategy(Strategy):
             work.comparisons += chase.mapping_lookups
             certify_deps.append(lookup)
             round_replies: List[Node] = []
-            for request, report in zip(chase.requests, chase.reports):
-                request_bytes = cost.check_request_bytes(
-                    len(request.loids), len(request.predicates)
-                )
-                verdict_count = sum(
-                    len(v) for v in report.satisfied.values()
-                ) + sum(len(v) for v in report.violated.values())
-                reply_bytes = cost.check_reply_bytes(max(verdict_count, 1))
-                work.bytes_network += request_bytes + reply_bytes
-                work.assistants_checked += report.objects_checked
-                work.comparisons += report.comparisons
-                send = fed.transfer(
-                    system.global_site,
-                    request.db_name,
-                    nbytes=request_bytes,
-                    label=f"{self.name} chase-req",
-                    deps=[lookup],
-                    phase=PHASE_O,
-                )
-                check_bytes = report.objects_checked * avg_branch_bytes
-                work.bytes_disk += int(check_bytes)
-                check_disk = fed.disk(
-                    request.db_name,
-                    nbytes=check_bytes,
-                    label=f"{self.name} chase read",
-                    phase=PHASE_O,
-                    deps=[send],
-                    seeks=report.objects_checked,
-                )
-                check_cpu = fed.cpu(
-                    request.db_name,
-                    comparisons=report.comparisons,
-                    label=f"{self.name} chase eval",
-                    phase=PHASE_O,
-                    deps=[check_disk],
-                )
-                round_replies.append(
-                    fed.transfer(
-                        request.db_name,
-                        system.global_site,
-                        nbytes=reply_bytes,
-                        label=f"{self.name} chase-reply",
-                        deps=[check_cpu],
-                        phase=PHASE_O,
-                    )
-                )
+            if self.batch_checks:
+                for batch in batch_exchanges(
+                    system.global_site, chase.pairs
+                ):
+                    round_replies.append(self._schedule_batch(
+                        fed, system, batch, [lookup], work,
+                        avg_branch_bytes, events, kind="chase",
+                        round_no=round_no,
+                    ))
+            else:
+                for request, report in chase.pairs:
+                    round_replies.append(self._schedule_single(
+                        fed, system, request, report,
+                        system.global_site, [lookup], work,
+                        avg_branch_bytes, kind="chase",
+                    ))
             certify_deps.extend(round_replies)
             prev_deps = round_replies or [lookup]
 
@@ -437,6 +365,192 @@ class _LocalizedStrategy(Strategy):
             availability=(
                 ctx.availability() if ctx is not None else Availability()
             ),
+        )
+
+    # --- phase-O exchanges --------------------------------------------------
+
+    def _dispatch_checks(
+        self,
+        fed: FederationSim,
+        system: DistributedSystem,
+        ctx: Optional[ExecutionContext],
+        db_name: str,
+        paired: List[Tuple["CheckRequest", CheckReport]],
+        dispatch_node: Node,
+        certify_deps: List[Node],
+        work: WorkCounters,
+        avg_branch_bytes: float,
+        events: List[TraceEvent],
+    ) -> None:
+        """Schedule one site's check exchanges, batched or per-request.
+
+        Batched (the default): every request sharing a destination rides
+        one request/reply message pair.  Unbatched (``--no-batch``): the
+        historical one-pair-per-request protocol, byte for byte.
+        """
+        if self.batch_checks:
+            for batch in batch_exchanges(db_name, paired):
+                send_deps: List[Node] = [dispatch_node]
+                if ctx is not None:
+                    send_deps = fault_wait_chain(
+                        fed,
+                        ctx,
+                        ctx.contact(db_name, batch.dst),
+                        events,
+                        deps=send_deps,
+                    )
+                certify_deps.append(self._schedule_batch(
+                    fed, system, batch, send_deps, work,
+                    avg_branch_bytes, events, kind="check",
+                ))
+            return
+        for request, report in paired:
+            send_deps = [dispatch_node]
+            if ctx is not None:
+                send_deps = fault_wait_chain(
+                    fed,
+                    ctx,
+                    ctx.contact(db_name, request.db_name),
+                    events,
+                    deps=send_deps,
+                )
+            certify_deps.append(self._schedule_single(
+                fed, system, request, report, db_name, send_deps, work,
+                avg_branch_bytes, kind="check",
+            ))
+
+    def _schedule_batch(
+        self,
+        fed: FederationSim,
+        system: DistributedSystem,
+        batch,
+        send_deps: List[Node],
+        work: WorkCounters,
+        avg_branch_bytes: float,
+        events: List[TraceEvent],
+        kind: str,
+        round_no: Optional[int] = None,
+    ) -> Node:
+        """One coalesced request/reply exchange; returns the reply node.
+
+        The per-request disk read and verdict evaluation at the
+        destination stay separate nodes (same labels as the unbatched
+        protocol, so Gantt granularity is unchanged); only the two
+        network messages are shared by the whole batch.
+        """
+        cost = system.cost_model
+        request_bytes = batch.request_bytes(cost)
+        reply_bytes = batch.reply_bytes(cost)
+        work.bytes_network += request_bytes + reply_bytes
+        work.messages += 2
+        send = fed.transfer(
+            batch.src,
+            batch.dst,
+            nbytes=request_bytes,
+            label=f"{self.name} {kind}-req",
+            deps=send_deps,
+            phase=PHASE_O,
+        )
+        check_cpus: List[Node] = []
+        for _, report in batch.pairs:
+            work.assistants_checked += report.objects_checked
+            work.comparisons += report.comparisons
+            check_bytes = report.objects_checked * avg_branch_bytes
+            work.bytes_disk += int(check_bytes)
+            check_disk = fed.disk(
+                batch.dst,
+                nbytes=check_bytes,
+                label=f"{self.name} {kind} read",
+                phase=PHASE_O,
+                deps=[send],
+                seeks=report.objects_checked,
+            )
+            check_cpus.append(
+                fed.cpu(
+                    batch.dst,
+                    comparisons=report.comparisons,
+                    label=f"{self.name} {kind} eval",
+                    phase=PHASE_O,
+                    deps=[check_disk],
+                )
+            )
+        attrs = dict(
+            src=batch.src,
+            dst=batch.dst,
+            requests=len(batch.pairs),
+            loids=batch.total_loids,
+            request_bytes=request_bytes,
+            reply_bytes=reply_bytes,
+        )
+        if round_no is not None:
+            attrs["round"] = round_no
+        events.append(TraceEvent.of("dispatch.batch", **attrs))
+        return fed.transfer(
+            batch.dst,
+            system.global_site,
+            nbytes=reply_bytes,
+            label=f"{self.name} {kind}-reply",
+            deps=check_cpus or [send],
+            phase=PHASE_O,
+        )
+
+    def _schedule_single(
+        self,
+        fed: FederationSim,
+        system: DistributedSystem,
+        request,
+        report: CheckReport,
+        src: str,
+        send_deps: List[Node],
+        work: WorkCounters,
+        avg_branch_bytes: float,
+        kind: str,
+    ) -> Node:
+        """One per-request exchange (the pre-batching wire protocol)."""
+        cost = system.cost_model
+        request_bytes = cost.check_request_bytes(
+            len(request.loids), len(request.predicates)
+        )
+        verdict_count = sum(
+            len(v) for v in report.satisfied.values()
+        ) + sum(len(v) for v in report.violated.values())
+        reply_bytes = cost.check_reply_bytes(max(verdict_count, 1))
+        work.bytes_network += request_bytes + reply_bytes
+        work.messages += 2
+        work.assistants_checked += report.objects_checked
+        work.comparisons += report.comparisons
+        send = fed.transfer(
+            src,
+            request.db_name,
+            nbytes=request_bytes,
+            label=f"{self.name} {kind}-req",
+            deps=send_deps,
+            phase=PHASE_O,
+        )
+        check_bytes = report.objects_checked * avg_branch_bytes
+        work.bytes_disk += int(check_bytes)
+        check_disk = fed.disk(
+            request.db_name,
+            nbytes=check_bytes,
+            label=f"{self.name} {kind} read",
+            phase=PHASE_O,
+            deps=[send],
+            seeks=report.objects_checked,
+        )
+        check_cpu = fed.cpu(
+            request.db_name,
+            comparisons=report.comparisons,
+            label=f"{self.name} {kind} eval",
+            phase=PHASE_O,
+            deps=[check_disk],
+        )
+        return fed.transfer(
+            request.db_name,
+            system.global_site,
+            nbytes=reply_bytes,
+            label=f"{self.name} {kind}-reply",
+            deps=[check_cpu],
+            phase=PHASE_O,
         )
 
     # --- per-site graphs ----------------------------------------------------
@@ -554,6 +668,17 @@ class _LocalizedStrategy(Strategy):
         return evaluate, dispatch
 
     # --- sizes ----------------------------------------------------------------
+
+    @staticmethod
+    def _avg_branch_bytes(
+        system: DistributedSystem, query: Query, sites
+    ) -> float:
+        """Average branch-object size across the sites consulted."""
+        sizes = [
+            _LocalizedStrategy._object_sizes(system, query, db)[1]
+            for db in sites
+        ]
+        return sum(sizes) / len(sizes) if sizes else 0.0
 
     @staticmethod
     def _object_sizes(

@@ -29,7 +29,7 @@ from repro.integration.global_schema import (
     integrate_schemas,
 )
 from repro.integration.isomerism import build_catalog
-from repro.integration.mapping import MappingCatalog
+from repro.integration.mapping import CacheStats, MappingCatalog
 from repro.objectdb.database import ComponentDatabase
 from repro.objectdb.signatures import SignatureCatalog
 from repro.sim.costs import CostModel, PAPER_COSTS
@@ -50,6 +50,13 @@ class DistributedSystem:
     global_site: str = GLOBAL_SITE
     shared_network: bool = True
     signatures: Optional[SignatureCatalog] = None
+    #: Bumped on every entity/schema mutation; keys the decomposition
+    #: cache so stale local queries can never be served.
+    schema_version: int = 0
+    _decompose_cache: Dict = field(default_factory=dict, repr=False)
+    _decompose_stats: CacheStats = field(
+        default_factory=CacheStats, repr=False
+    )
 
     @classmethod
     def build(
@@ -98,6 +105,38 @@ class DistributedSystem:
             shared_network=self.shared_network,
             fault_plan=fault_plan,
         )
+
+    # --- hot-path caches -----------------------------------------------------
+
+    def decompose(self, query):
+        """Decompose *query* into local queries, memoized per schema version.
+
+        Decomposition depends only on the query and the integrated
+        schemas, so repeated executions of the same query reuse the
+        cached :class:`~repro.core.decompose.DecomposedQuery` until
+        :meth:`bump_schema_version` (any entity registration or schema
+        mutation) invalidates it.
+        """
+        from repro.core.decompose import decompose as _decompose
+
+        key = (query, self.schema_version)
+        cached = self._decompose_cache.get(key)
+        if cached is not None:
+            self._decompose_stats.hits += 1
+            return cached
+        self._decompose_stats.misses += 1
+        decomposed = _decompose(query, self.global_schema)
+        self._decompose_cache[key] = decomposed
+        return decomposed
+
+    def bump_schema_version(self) -> None:
+        """Invalidate the decomposition cache after a mutation."""
+        self.schema_version += 1
+        self._decompose_cache.clear()
+
+    def cache_stats(self) -> CacheStats:
+        """Combined mapping-index + decomposition cache traffic."""
+        return self.catalog.cache_stats().merge(self._decompose_stats)
 
     # --- dynamic registration -----------------------------------------------
 
@@ -179,6 +218,7 @@ class DistributedSystem:
             table.add(goid, loid)
             if self.signatures is not None:
                 self.signatures.index_object(obj)
+        self.bump_schema_version()
         return goid
 
     # --- signatures ------------------------------------------------------

@@ -6,6 +6,15 @@ each component database that stores one (paper, Figure 5).  The table is
 *replicated at each site* (Section 4.1), which is what lets a component
 database look up assistant objects locally during the localized
 strategies.
+
+Hot-path caching: ``goid_of`` / ``loids_of`` / ``assistants_of`` are
+called once per row per unsolved item by the localized strategies and
+again by certification, so each table keeps a memoized index layer over
+its base dictionaries.  The memos are invalidated wholesale on any
+mutation (:meth:`MappingTable.add`, :meth:`MappingCatalog.register`) and
+their traffic is reported through :class:`CacheStats`, which the engine
+surfaces as ``cache.hit`` / ``cache.miss`` counters in the metrics
+registry.
 """
 
 from __future__ import annotations
@@ -18,12 +27,50 @@ from repro.objectdb.ids import GOid, LOid
 
 
 @dataclass
+class CacheStats:
+    """Hit/miss tallies of one memoized lookup layer."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits + other.hits, misses=self.misses + other.misses
+        )
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Traffic accumulated since the *earlier* snapshot."""
+        return CacheStats(
+            hits=self.hits - earlier.hits, misses=self.misses - earlier.misses
+        )
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(hits=self.hits, misses=self.misses)
+
+
+@dataclass
 class MappingTable:
     """The GOid mapping table of one global class."""
 
     global_class: str
     _by_goid: Dict[GOid, Dict[str, LOid]] = field(default_factory=dict)
     _by_loid: Dict[LOid, GOid] = field(default_factory=dict)
+    #: Memoized derived lookups (cleared on every mutation).
+    _iso_memo: Dict[LOid, Tuple[LOid, ...]] = field(
+        default_factory=dict, repr=False
+    )
+    _loids_memo: Dict[GOid, Tuple[Tuple[str, LOid], ...]] = field(
+        default_factory=dict, repr=False
+    )
+    stats: CacheStats = field(default_factory=CacheStats, repr=False)
 
     def add(self, goid: GOid, loid: LOid) -> None:
         """Record that *loid* is the representative of *goid* in its db.
@@ -44,32 +91,60 @@ class MappingTable:
                 f"{self.global_class}: {loid} already belongs to {prior}, "
                 f"cannot also belong to {goid}"
             )
-        # Validation done: mutate atomically.
+        # Validation done: mutate atomically and drop the stale memos.
         self._by_goid.setdefault(goid, {})[loid.db] = loid
         self._by_loid[loid] = goid
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop every memoized lookup (called on any mutation)."""
+        self._iso_memo.clear()
+        self._loids_memo.clear()
 
     # --- lookups ------------------------------------------------------------
 
     def goid_of(self, loid: LOid) -> Optional[GOid]:
-        return self._by_loid.get(loid)
+        # The base index is already a single dict probe; count it so the
+        # per-execution cache traffic reflects every mapping lookup.
+        goid = self._by_loid.get(loid)
+        if goid is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return goid
 
     def loids_of(self, goid: GOid) -> Dict[str, LOid]:
         """Per-database LOids of the entity (copy; may be empty)."""
-        return dict(self._by_goid.get(goid, {}))
+        memo = self._loids_memo.get(goid)
+        if memo is None:
+            self.stats.misses += 1
+            memo = tuple(self._by_goid.get(goid, {}).items())
+            self._loids_memo[goid] = memo
+        else:
+            self.stats.hits += 1
+        return dict(memo)
 
     def loid_in(self, goid: GOid, db_name: str) -> Optional[LOid]:
         return self._by_goid.get(goid, {}).get(db_name)
 
     def isomeric_objects(self, loid: LOid) -> List[LOid]:
         """The other LOids sharing *loid*'s GOid (paper: isomeric objects)."""
-        goid = self.goid_of(loid)
-        if goid is None:
-            return []
-        return [
-            other
-            for other in self._by_goid[goid].values()
-            if other != loid
-        ]
+        memo = self._iso_memo.get(loid)
+        if memo is None:
+            self.stats.misses += 1
+            goid = self._by_loid.get(loid)
+            if goid is None:
+                memo = ()
+            else:
+                memo = tuple(
+                    other
+                    for other in self._by_goid[goid].values()
+                    if other != loid
+                )
+            self._iso_memo[loid] = memo
+        else:
+            self.stats.hits += 1
+        return list(memo)
 
     def goids(self) -> Iterator[GOid]:
         return iter(self._by_goid)
@@ -101,6 +176,7 @@ class MappingCatalog:
 
     def register(self, table: MappingTable) -> None:
         """Install a pre-built table (replacing any existing one)."""
+        table.invalidate()
         self._tables[table.global_class] = table
 
     def __contains__(self, global_class: str) -> bool:
@@ -117,3 +193,10 @@ class MappingCatalog:
     ) -> List[LOid]:
         """Isomeric objects of *loid* in the other component databases."""
         return self.table(global_class).isomeric_objects(loid)
+
+    def cache_stats(self) -> CacheStats:
+        """Aggregate cache traffic across every table's memo layer."""
+        stats = CacheStats()
+        for table in self._tables.values():
+            stats = stats.merge(table.stats)
+        return stats

@@ -202,6 +202,8 @@ def registry_from_metrics(metrics: object) -> MetricsRegistry:
     Layout (all names stable, consumed by benches and exporters):
 
     * ``work.<field>`` — counters from :class:`WorkCounters`;
+    * ``cache.hit`` / ``cache.miss`` — counters of mapping-index and
+      decomposition cache lookups (``cache.hit_rate`` as a gauge);
     * ``answers.certain`` / ``answers.maybe`` — counters;
     * ``time.total`` / ``time.response`` — gauges (simulated seconds);
     * ``time.phase.<P|O|I|scan|transfer>`` — gauges;
@@ -220,11 +222,21 @@ def registry_from_metrics(metrics: object) -> MetricsRegistry:
         "comparisons",
         "bytes_disk",
         "bytes_network",
+        "messages",
         "retries",
         "timeouts",
         "messages_lost",
     ):
         registry.counter(f"work.{fname}").inc(getattr(work, fname))
+    registry.counter(
+        "cache.hit", help="mapping-index / decomposition cache hits"
+    ).inc(work.cache_hits)
+    registry.counter(
+        "cache.miss", help="mapping-index / decomposition cache misses"
+    ).inc(work.cache_misses)
+    registry.gauge(
+        "cache.hit_rate", help="hits over total cache lookups"
+    ).set(work.cache_hit_rate)
     registry.counter("answers.certain").inc(metrics.certain_results)
     registry.counter("answers.maybe").inc(metrics.maybe_results)
     registry.gauge("time.total").set(metrics.total_time)

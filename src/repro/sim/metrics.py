@@ -28,10 +28,22 @@ class WorkCounters:
     comparisons: int = 0
     bytes_disk: int = 0
     bytes_network: int = 0
+    #: Network messages sent (one per simulated transfer) — the quantity
+    #: phase-O batching reduces.
+    messages: int = 0
+    # Mapping-index / decomposition cache traffic (engine-populated).
+    cache_hits: int = 0
+    cache_misses: int = 0
     # Fault-tolerance work (zero on fault-free executions).
     retries: int = 0
     timeouts: int = 0
     messages_lost: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over total cache lookups (0.0 when nothing was looked up)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     def merge(self, other: "WorkCounters") -> None:
         self.objects_scanned += other.objects_scanned
@@ -42,6 +54,9 @@ class WorkCounters:
         self.comparisons += other.comparisons
         self.bytes_disk += other.bytes_disk
         self.bytes_network += other.bytes_network
+        self.messages += other.messages
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
         self.retries += other.retries
         self.timeouts += other.timeouts
         self.messages_lost += other.messages_lost

@@ -90,3 +90,68 @@ class TestAdaptiveExecution:
         strategy.execute(workload.system, workload.query)
         predictions = strategy.last_predictions
         assert strategy.last_choice == min(predictions, key=predictions.get)
+
+
+class TestFaultAwarePrediction:
+    def test_clean_prediction_unchanged_by_none_ctx(self, school):
+        strategy = AdaptiveStrategy()
+        query = parse_query(Q1_TEXT)
+        assert strategy.predict(school, query) == strategy.predict(
+            school, query, ctx=None
+        )
+        assert strategy.last_unreachable == ()
+
+    def test_down_site_penalizes_ca(self, school):
+        from repro.faults import FaultPlan
+        from repro.faults.injector import ExecutionContext
+
+        strategy = AdaptiveStrategy()
+        query = parse_query(Q1_TEXT)
+        clean = strategy.predict(school, query)
+        ctx = ExecutionContext(FaultPlan.single_site_loss("DB2"))
+        faulted = strategy.predict(school, query, ctx)
+        assert strategy.last_unreachable == ("DB2",)
+        assert faulted["CA"] > clean["CA"]
+        # Localized predictions are untouched.
+        assert faulted["BL"] == clean["BL"]
+        assert faulted["PL"] == clean["PL"]
+
+    def test_predict_does_not_consume_negotiations(self, school):
+        """Prediction must read the plan, never negotiate: availability
+        bookkeeping belongs to the delegate's execution alone."""
+        from repro.faults import FaultPlan
+        from repro.faults.injector import ExecutionContext
+
+        ctx = ExecutionContext(FaultPlan.single_site_loss("DB1"))
+        AdaptiveStrategy().predict(school, parse_query(Q1_TEXT), ctx)
+        assert ctx.contacted == []
+        assert ctx.skipped == []
+
+    def test_fully_lossy_link_counts_as_unreachable(self, school):
+        from repro.faults import FaultPlan
+        from repro.faults.injector import ExecutionContext
+
+        # Two stacked 0.9-loss faults compose to 0.99: hopeless delivery.
+        ctx = ExecutionContext(FaultPlan.from_spec(
+            "link:*>DB3:loss0.9,link:GPS>DB3:loss0.9"
+        ))
+        strategy = AdaptiveStrategy()
+        strategy.predict(school, parse_query(Q1_TEXT), ctx)
+        assert "DB3" in strategy.last_unreachable
+
+    def test_auto_event_records_unreachable(self, school):
+        from repro.faults import FaultPlan
+
+        report = GlobalQueryEngine(school).execute(
+            Q1_TEXT, "AUTO", fault_plan=FaultPlan.single_site_loss("DB1")
+        )
+        events = {e.name: e.attr_dict() for e in report.metrics.events}
+        assert events["auto.predict"]["unreachable"] == "DB1"
+
+    def test_signature_variants_ranked_when_built(self, school):
+        strategy = AdaptiveStrategy()
+        query = parse_query(Q1_TEXT)
+        assert set(strategy.predict(school, query)) == {"CA", "BL", "PL"}
+        school.build_signatures()
+        ranked = set(strategy.predict(school, query))
+        assert {"BL-S", "PL-S"} <= ranked

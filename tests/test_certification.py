@@ -340,3 +340,72 @@ class TestDnfCertification:
             VerdictIndex(),
         )
         assert len(answer) == 0
+
+
+class TestPartialQueryingAbsence:
+    """The absence rule under partial querying: a site a fault plan
+    skipped never ran its local filter, so its silence proves nothing.
+    Only a site that was *queried* and returned no surviving copy may
+    eliminate an entity placed there."""
+
+    def test_unqueried_site_does_not_eliminate(self):
+        gs = make_global_schema()
+        catalog = make_catalog(
+            [(GOid("g1"), [LOid("DB1", "s1"), LOid("DB2", "s1x")])]
+        )
+        stats = CertificationStats()
+        # DB2 was skipped: it is absent from local_results entirely,
+        # unlike the queried-but-empty case below.
+        answer = certify(
+            QUERY, gs, catalog,
+            {"DB1": results("DB1", row("DB1", "s1",
+                                       {PRED_A: TV.UNKNOWN, PRED_B: TV.TRUE}))},
+            VerdictIndex(), stats,
+        )
+        assert len(answer.maybe) == 1
+        assert stats.eliminated_by_absence == 0
+
+    def test_queried_empty_site_still_eliminates(self):
+        """Contrast case: same federation, but DB2 *did* answer (with
+        zero rows) — the paper's absence rule then applies."""
+        gs = make_global_schema()
+        catalog = make_catalog(
+            [(GOid("g1"), [LOid("DB1", "s1"), LOid("DB2", "s1x")])]
+        )
+        stats = CertificationStats()
+        answer = certify(
+            QUERY, gs, catalog,
+            {
+                "DB1": results("DB1", row("DB1", "s1",
+                                          {PRED_A: TV.UNKNOWN, PRED_B: TV.TRUE})),
+                "DB2": results("DB2"),
+            },
+            VerdictIndex(), stats,
+        )
+        assert len(answer) == 0
+        assert stats.eliminated_by_absence == 1
+
+    def test_engine_fault_skipped_site_keeps_entity(self):
+        """End-to-end: John's DB2 copy fails DB2's local filter, so the
+        fault-free run eliminates him by absence.  With DB2 down he must
+        come back as maybe — DB2 was never asked."""
+        from repro.core.engine import GlobalQueryEngine
+        from repro.faults import FaultPlan
+        from repro.workload.paper_example import Q1_TEXT, build_school_federation
+
+        clean = GlobalQueryEngine(build_school_federation()).execute(
+            Q1_TEXT, "BL"
+        )
+        clean_names = {
+            name for name, _ in
+            clean.results.certain_rows() + clean.results.maybe_rows()
+        }
+        assert "John" not in clean_names
+
+        faulted = GlobalQueryEngine(build_school_federation()).execute(
+            Q1_TEXT, "BL", fault_plan=FaultPlan.single_site_loss("DB2")
+        )
+        assert "John" in {name for name, _ in faulted.results.maybe_rows()}
+        assert "John" not in {
+            name for name, _ in faulted.results.certain_rows()
+        }

@@ -15,7 +15,7 @@ from repro.core.engine import GlobalQueryEngine
 from repro.core.results import Availability, certified_subset
 from repro.errors import ExecutionTimeout, ReproError, UnavailableError
 from repro.faults import EMPTY_PLAN, ExecutionPolicy, FaultPlan
-from repro.workload.paper_example import Q1_TEXT
+from repro.workload.paper_example import Q1_TEXT, build_school_federation
 
 DB1_DOWN = FaultPlan.single_site_loss("DB1")
 DB2_DOWN = FaultPlan.single_site_loss("DB2")
@@ -81,12 +81,14 @@ class TestDegradedAnswers:
 
 
 class TestDeterminismAndOverhead:
-    def test_same_plan_same_seed_byte_identical(self, school):
+    def test_same_plan_same_seed_byte_identical(self):
+        # Fresh federations so both executions start with cold mapping/
+        # decomposition caches — cache traffic is part of the report.
         plan = FaultPlan.from_spec("DB2@0:0.4,link:*>DB1:loss0.4", seed=11)
-        first = GlobalQueryEngine(school).execute(
+        first = GlobalQueryEngine(build_school_federation()).execute(
             Q1_TEXT, "BL", fault_plan=plan, fault_seed=3
         )
-        second = GlobalQueryEngine(school).execute(
+        second = GlobalQueryEngine(build_school_federation()).execute(
             Q1_TEXT, "BL", fault_plan=plan, fault_seed=3
         )
         assert first.to_dict() == second.to_dict()
@@ -104,11 +106,14 @@ class TestDeterminismAndOverhead:
             # anything the clean run does not.
             assert certified_subset(report.results, clean.results)
 
-    def test_empty_plan_is_exactly_no_plan(self, school):
+    def test_empty_plan_is_exactly_no_plan(self):
         """The zero-overhead contract: an inactive plan must leave the
-        report byte-identical — answers AND timings."""
-        baseline = GlobalQueryEngine(school).execute(Q1_TEXT, "PL")
-        gated = GlobalQueryEngine(school).execute(
+        report byte-identical — answers AND timings.  Fresh federations
+        keep cache warmth (part of the report) equal across the runs."""
+        baseline = GlobalQueryEngine(build_school_federation()).execute(
+            Q1_TEXT, "PL"
+        )
+        gated = GlobalQueryEngine(build_school_federation()).execute(
             Q1_TEXT, "PL", fault_plan=EMPTY_PLAN
         )
         assert gated.to_dict() == baseline.to_dict()
@@ -229,3 +234,46 @@ class TestQueryTextRepr:
         report = engine.execute(query, "BL")
         assert report.query_text == str(query)
         assert report.query_text  # the old bug left this empty
+
+
+class TestSurvivingSiteCosting:
+    """``avg_branch_bytes`` — the per-object charge for shipped check
+    replies — must average over the sites that survived negotiation,
+    not every site the decomposition named."""
+
+    def test_average_over_subset_differs_from_all_sites(self):
+        from helpers import make_workload
+        from repro.core.strategies.localized import _LocalizedStrategy
+
+        workload = make_workload(seed=304)
+        system, query = workload.system, workload.query
+        all_sites = tuple(system.databases)
+        full = _LocalizedStrategy._avg_branch_bytes(system, query, all_sites)
+        per_site = {
+            db: _LocalizedStrategy._avg_branch_bytes(system, query, [db])
+            for db in all_sites
+        }
+        # This federation's sites store different constituent attributes,
+        # so the per-site sizes differ and a subset shifts the average.
+        assert len(set(per_site.values())) > 1
+        assert full == pytest.approx(
+            sum(per_site.values()) / len(per_site)
+        )
+
+    def test_no_surviving_sites_charges_nothing(self, school):
+        from repro.core.strategies.localized import _LocalizedStrategy
+        from repro.sqlx import parse_query
+
+        query = parse_query(Q1_TEXT)
+        assert _LocalizedStrategy._avg_branch_bytes(school, query, []) == 0.0
+
+    def test_faulted_run_uses_surviving_average(self, school):
+        """With DB3 down, check replies are costed at the DB1/DB2
+        average — the run must not silently keep the three-site figure."""
+        engine = GlobalQueryEngine(school)
+        clean = engine.execute(Q1_TEXT, "BL")
+        faulted = engine.execute(Q1_TEXT, "BL", fault_plan=DB3_DOWN)
+        assert faulted.availability.sites_skipped == ("DB3",)
+        # Different surviving set, different byte accounting.
+        assert (faulted.metrics.work.bytes_network
+                != clean.metrics.work.bytes_network)
