@@ -13,7 +13,10 @@ Commands:
   (Figures 9-11) as tables;
 * ``compare``    — generate a synthetic Table 2 federation and compare
   all five strategies on it (optionally exporting every trace);
-* ``tables``     — print Tables 1 and 2.
+* ``tables``     — print Tables 1 and 2;
+* ``fuzz``       — run the differential correctness harness (seeded
+  federation fuzzer + cross-strategy oracle), or replay committed
+  case files with ``--replay``.
 """
 
 from __future__ import annotations
@@ -218,6 +221,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    # Imported lazily: the harness pulls in the whole strategy stack.
+    from repro.difftest import replay_cases, run_fuzz
+
+    if args.replay:
+        violations = replay_cases(args.replay)
+    else:
+        violations = run_fuzz(
+            args.seed, args.cases, out_dir=args.out or None
+        )
+    return 1 if violations else 0
+
+
 def _cmd_tables(_args: argparse.Namespace) -> int:
     print("Table 1 — system parameters")
     print(format_table(["parameter", "description", "setting"], table1_rows()))
@@ -286,6 +302,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_arg(compare)
 
     sub.add_parser("tables", help="print Tables 1 and 2")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential-test the strategies on random "
+                     "federations (or --replay committed cases)"
+    )
+    fuzz.add_argument("--seed", type=int, default=1996)
+    fuzz.add_argument("--cases", type=int, default=25)
+    fuzz.add_argument(
+        "--replay", nargs="+", default=[], metavar="PATH",
+        help="re-check committed case files (or directories of them) "
+             "instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--out", default="",
+        help="directory for shrunk JSON case files on violations",
+    )
     return parser
 
 
@@ -299,6 +331,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "study": _cmd_study,
         "compare": _cmd_compare,
         "tables": _cmd_tables,
+        "fuzz": _cmd_fuzz,
     }
     try:
         return handlers[args.command](args)

@@ -48,6 +48,9 @@ _EXPORTS = {
     "from_bool": "repro.core.tvl",
     "missing_depth": "repro.core.decompose",
     "same_answers": "repro.core.results",
+    "same_entities": "repro.core.results",
+    "export_value": "repro.core.results",
+    "certified_subset": "repro.core.results",
     "walk_path": "repro.core.predicates",
 }
 

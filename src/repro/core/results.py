@@ -23,6 +23,30 @@ class ResultKind(enum.Enum):
     MAYBE = "maybe"
 
 
+def export_value(value: Value) -> object:
+    """Convert a binding value into a plain JSON-serializable object.
+
+    NULL becomes ``None``, a :class:`MultiValue` becomes the sorted list
+    of its exported members, identifiers (LOid/GOid) become their string
+    form, and JSON primitives pass through unchanged.  The output never
+    needs ``json.dumps(..., default=...)`` and is stable across runs, so
+    it doubles as the canonical form for determinism digests.
+    """
+    from repro.objectdb.ids import GOid, LOid
+    from repro.objectdb.values import MultiValue
+
+    if is_null(value):
+        return None
+    if isinstance(value, MultiValue):
+        members = [export_value(m) for m in value]
+        return sorted(members, key=lambda m: (str(type(m).__name__), str(m)))
+    if isinstance(value, (LOid, GOid)):
+        return str(value)
+    if isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
 @dataclass
 class GlobalResult:
     """One answer object of a global query.
@@ -113,8 +137,6 @@ class ResultSet:
         path (NULL exported as ``None``, multi-values as sorted lists)
         and, for maybe results, the unsolved predicates as strings.
         """
-        from repro.objectdb.values import MultiValue
-
         rows: List[Dict[str, object]] = []
         for result in self.all_results():
             row: Dict[str, object] = {
@@ -122,14 +144,7 @@ class ResultSet:
                 "kind": result.kind.value,
             }
             for target in self.targets:
-                value = result.value(target)
-                if is_null(value):
-                    exported: object = None
-                elif isinstance(value, MultiValue):
-                    exported = sorted(value, key=repr)
-                else:
-                    exported = value
-                row[str(target)] = exported
+                row[str(target)] = export_value(result.value(target))
             if result.unsolved:
                 row["unsolved"] = [str(p) for p in result.unsolved]
             if result.notes:
@@ -138,10 +153,15 @@ class ResultSet:
         return rows
 
     def to_json(self, indent: int = 2) -> str:
-        """The :meth:`to_dicts` export as a JSON string."""
+        """The :meth:`to_dicts` export as a JSON string.
+
+        Every value is converted by :func:`export_value` first, so the
+        dump needs no ``default=`` escape hatch and the text round-trips:
+        ``json.loads(rs.to_json()) == rs.to_dicts()``.
+        """
         import json
 
-        return json.dumps(self.to_dicts(), indent=indent, default=str)
+        return json.dumps(self.to_dicts(), indent=indent)
 
 
 @dataclass(frozen=True)
@@ -163,11 +183,17 @@ class Availability:
     fault_wait_s: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
+        # A site may appear once per retried link; a plain dict
+        # comprehension would keep only the last link's count, so the
+        # export aggregates (sums) retry counts per site.
+        retry_totals: Dict[str, int] = {}
+        for site, count in self.retries:
+            retry_totals[site] = retry_totals.get(site, 0) + count
         return {
             "complete": self.complete,
             "sites_contacted": list(self.sites_contacted),
             "sites_skipped": list(self.sites_skipped),
-            "retries": {site: count for site, count in self.retries},
+            "retries": retry_totals,
             "checks_skipped": self.checks_skipped,
             "messages_lost": self.messages_lost,
             "fault_wait_s": self.fault_wait_s,
@@ -209,11 +235,48 @@ def _row_key(row: Tuple[Value, ...]) -> Tuple:
     return tuple((is_null(v), str(type(v).__name__), str(v)) for v in row)
 
 
+def _answer_key(results: ResultSet) -> Dict[GOid, Tuple]:
+    """Per-GOid comparison key: kind, projected bindings, unsolved set."""
+    key: Dict[GOid, Tuple] = {}
+    for result in results.all_results():
+        projected = tuple(
+            export_value(result.value(t)) for t in results.targets
+        )
+        # Lists (exported MultiValues) are unhashable; re-freeze them.
+        frozen = tuple(
+            tuple(v) if isinstance(v, list) else v for v in projected
+        )
+        key[result.goid] = (
+            result.kind,
+            frozen,
+            frozenset(str(p) for p in result.unsolved),
+        )
+    return key
+
+
 def same_answers(left: ResultSet, right: ResultSet) -> bool:
+    """True when two result sets are answer-equivalent, strictly.
+
+    Strategy-equivalence check: CA, BL and PL must compute *identical*
+    answers; only their costs differ (paper, Section 4).  Strict means:
+    the same target list, the same GOids with the same kind
+    (certain/maybe), the same projected binding for every target, and —
+    for maybe results — the same set of unsolved predicates.  A strategy
+    that certifies the right entities with the wrong values fails here;
+    use :func:`same_entities` for the loose GOid-membership check.
+    """
+    if left.targets != right.targets:
+        return False
+    return _answer_key(left) == _answer_key(right)
+
+
+def same_entities(left: ResultSet, right: ResultSet) -> bool:
     """True when two result sets contain the same certain and maybe GOids.
 
-    Strategy-equivalence check: CA, BL and PL must compute identical
-    answers; only their costs differ.
+    The loose, membership-only check (the pre-difftest ``same_answers``
+    semantics): bindings and unsolved predicates are ignored, so two
+    executions that agree on *which* entities are certain/maybe but
+    disagree on the returned values still pass.
     """
     left_certain = {r.goid for r in left.certain}
     right_certain = {r.goid for r in right.certain}

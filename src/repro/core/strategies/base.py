@@ -74,6 +74,11 @@ class Strategy(abc.ABC):
     #: this to the historical one-message-per-request protocol).  Only
     #: the localized strategies dispatch checks; CA ignores the flag.
     batch_checks: bool = True
+    #: Whether flipping :attr:`batch_checks` changes this strategy's
+    #: execution at all.  CA never dispatches checks, so it sets this to
+    #: False; the difftest oracle uses the flag to know which strategies
+    #: owe a batched-vs-unbatched equivalence proof.
+    affected_by_batching: bool = True
 
     @abc.abstractmethod
     def execute(

@@ -32,6 +32,9 @@ class CentralizedStrategy(Strategy):
     """The paper's algorithm CA."""
 
     name = "CA"
+    #: CA ships whole extents and never dispatches phase-O checks, so
+    #: the batching flag cannot change its execution.
+    affected_by_batching = False
 
     def execute(
         self,

@@ -26,6 +26,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.binding_resolution import (
+    ResolutionStats,
+    resolve_missing_bindings,
+)
 from repro.core.certification import CertificationStats, certify
 from repro.core.decompose import attributes_needed
 from repro.core.query import Query
@@ -290,13 +294,61 @@ class _LocalizedStrategy(Strategy):
             cert_stats,
         )
         work.comparisons += cert_stats.comparisons
-        fed.cpu(
+        certify_node = fed.cpu(
             system.global_site,
             comparisons=cert_stats.comparisons,
             label=f"{self.name}_G2 certify",
             phase=PHASE_I,
             deps=certify_deps,
         )
+
+        # --- step BL_G3 / PL_G3: binding completion at the global site -----
+        # Local rows bind only what their own site can walk; values held
+        # solely by another site's copy (and the union semantics of
+        # multi-valued global attributes) are fetched here so the answer
+        # is binding-identical to CA's, not merely entity-identical.
+        res_stats = ResolutionStats()
+        resolve_missing_bindings(system, query, results, ctx=ctx, stats=res_stats)
+        work.comparisons += res_stats.mapping_lookups
+        if res_stats.fetches:
+            events.append(TraceEvent.of(
+                "bindings.resolved",
+                entities=res_stats.entities_resolved,
+                fetches=res_stats.fetches,
+                sites=",".join(sorted(res_stats.fetches_by_site)),
+            ))
+        for fetch_db in sorted(res_stats.fetches_by_site):
+            count = res_stats.fetches_by_site[fetch_db]
+            request_bytes = cost.check_request_bytes(count, 1)
+            reply_bytes = count * cost.attribute_bytes
+            work.bytes_network += request_bytes + reply_bytes
+            work.messages += 2
+            send = fed.transfer(
+                system.global_site,
+                fetch_db,
+                nbytes=request_bytes,
+                label=f"{self.name} fetch-req",
+                deps=[certify_node],
+                phase=PHASE_I,
+            )
+            fetch_bytes = count * avg_branch_bytes
+            work.bytes_disk += int(fetch_bytes)
+            read = fed.disk(
+                fetch_db,
+                nbytes=fetch_bytes,
+                label=f"{self.name} fetch read",
+                phase=PHASE_I,
+                deps=[send],
+                seeks=count,
+            )
+            fed.transfer(
+                fetch_db,
+                system.global_site,
+                nbytes=reply_bytes,
+                label=f"{self.name} fetch-reply",
+                deps=[read],
+                phase=PHASE_I,
+            )
 
         # --- degraded-answer annotations under site loss -------------------
         # Localized strategies keep per-site provenance, so only the

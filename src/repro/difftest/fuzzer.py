@@ -1,0 +1,76 @@
+"""Deterministic federation fuzzing: seeds in, adversarial cases out.
+
+Every case is derived from ``random.Random(f"difftest:{seed}:{index}")``
+alone, so a (seed, index) pair names the same federation forever — on
+any machine, in any process, in any order of generation.  The knobs are
+chosen to hit the semantics the strategies must agree on: heterogeneous
+schemas (per-site predicate-attribute subsets), isomeric clusters, null
+densities, reference chains of varying depth, multi-valued targets,
+fault plans, and post-generation mutations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.difftest.cases import FuzzCase
+
+#: Object-count multipliers the fuzzer draws from.  Small enough that a
+#: 100-case sweep finishes in minutes, large enough that every case has
+#: isomeric clusters and nulls to disagree over.
+SCALES = (0.01, 0.015, 0.02)
+
+#: Probability knobs.
+P_MULTI_VALUED = 0.4
+P_FAULTS = 0.35
+P_MUTATE = 0.5
+P_LINK_FAULT = 0.5
+
+
+class FederationFuzzer:
+    """Generates the deterministic case stream of one fuzzing seed."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+
+    def case(self, index: int) -> FuzzCase:
+        """The *index*-th case of this seed (order-independent)."""
+        rng = random.Random(f"difftest:{self.seed}:{index}")
+        n_dbs = rng.randint(2, 4)
+        n_classes_max = rng.randint(1, 3)
+        bias: Optional[float] = rng.choice((None, 0.3, 0.7))
+        fault_spec = ""
+        fault_seed = 0
+        if rng.random() < P_FAULTS:
+            fault_spec = self._fault_spec(rng, n_dbs)
+            fault_seed = index + 1
+        return FuzzCase(
+            seed=self.seed * 100_003 + index,
+            n_dbs=n_dbs,
+            n_classes_min=1,
+            n_classes_max=n_classes_max,
+            scale=rng.choice(SCALES),
+            local_pred_attr_bias=bias,
+            multi_valued_targets=rng.random() < P_MULTI_VALUED,
+            fault_spec=fault_spec,
+            fault_seed=fault_seed,
+            mutate=rng.random() < P_MUTATE,
+            label=f"fuzz-{self.seed}-{index}",
+        )
+
+    def cases(self, count: int) -> Iterator[FuzzCase]:
+        for index in range(count):
+            yield self.case(index)
+
+    def _fault_spec(self, rng: random.Random, n_dbs: int) -> str:
+        """A compact fault spec: a site outage, a lossy link, or both."""
+        parts = []
+        victim = f"DB{rng.randint(1, n_dbs)}"
+        duration = rng.choice((0.5, 1.5, 5.0))
+        parts.append(f"{victim}@0:{duration}")
+        if rng.random() < P_LINK_FAULT:
+            dst = f"DB{rng.randint(1, n_dbs)}"
+            loss = rng.choice((0.2, 0.4))
+            parts.append(f"link:*>{dst}:loss{loss}")
+        return ",".join(parts)

@@ -1,0 +1,317 @@
+"""The strategy oracle: every invariant one fuzz case must satisfy.
+
+The oracle owns no opinion about *what* the right answer is — CA's
+fault-free answer anchors every comparison, exactly as the paper's
+Section 4 treats CA as the reference the localized strategies must
+reproduce.  What it checks:
+
+``equivalence``
+    Every registered strategy's fault-free answer strictly equals CA's
+    (:func:`repro.core.results.same_answers`: kinds, projected bindings,
+    unsolved-predicate sets).
+``batching``
+    For strategies whose execution batching can change at all
+    (:attr:`Strategy.affected_by_batching`), the unbatched answer
+    strictly equals the batched one.
+``determinism``
+    Rebuilding the case from its recipe and re-executing yields a
+    byte-identical answer export.
+``fault-equivalence`` / ``fault-soundness``
+    Under the case's fault plan, executions that stayed complete must
+    strictly equal the fault-free answer; degraded executions may only
+    certify a subset of it (degradation never adds certainty).
+``monotonicity``
+    After registering one extra consistent assistant copy, no certain
+    result is demoted, no previously-eliminated entity is certified,
+    and the strategies still strictly agree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.engine import GlobalQueryEngine
+from repro.core.results import (
+    ResultSet,
+    _answer_key,
+    certified_subset,
+    same_answers,
+)
+from repro.core.strategies import DEFAULT_REGISTRY
+from repro.core.system import DistributedSystem
+from repro.difftest.cases import FuzzCase
+from repro.objectdb.ids import GOid
+from repro.objectdb.values import is_null
+
+#: Policy used for the fault suite (degrade to partial answers).
+FAULT_POLICY = "degrade"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant on one case."""
+
+    invariant: str
+    label: str
+    detail: str
+    case: FuzzCase
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.label}: {self.detail}"
+
+
+def answer_digest(results: ResultSet) -> str:
+    """Stable content hash of an answer (first 12 hex chars)."""
+    payload = json.dumps(results.to_dicts(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def case_digest(case: FuzzCase) -> str:
+    """Content hash of a case's reference (CA) answer."""
+    built = case.build()
+    engine = GlobalQueryEngine(built.system)
+    return answer_digest(engine.execute(built.query, "CA").results)
+
+
+def _first_difference(left: ResultSet, right: ResultSet) -> str:
+    """A one-line description of why two answers are not equal."""
+    if left.targets != right.targets:
+        return (
+            f"target lists differ: {[str(t) for t in left.targets]} vs "
+            f"{[str(t) for t in right.targets]}"
+        )
+    lk, rk = _answer_key(left), _answer_key(right)
+    only_left = sorted(set(lk) - set(rk), key=lambda g: g.value)
+    only_right = sorted(set(rk) - set(lk), key=lambda g: g.value)
+    if only_left:
+        return f"{len(only_left)} entities only on the left, e.g. {only_left[0]}"
+    if only_right:
+        return f"{len(only_right)} entities only on the right, e.g. {only_right[0]}"
+    for goid in sorted(lk, key=lambda g: g.value):
+        if lk[goid] != rk[goid]:
+            return f"entity {goid} differs: {lk[goid]} vs {rk[goid]}"
+    return "answers differ"
+
+
+class StrategyOracle:
+    """Runs every registered strategy on a case and checks invariants."""
+
+    def __init__(self, registry=DEFAULT_REGISTRY) -> None:
+        self.registry = registry
+
+    @property
+    def strategy_names(self) -> List[str]:
+        return list(self.registry.names())
+
+    # --- entry point -------------------------------------------------------
+
+    def check(self, case: FuzzCase) -> List[Violation]:
+        """All invariant violations of *case* (empty list = clean)."""
+        violations: List[Violation] = []
+        built = case.build()
+        engine = GlobalQueryEngine(built.system)
+        engine.ensure_signatures()
+
+        # Fault-free answers, one per strategy; CA anchors comparisons.
+        answers: Dict[str, ResultSet] = {}
+        for name in self.strategy_names:
+            answers[name] = engine.execute(built.query, name).results
+        baseline = answers["CA"]
+        for name, results in answers.items():
+            if name != "CA" and not same_answers(baseline, results):
+                violations.append(Violation(
+                    "equivalence", case.label,
+                    f"CA vs {name}: {_first_difference(baseline, results)}",
+                    case,
+                ))
+
+        violations.extend(self._check_batching(case, engine, built, answers))
+        violations.extend(self._check_determinism(case, baseline))
+        if built.fault_plan is not None:
+            violations.extend(
+                self._check_faults(case, engine, built, baseline)
+            )
+        if case.mutate:
+            violations.extend(
+                self._check_monotonicity(case, engine, built, answers)
+            )
+        return violations
+
+    # --- invariants --------------------------------------------------------
+
+    def _check_batching(self, case, engine, built, answers) -> List[Violation]:
+        """Flipping batch_checks must never change an answer."""
+        violations = []
+        for name in self.strategy_names:
+            if not self.registry.create(name).affected_by_batching:
+                continue
+            unbatched = engine.execute(
+                built.query, name, batch_checks=False
+            ).results
+            if not same_answers(answers[name], unbatched):
+                violations.append(Violation(
+                    "batching", case.label,
+                    f"{name}: batched vs unbatched: "
+                    f"{_first_difference(answers[name], unbatched)}",
+                    case,
+                ))
+        return violations
+
+    def _check_determinism(self, case, baseline) -> List[Violation]:
+        """The recipe must rebuild to a byte-identical answer."""
+        rebuilt = case.build()
+        engine = GlobalQueryEngine(rebuilt.system)
+        again = engine.execute(rebuilt.query, "CA").results
+        left, right = answer_digest(baseline), answer_digest(again)
+        if left != right:
+            return [Violation(
+                "determinism", case.label,
+                f"rebuild changed the answer: {left} vs {right}",
+                case,
+            )]
+        return []
+
+    def _check_faults(self, case, engine, built, baseline) -> List[Violation]:
+        """Complete runs equal the baseline; degraded ones under-certify."""
+        violations = []
+        for name in self.strategy_names:
+            report = engine.execute(
+                built.query,
+                name,
+                fault_plan=built.fault_plan,
+                policy=FAULT_POLICY,
+                fault_seed=case.fault_seed,
+            )
+            results = report.results
+            if report.availability.complete:
+                if not same_answers(baseline, results):
+                    violations.append(Violation(
+                        "fault-equivalence", case.label,
+                        f"{name} stayed complete under the plan but "
+                        f"changed its answer: "
+                        f"{_first_difference(baseline, results)}",
+                        case,
+                    ))
+            elif not certified_subset(results, baseline):
+                extra = sorted(
+                    {r.goid for r in results.certain}
+                    - {r.goid for r in baseline.certain},
+                    key=lambda g: g.value,
+                )
+                violations.append(Violation(
+                    "fault-soundness", case.label,
+                    f"{name} (degraded) certified {len(extra)} entities "
+                    f"the complete answer does not, e.g. {extra[0]}",
+                    case,
+                ))
+        return violations
+
+    def _check_monotonicity(self, case, engine, built, answers) -> List[Violation]:
+        """One extra consistent copy must only ever *add* certainty."""
+        baseline = answers["CA"]
+        goid = _register_assistant_copy(
+            built.system, built.query.range_class, baseline,
+            random.Random(f"difftest:mutate:{case.seed}"),
+        )
+        if goid is None:
+            return []  # every entity already has copies everywhere
+        after: Dict[str, ResultSet] = {}
+        for name in self.strategy_names:
+            after[name] = engine.execute(built.query, name).results
+        violations = []
+        for name, results in after.items():
+            if name != "CA" and not same_answers(after["CA"], results):
+                violations.append(Violation(
+                    "monotonicity", case.label,
+                    f"after adding a copy of {goid}, CA vs {name}: "
+                    f"{_first_difference(after['CA'], results)}",
+                    case,
+                ))
+        certain_before = {r.goid for r in baseline.certain}
+        maybe_before = {r.goid for r in baseline.maybe}
+        certain_after = {r.goid for r in after["CA"].certain}
+        demoted = sorted(
+            certain_before - certain_after, key=lambda g: g.value
+        )
+        if demoted:
+            violations.append(Violation(
+                "monotonicity", case.label,
+                f"adding a copy of {goid} demoted {len(demoted)} certain "
+                f"result(s), e.g. {demoted[0]}",
+                case,
+            ))
+        resurrected = sorted(
+            certain_after - (certain_before | maybe_before),
+            key=lambda g: g.value,
+        )
+        if resurrected:
+            violations.append(Violation(
+                "monotonicity", case.label,
+                f"adding a copy of {goid} certified {len(resurrected)} "
+                f"previously-eliminated entit(ies), e.g. {resurrected[0]}",
+                case,
+            ))
+        return violations
+
+
+def _register_assistant_copy(
+    system: DistributedSystem,
+    range_class: str,
+    baseline: ResultSet,
+    rng: random.Random,
+) -> Optional[GOid]:
+    """Clone one root entity to a site it is absent from.
+
+    The new copy carries the entity's merged (consistent) values —
+    complex references are handed over as GOids, which
+    :meth:`DistributedSystem.register_entity` translates to the target
+    site's local copies.  Prefers entities that are maybe results, where
+    the extra assistant can actually move the answer.
+    """
+    table = system.catalog.table(range_class)
+    all_dbs = set(system.global_schema.databases_of(range_class))
+    maybe_goids = {r.goid for r in baseline.maybe}
+
+    def candidates(pool):
+        out = []
+        for goid in sorted(pool, key=lambda g: g.value):
+            placements = table.loids_of(goid)
+            if placements and set(placements) != all_dbs:
+                out.append(goid)
+        return out
+
+    pool = candidates(maybe_goids) or candidates(table.goids())
+    if not pool:
+        return None
+    goid = rng.choice(pool)
+    placements = table.loids_of(goid)
+    target_db = rng.choice(sorted(all_dbs - set(placements)))
+
+    # Merge the existing copies' values (first non-null in constituent
+    # order — the outerjoin policy), translating references to GOids.
+    gdef = system.global_schema.cls(range_class)
+    merged: Dict[str, object] = {}
+    for attr in gdef.attributes:
+        for db_name in system.global_schema.databases_of(range_class):
+            loid = placements.get(db_name)
+            if loid is None:
+                continue
+            obj = system.db(db_name).get(loid)
+            if obj is None:
+                continue
+            value = obj.get(attr.name)
+            if is_null(value):
+                continue
+            if attr.is_complex and attr.domain is not None:
+                ref_goid = system.catalog.table(attr.domain).goid_of(value)
+                if ref_goid is None:
+                    continue
+                value = ref_goid
+            merged[attr.name] = value
+            break
+    system.register_entity(range_class, {target_db: merged}, goid=goid)
+    return goid

@@ -1,0 +1,115 @@
+"""Fuzzing runs and case replays, with byte-deterministic output.
+
+``run_fuzz`` drives the fuzzer/oracle loop: one line per case carrying
+the recipe summary and the CA answer digest, a shrunk JSON case file
+per violation, and a final tally.  Because every line is derived from
+the seed alone, two runs with the same seed produce identical output —
+CI checks exactly that.  ``replay_cases`` re-checks committed case
+files so a fixed bug stays fixed.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Iterable, List, Optional, TextIO
+
+from repro.difftest.cases import FuzzCase
+from repro.difftest.fuzzer import FederationFuzzer
+from repro.difftest.oracle import StrategyOracle, Violation, case_digest
+from repro.difftest.shrink import shrink_case
+from repro.errors import ReproError
+
+
+def _emit(stream: Optional[TextIO], text: str) -> None:
+    print(text, file=stream if stream is not None else sys.stdout)
+
+
+def run_fuzz(
+    seed: int,
+    count: int,
+    out_dir: Optional[str] = None,
+    stream: Optional[TextIO] = None,
+    oracle: Optional[StrategyOracle] = None,
+) -> List[Violation]:
+    """Check *count* cases of *seed*; returns all violations found.
+
+    For every violating case the recipe is shrunk and, when *out_dir*
+    is given, written there as ``<label>.json`` for replay.
+    """
+    oracle = oracle or StrategyOracle()
+    fuzzer = FederationFuzzer(seed)
+    _emit(stream, (
+        f"fuzz seed={seed} cases={count} "
+        f"strategies={','.join(oracle.strategy_names)}"
+    ))
+    all_violations: List[Violation] = []
+    for index, case in enumerate(fuzzer.cases(count)):
+        violations = oracle.check(case)
+        digest = case_digest(case)
+        status = "ok" if not violations else (
+            f"VIOLATION x{len(violations)}"
+        )
+        _emit(stream, (
+            f"[{index:3d}] {case.label} {case.describe()} "
+            f"ca={digest} {status}"
+        ))
+        if not violations:
+            continue
+        all_violations.extend(violations)
+        for violation in violations:
+            _emit(stream, f"      {violation}")
+        shrunk = shrink_case(case, lambda c: bool(oracle.check(c)))
+        _emit(stream, f"      shrunk to: {shrunk.describe()}")
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+            path = os.path.join(out_dir, f"{case.label}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(shrunk.to_json() + "\n")
+            _emit(stream, f"      wrote {path}")
+    _emit(stream, (
+        f"fuzz: {count} case(s), {len(all_violations)} violation(s)"
+    ))
+    return all_violations
+
+
+def _collect_case_paths(paths: Iterable[str]) -> List[str]:
+    """Expand directories to their sorted ``*.json`` members."""
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            collected.extend(
+                os.path.join(path, name)
+                for name in sorted(os.listdir(path))
+                if name.endswith(".json")
+            )
+        else:
+            collected.append(path)
+    if not collected:
+        raise ReproError("no case files to replay")
+    return collected
+
+
+def replay_cases(
+    paths: Iterable[str],
+    stream: Optional[TextIO] = None,
+    oracle: Optional[StrategyOracle] = None,
+) -> List[Violation]:
+    """Re-check committed case files; returns all violations found."""
+    oracle = oracle or StrategyOracle()
+    all_violations: List[Violation] = []
+    case_paths = _collect_case_paths(paths)
+    for path in case_paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            case = FuzzCase.from_json(handle.read())
+        violations = oracle.check(case)
+        status = "ok" if not violations else f"VIOLATION x{len(violations)}"
+        _emit(stream, f"replay {path}: {case.describe()} {status}")
+        for violation in violations:
+            _emit(stream, f"      {violation}")
+        all_violations.extend(violations)
+    _emit(stream, (
+        f"replay: {len(case_paths)} case(s), "
+        f"{len(all_violations)} violation(s)"
+    ))
+    return all_violations

@@ -1,0 +1,78 @@
+"""Greedy case minimization: strip a failing recipe to its essence.
+
+The shrinker never touches federation objects — it edits the *recipe*
+(:class:`FuzzCase`) and asks the caller's ``is_failing`` predicate
+whether the regenerated case still fails.  Each pass tries a fixed
+sequence of simplifications (drop the mutation, drop the faults, fewer
+sites, shorter class chains, fewer objects, simpler targets) and keeps
+an edit only if the failure survives it; passes repeat until a
+fixpoint.  Because the predicate rebuilds from the recipe, a shrunk
+case committed to ``tests/cases/`` replays the exact minimal federation
+that exhibited the bug.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator
+
+from repro.difftest.cases import FuzzCase
+from repro.errors import ReproError
+
+#: Smaller scales the shrinker is allowed to try, largest first.
+SHRINK_SCALES = (0.015, 0.01, 0.005)
+
+
+def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Simplified variants of *case*, most aggressive first per axis."""
+
+    def replaced(**changes) -> Iterator[FuzzCase]:
+        try:
+            yield dataclasses.replace(case, **changes)
+        except ReproError:
+            return
+
+    if case.mutate:
+        yield from replaced(mutate=False)
+    if case.fault_spec:
+        yield from replaced(fault_spec="", fault_seed=0)
+    if case.multi_valued_targets:
+        yield from replaced(multi_valued_targets=False)
+    if case.local_pred_attr_bias is not None:
+        yield from replaced(local_pred_attr_bias=None)
+    if case.n_dbs > 2:
+        yield from replaced(n_dbs=case.n_dbs - 1)
+    if case.n_classes_max > 1:
+        yield from replaced(
+            n_classes_min=1, n_classes_max=case.n_classes_max - 1
+        )
+    for scale in SHRINK_SCALES:
+        if scale < case.scale:
+            yield from replaced(scale=scale)
+
+
+def shrink_case(
+    case: FuzzCase,
+    is_failing: Callable[[FuzzCase], bool],
+    max_attempts: int = 64,
+) -> FuzzCase:
+    """Smallest variant of *case* for which ``is_failing`` stays true.
+
+    ``is_failing`` is consulted at most *max_attempts* times; the best
+    case found so far is returned when the budget runs out.  *case*
+    itself is assumed failing and is never re-checked.
+    """
+    current = case
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _candidates(current):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            if is_failing(candidate):
+                current = candidate
+                progress = True
+                break  # restart candidate generation from the new case
+    return current

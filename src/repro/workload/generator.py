@@ -213,12 +213,17 @@ def generate(
     params: WorkloadParams,
     seed: Optional[int] = None,
     scale: float = 1.0,
+    multi_valued_targets: bool = False,
 ) -> GeneratedWorkload:
     """Materialize one federation + query from a Table 2 parameter set.
 
     Args:
         scale: multiplies every N_o (tests run at scale << 1 to stay
             fast; the paper's 5000-6000 objects are scale=1).
+        multi_valued_targets: declare ``t1`` a multi-valued *global*
+            attribute (each copy stores its own drawn value; integration
+            unions them) and project it in the query — exercises the
+            MultiValue merge semantics the scalar workload never touches.
     """
     if scale <= 0:
         raise WorkloadError("scale must be positive")
@@ -277,6 +282,11 @@ def generate(
                 values: Dict[str, object] = {"key": entity.key}
                 for j in range(2):
                     values[_target_attr(j)] = entity.values[_target_attr(j)]
+                if multi_valued_targets:
+                    # Each copy contributes its own observation; the
+                    # global attribute is declared multi-valued, so
+                    # integration unions the copies' values.
+                    values[_target_attr(1)] = rng.randrange(VALUE_DOMAIN)
                 for attr_name in defined_attrs[k][db_name]:
                     if rng.random() < r_missing:
                         values[attr_name] = NULL
@@ -300,6 +310,9 @@ def generate(
             _class_name(k),
             [(db_name, _class_name(k)) for db_name in params.db_names],
             key_attribute="key",
+            multi_valued_attributes=(
+                (_target_attr(1),) if multi_valued_targets else ()
+            ),
         )
         for k in range(n_classes)
     )
@@ -308,7 +321,7 @@ def generate(
     )
 
     # --- the query ----------------------------------------------------------------
-    query = build_query(params)
+    query = build_query(params, multi_valued_targets=multi_valued_targets)
     return GeneratedWorkload(
         system=system,
         query=query,
@@ -317,7 +330,9 @@ def generate(
     )
 
 
-def build_query(params: WorkloadParams) -> Query:
+def build_query(
+    params: WorkloadParams, multi_valued_targets: bool = False
+) -> Query:
     """The global query implied by a parameter set.
 
     Predicates on class k realize the per-predicate selectivity
@@ -325,14 +340,20 @@ def build_query(params: WorkloadParams) -> Query:
     follows Table 2's R_ps law): even-indexed predicates test equality
     against category 0 of a ~1/selectivity-sized domain, odd-indexed
     ones use a threshold.  Paths reach class k through ``ref`` steps.
+    With ``multi_valued_targets`` the (multi-valued) ``t1`` attribute of
+    every class is projected as well.
     """
     targets: List[Path] = [Path.of("key"), Path.of(_target_attr(0))]
+    if multi_valued_targets:
+        targets.append(Path.of(_target_attr(1)))
     predicates: List[Predicate] = []
     prefix: Tuple[str, ...] = ()
     for k, cls_params in enumerate(params.classes):
         if k > 0:
             prefix = prefix + ("ref",)
             targets.append(Path(prefix + (_target_attr(0),)))
+            if multi_valued_targets:
+                targets.append(Path(prefix + (_target_attr(1),)))
         per_pred = _per_pred_selectivity(cls_params)
         for j in range(cls_params.n_predicates):
             path = Path(prefix + (_predicate_attr(j),))

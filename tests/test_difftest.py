@@ -1,0 +1,237 @@
+"""Tests for the differential correctness harness (repro.difftest)."""
+
+import dataclasses
+import io
+import json
+import os
+
+import pytest
+
+import repro.core.strategies.localized as localized
+from repro.core.binding_resolution import ResolutionStats
+from repro.core.engine import GlobalQueryEngine
+from repro.core.results import same_answers, same_entities
+from repro.difftest import (
+    FederationFuzzer,
+    FuzzCase,
+    StrategyOracle,
+    replay_cases,
+    run_fuzz,
+    shrink_case,
+)
+from repro.difftest.oracle import answer_digest, case_digest
+from repro.errors import ReproError
+
+CASES_DIR = os.path.join(os.path.dirname(__file__), "cases")
+
+
+@pytest.fixture
+def broken_resolver(monkeypatch):
+    """Reintroduce the binding-completion bug the fuzzer found.
+
+    With the resolver disabled, localized strategies leave NULL nested
+    targets and bare-scalar multi-valued targets — CA disagrees.
+    """
+    monkeypatch.setattr(
+        localized, "resolve_missing_bindings",
+        lambda *args, **kwargs: ResolutionStats(),
+    )
+
+
+class TestFuzzCase:
+    def test_json_round_trip(self):
+        case = FuzzCase(
+            seed=7, n_dbs=4, scale=0.01, multi_valued_targets=True,
+            fault_spec="DB1@0:1.5", fault_seed=3, mutate=True,
+            label="x",
+        )
+        assert FuzzCase.from_json(case.to_json()) == case
+
+    def test_defaults_omitted_from_export(self):
+        raw = json.loads(FuzzCase(seed=7).to_json())
+        assert raw == {"seed": 7}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ReproError, match="unknown fields"):
+            FuzzCase.from_dict({"seed": 1, "n_sites": 3})
+
+    def test_seed_required(self):
+        with pytest.raises(ReproError, match="seed"):
+            FuzzCase.from_dict({"n_dbs": 3})
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ReproError, match="JSON"):
+            FuzzCase.from_json("{nope")
+        with pytest.raises(ReproError, match="object"):
+            FuzzCase.from_json("[1, 2]")
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            FuzzCase(seed=1, n_dbs=0)
+        with pytest.raises(ReproError):
+            FuzzCase(seed=1, n_classes_min=3, n_classes_max=2)
+        with pytest.raises(ReproError):
+            FuzzCase(seed=1, scale=0.0)
+
+    def test_build_is_deterministic(self):
+        case = FuzzCase(seed=11, scale=0.01)
+        left = answer_digest(
+            GlobalQueryEngine(case.build().system)
+            .execute(case.build().query, "CA").results
+        )
+        assert left == case_digest(case)
+
+    def test_fault_spec_builds_plan(self):
+        case = FuzzCase(seed=11, scale=0.01,
+                        fault_spec="DB1@0:1.5", fault_seed=2)
+        assert case.build().fault_plan is not None
+        assert FuzzCase(seed=11, scale=0.01).build().fault_plan is None
+
+
+class TestFuzzer:
+    def test_cases_are_deterministic(self):
+        a = [dataclasses.astuple(c) for c in FederationFuzzer(5).cases(8)]
+        b = [dataclasses.astuple(c) for c in FederationFuzzer(5).cases(8)]
+        assert a == b
+
+    def test_case_is_order_independent(self):
+        fuzzer = FederationFuzzer(5)
+        late_first = fuzzer.case(6)
+        list(fuzzer.cases(3))  # draw some earlier cases in between
+        assert fuzzer.case(6) == late_first
+
+    def test_seeds_distinct_across_indexes(self):
+        seeds = {c.seed for c in FederationFuzzer(5).cases(20)}
+        assert len(seeds) == 20
+
+    def test_knob_coverage(self):
+        cases = list(FederationFuzzer(1996).cases(40))
+        assert any(c.multi_valued_targets for c in cases)
+        assert any(c.fault_spec for c in cases)
+        assert any(c.mutate for c in cases)
+        assert any(c.local_pred_attr_bias is not None for c in cases)
+        assert {c.n_dbs for c in cases} >= {2, 3, 4}
+
+
+class TestOracle:
+    def test_clean_on_fuzz_cases(self):
+        oracle = StrategyOracle()
+        for case in FederationFuzzer(2026).cases(3):
+            assert oracle.check(case) == []
+
+    def test_replay_committed_cases_clean(self):
+        stream = io.StringIO()
+        violations = replay_cases([CASES_DIR], stream=stream)
+        assert violations == []
+        assert "VIOLATION" not in stream.getvalue()
+
+    def test_committed_cases_catch_the_resolver_bug(self, broken_resolver):
+        """Each committed case re-finds the bug it was shrunk from."""
+        oracle = StrategyOracle()
+        for name in sorted(os.listdir(CASES_DIR)):
+            with open(os.path.join(CASES_DIR, name)) as handle:
+                case = FuzzCase.from_json(handle.read())
+            violations = oracle.check(case)
+            assert violations, f"{name} no longer catches the bug"
+            assert any(v.invariant == "equivalence" for v in violations)
+
+    def test_loose_entity_check_misses_what_oracle_catches(
+        self, broken_resolver
+    ):
+        """The PR's motivating demonstration: with the old loose
+        comparison (GOid membership only), CA and BL still 'agree' on
+        the buggy build; the strict oracle comparison catches it."""
+        with open(os.path.join(
+            CASES_DIR, "fuzz-1996-26-nested-target-null.json"
+        )) as handle:
+            case = FuzzCase.from_json(handle.read())
+        built = case.build()
+        engine = GlobalQueryEngine(built.system)
+        engine.ensure_signatures()
+        ca = engine.execute(built.query, "CA").results
+        bl = engine.execute(built.query, "BL").results
+        assert same_entities(ca, bl)      # the old check: no bug visible
+        assert not same_answers(ca, bl)   # the strict check: bug visible
+
+
+class TestShrink:
+    def test_strips_irrelevant_knobs(self):
+        case = FuzzCase(
+            seed=1, n_dbs=4, n_classes_max=3, scale=0.02,
+            local_pred_attr_bias=0.7, multi_valued_targets=True,
+            fault_spec="DB1@0:1.5", fault_seed=2, mutate=True,
+        )
+        # Failure depends only on having multiple databases.
+        shrunk = shrink_case(case, lambda c: c.n_dbs >= 2)
+        assert shrunk.n_dbs == 2
+        assert shrunk.fault_spec == ""
+        assert not shrunk.mutate
+        assert not shrunk.multi_valued_targets
+        assert shrunk.local_pred_attr_bias is None
+        assert shrunk.n_classes_max == 1
+        assert shrunk.scale < case.scale
+
+    def test_keeps_essential_knobs(self):
+        case = FuzzCase(seed=1, n_dbs=3, multi_valued_targets=True,
+                        fault_spec="DB1@0:1.5")
+        shrunk = shrink_case(
+            case, lambda c: c.multi_valued_targets and bool(c.fault_spec)
+        )
+        assert shrunk.multi_valued_targets
+        assert shrunk.fault_spec
+        assert shrunk.n_dbs == 2  # still minimized on the free axis
+
+    def test_respects_attempt_budget(self):
+        calls = []
+
+        def is_failing(candidate):
+            calls.append(candidate)
+            return True
+
+        shrink_case(FuzzCase(seed=1, n_dbs=4, mutate=True),
+                    is_failing, max_attempts=2)
+        assert len(calls) == 2
+
+
+class TestRunner:
+    def test_run_fuzz_output_is_deterministic(self):
+        first, second = io.StringIO(), io.StringIO()
+        assert run_fuzz(2026, 3, stream=first) == []
+        assert run_fuzz(2026, 3, stream=second) == []
+        assert first.getvalue() == second.getvalue()
+        assert "0 violation(s)" in first.getvalue()
+
+    def test_violations_shrunk_and_written(self, broken_resolver, tmp_path):
+        stream = io.StringIO()
+        violations = run_fuzz(
+            1996, 3, out_dir=str(tmp_path), stream=stream
+        )
+        assert violations  # fuzz-1996-2 fails under the broken resolver
+        out = stream.getvalue()
+        assert "VIOLATION" in out and "shrunk to:" in out
+        written = sorted(tmp_path.glob("*.json"))
+        assert written
+        # The written file replays as a failure while the bug persists.
+        assert replay_cases(
+            [str(written[0])], stream=io.StringIO()
+        )
+
+    def test_replay_empty_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="no case files"):
+            replay_cases([str(tmp_path)])
+
+
+class TestCli:
+    def test_fuzz_smoke(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--seed", "2026", "--cases", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz: 2 case(s), 0 violation(s)" in out
+
+    def test_fuzz_replay(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--replay", CASES_DIR]) == 0
+        out = capsys.readouterr().out
+        assert "replay: 2 case(s), 0 violation(s)" in out

@@ -74,6 +74,48 @@ class TestCompareValues:
         assert meter.comparisons == 1
 
 
+class TestTruthinessMisuse:
+    """Predicate results are TVs — Python's boolean operators must fail.
+
+    A caller writing ``if evaluate_predicate(...)`` or chaining results
+    with ``and``/``or``/``not`` would silently collapse UNKNOWN; the
+    TV.__bool__ guard turns that bug class into an immediate TypeError.
+    """
+
+    def _unknown(self):
+        # p over a NULL attribute evaluates to UNKNOWN.
+        pred = Predicate(Path.parse("x"), Op.EQ, 1)
+        return evaluate_predicate(obj("a", x=NULL), pred, make_deref()).tv
+
+    def test_result_is_unknown(self):
+        assert self._unknown() is TV.UNKNOWN
+
+    def test_if_on_result_raises(self):
+        with pytest.raises(TypeError):
+            if self._unknown():  # pragma: no cover - raises before body
+                pass
+
+    def test_not_on_result_raises(self):
+        with pytest.raises(TypeError):
+            not self._unknown()
+
+    def test_and_chain_raises(self):
+        with pytest.raises(TypeError):
+            self._unknown() and TV.TRUE
+
+    def test_or_chain_raises(self):
+        with pytest.raises(TypeError):
+            self._unknown() or TV.TRUE
+
+    def test_conjunction_result_also_guarded(self):
+        preds = [Predicate(Path.parse("x"), Op.EQ, 1)]
+        outcome = evaluate_conjunction(
+            obj("a", x=NULL), preds, make_deref()
+        )
+        with pytest.raises(TypeError):
+            bool(outcome.tv)
+
+
 class TestWalkPath:
     def test_direct_attribute(self):
         walk = walk_path(obj("a", x=5), Path.parse("x"), make_deref())

@@ -82,6 +82,55 @@ class TestResultSet:
         b.add(result("g2", ResultKind.MAYBE))
         assert not same_answers(a, b)
 
+    def test_same_answers_compares_bindings(self):
+        # Regression: the old check compared GOid membership only, so
+        # two strategies binding different values still "agreed".
+        from repro.core.results import same_entities
+
+        targets = (Path.parse("a"),)
+        a = ResultSet(targets=targets)
+        b = ResultSet(targets=targets)
+        a.add(result("g1", a=1))
+        b.add(result("g1", a=2))
+        assert same_entities(a, b)
+        assert not same_answers(a, b)
+
+    def test_same_answers_compares_unsolved(self):
+        from repro.core.query import Op, Predicate
+        from repro.core.results import same_entities
+
+        pred = Predicate(Path.parse("a"), Op.EQ, 1)
+        a, b = ResultSet(), ResultSet()
+        a.add(result("g1", ResultKind.MAYBE))
+        maybe = result("g1", ResultKind.MAYBE)
+        b.add(GlobalResult(
+            goid=maybe.goid, kind=maybe.kind,
+            bindings=maybe.bindings, unsolved=(pred,),
+        ))
+        assert same_entities(a, b)
+        assert not same_answers(a, b)
+
+    def test_same_answers_ignores_projection_irrelevant_bindings(self):
+        # Only projected targets participate in the comparison.
+        targets = (Path.parse("a"),)
+        a = ResultSet(targets=targets)
+        b = ResultSet(targets=targets)
+        a.add(result("g1", a=1, hidden=5))
+        b.add(result("g1", a=1, hidden=6))
+        assert same_answers(a, b)
+
+    def test_scalar_vs_wrapped_multivalue_differ(self):
+        # The fuzzer-found divergence: one side wrapped a single value
+        # in MultiValue, the other bound the bare scalar.
+        from repro.objectdb.values import MultiValue
+
+        targets = (Path.parse("a"),)
+        a = ResultSet(targets=targets)
+        b = ResultSet(targets=targets)
+        a.add(result("g1", a=MultiValue([7])))
+        b.add(result("g1", a=7))
+        assert not same_answers(a, b)
+
 
 class TestStrategyRegistry:
     def test_lookup_by_name(self):
@@ -204,3 +253,59 @@ class TestResultExport:
         outcome = school_engine.execute(Q1_TEXT, "CA")
         parsed = json.loads(outcome.results.to_json())
         assert {row["kind"] for row in parsed} == {"certain", "maybe"}
+
+    def test_to_json_round_trips_multivalues_and_references(self):
+        # Regression: to_json used ``default=str``, so MultiValue
+        # members and GOid references serialized as repr strings that
+        # did not round-trip: json.loads(to_json()) != to_dicts().
+        import json
+
+        from repro.core.query import Path
+        from repro.objectdb.ids import GOid, LOid
+        from repro.objectdb.values import MultiValue
+
+        rs = ResultSet(targets=(Path.parse("a"), Path.parse("b")))
+        rs.add(result(
+            "g1",
+            a=MultiValue([3, 1, 2]),
+            b=GOid("g9"),
+        ))
+        rs.add(result("g2", a=LOid("DB1", "x7"), b=MultiValue([])))
+        assert json.loads(rs.to_json()) == rs.to_dicts()
+        row = rs.to_dicts()[0]
+        assert row["a"] == [1, 2, 3]
+        assert row["b"] == "g9"
+
+    def test_export_value_canonical_forms(self):
+        from repro.core.results import export_value
+        from repro.objectdb.ids import GOid
+        from repro.objectdb.values import MultiValue, NULL
+
+        assert export_value(NULL) is None
+        assert export_value(MultiValue(["b", "a"])) == ["a", "b"]
+        assert export_value(GOid("g3")) == "g3"
+        assert export_value(7) == 7
+        assert export_value(MultiValue([GOid("g2"), GOid("g1")])) == [
+            "g1", "g2"
+        ]
+
+
+class TestAvailabilityExport:
+    def test_retry_counts_summed_per_site(self):
+        # Regression: the old dict comprehension kept only the last
+        # (site, count) pair, silently dropping duplicate sites.
+        from repro.core.results import Availability
+
+        availability = Availability(
+            complete=False,
+            sites_skipped=("DB3",),
+            retries=(("DB2", 1), ("DB2", 2), ("DB1", 4)),
+        )
+        exported = availability.to_dict()
+        assert exported["retries"] == {"DB1": 4, "DB2": 3}
+        assert exported["sites_skipped"] == ["DB3"]
+
+    def test_fault_free_export(self):
+        from repro.core.results import Availability
+
+        assert Availability().to_dict()["retries"] == {}

@@ -62,6 +62,27 @@ class TestBoolGuard:
             if TV.TRUE:  # pragma: no cover - raises before body
                 pass
 
+    @pytest.mark.parametrize("tv", TVS)
+    def test_not_raises(self, tv):
+        # `not tv` silently maps UNKNOWN to True; the guard forbids it.
+        with pytest.raises(TypeError):
+            not tv
+
+    @pytest.mark.parametrize("tv", TVS)
+    def test_python_and_raises(self, tv):
+        # `a and b` would coerce the left operand; and_() is the API.
+        with pytest.raises(TypeError):
+            tv and TV.TRUE
+
+    @pytest.mark.parametrize("tv", TVS)
+    def test_python_or_raises(self, tv):
+        with pytest.raises(TypeError):
+            tv or TV.FALSE
+
+    def test_guard_message_names_the_fix(self):
+        with pytest.raises(TypeError, match="explicitly"):
+            bool(TV.TRUE)
+
 
 class TestAggregates:
     def test_all3_empty_is_true(self):
@@ -85,6 +106,51 @@ class TestAggregates:
     def test_from_bool(self):
         assert from_bool(True) is TV.TRUE
         assert from_bool(False) is TV.FALSE
+
+
+class TestShortCircuit:
+    """all3/any3 stop consuming once the result is decided.
+
+    This matters beyond efficiency: predicate evaluation may be lazily
+    generated (e.g. remote checks), and a FALSE conjunct must suppress
+    the rest exactly like Python's ``all``.
+    """
+
+    @staticmethod
+    def _poisoned(prefix, sentinel):
+        yield from prefix
+        yield sentinel
+        raise AssertionError("consumed past the deciding value")
+
+    def test_all3_stops_at_false(self):
+        gen = self._poisoned([TV.TRUE, TV.UNKNOWN], TV.FALSE)
+        assert all3(gen) is TV.FALSE
+
+    def test_any3_stops_at_true(self):
+        gen = self._poisoned([TV.FALSE, TV.UNKNOWN], TV.TRUE)
+        assert any3(gen) is TV.TRUE
+
+    def test_all3_consumes_everything_without_false(self):
+        seen = []
+
+        def recording():
+            for tv in (TV.TRUE, TV.UNKNOWN, TV.TRUE):
+                seen.append(tv)
+                yield tv
+
+        assert all3(recording()) is TV.UNKNOWN
+        assert len(seen) == 3
+
+    def test_any3_consumes_everything_without_true(self):
+        seen = []
+
+        def recording():
+            for tv in (TV.FALSE, TV.UNKNOWN, TV.FALSE):
+                seen.append(tv)
+                yield tv
+
+        assert any3(recording()) is TV.UNKNOWN
+        assert len(seen) == 3
 
 
 class TestAlgebraicLaws:
