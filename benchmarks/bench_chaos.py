@@ -14,9 +14,19 @@ robustness claim: losing one site collapses CA's fused outerjoin to
 zero certainty while BL/PL still certify every row whose provenance
 avoids the dead site.
 
-Runs standalone (CI calls it twice and diffs the JSON for determinism)::
+A second sweep A/B-tests replica failover: every component->component
+link degrades (global-site links stay clean — the sites themselves are
+alive), and each localized strategy runs with failover off, on, and
+on+hedging.  The contract enforced per cell: failover never certifies
+less than the eager-demotion baseline, strictly more somewhere in the
+sweep, a fully-recovered answer is byte-identical to the fault-free
+run, and hedging never changes any answer.
 
-    PYTHONPATH=src python benchmarks/bench_chaos.py --quick --json out.json
+Runs standalone (CI calls it twice, diffs the JSON for determinism, and
+checks it against the committed baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py --quick \
+        --json out.json --check benchmarks/results/BENCH_chaos.json
 
 The JSON output is fully determined by ``(--seed, --rates, --quick)``:
 no timestamps, no dict-order dependence.
@@ -25,6 +35,7 @@ no timestamps, no dict-order dependence.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import pathlib
 import sys
@@ -42,9 +53,19 @@ from repro.core.engine import GlobalQueryEngine
 from repro.faults import FaultPlan
 from repro.workload.paper_example import Q1_TEXT, build_school_federation
 
+SCHEMA = "BENCH_chaos/v1"
 STRATEGIES = ("CA", "BL", "PL")
 FULL_RATES = (0.25, 0.5, 0.75, 1.0)
 QUICK_RATES = (0.5, 1.0)
+
+#: Failover A/B sweep: loss probability applied to every
+#: component->component link (the global site stays reachable, so each
+#: skipped check has an isomeric copy a relay can still certify).
+LOCALIZED = ("BL", "PL")
+FULL_STORM_RATES = (0.5, 0.9, 0.97)
+QUICK_STORM_RATES = (0.9, 0.97)
+FAILOVER_SEED = 0
+HEDGE_POLICY = "degrade:hedge=0.05"
 
 
 #: Chaos window horizon, matched to Q1's simulated timescale (~80 ms)
@@ -96,7 +117,7 @@ def run_cell(strategy, plan, seed):
     }
 
 
-def sweep(rates, seed):
+def sweep(rates, seed, storm_rates):
     sites = sorted(build_school_federation().databases)
     rows = []
     reference = {}
@@ -110,7 +131,134 @@ def sweep(rates, seed):
                 round(cell["certain"] / base, 4) if base else 1.0
             )
             rows.append({"scenario": label, "strategy": strategy, **cell})
-    return {"query": Q1_TEXT, "seed": seed, "sites": sites, "rows": rows}
+    return {
+        "schema": SCHEMA,
+        "query": Q1_TEXT,
+        "seed": seed,
+        "sites": sites,
+        "rows": rows,
+        "failover": failover_sweep(sites, storm_rates),
+    }
+
+
+# --- failover A/B sweep ------------------------------------------------------
+
+
+def _storm_plan(sites, loss):
+    """All component->component links at *loss*; global links clean."""
+    spec = ",".join(
+        f"link:{src}>{dst}:loss{loss:g}"
+        for src in sites
+        for dst in sites
+        if src != dst
+    )
+    return FaultPlan.from_spec(spec)
+
+
+def _digest(report):
+    """Stable fingerprint of the answer (certain + maybe rows)."""
+    payload = json.dumps(report.results.to_json(), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def run_failover_cell(strategy, plan, mode):
+    """One (strategy, storm, failover-mode) execution."""
+    engine = GlobalQueryEngine(build_school_federation())
+    report = engine.execute(
+        Q1_TEXT,
+        strategy,
+        fault_plan=plan,
+        fault_seed=FAILOVER_SEED,
+        failover=mode != "off",
+        policy=HEDGE_POLICY if mode == "hedge" else None,
+    )
+    avail = report.availability
+    return {
+        "mode": mode,
+        "certain": len(report.results.certain),
+        "maybe": len(report.results.maybe),
+        "answer_digest": _digest(report),
+        "checks_skipped": avail.checks_skipped,
+        "checks_failed_over": avail.checks_failed_over,
+        "hedges": avail.hedges,
+        "hedges_won": avail.hedges_won,
+        "fully_recovered": avail.fully_recovered,
+        "contacts_suppressed": avail.contacts_suppressed,
+        "total_s": round(report.total_time, 6),
+        "response_s": round(report.response_time, 6),
+        "availability": avail.summary(),
+    }
+
+
+def failover_sweep(sites, storm_rates):
+    rows = []
+    baseline_digest = {}
+    for strategy in LOCALIZED:
+        engine = GlobalQueryEngine(build_school_federation())
+        clean = engine.execute(Q1_TEXT, strategy)
+        baseline_digest[strategy] = _digest(clean)
+        rows.append({
+            "loss": 0.0,
+            "strategy": strategy,
+            **run_failover_cell(strategy, None, "on"),
+        })
+    for loss in storm_rates:
+        plan = _storm_plan(sites, loss)
+        for strategy in LOCALIZED:
+            for mode in ("off", "on", "hedge"):
+                rows.append({
+                    "loss": loss,
+                    "strategy": strategy,
+                    **run_failover_cell(strategy, plan, mode),
+                })
+    _assert_failover_contract(rows, baseline_digest)
+    return {
+        "seed": FAILOVER_SEED,
+        "rates": list(storm_rates),
+        "hedge_policy": HEDGE_POLICY,
+        "baseline_digest": baseline_digest,
+        "rows": rows,
+    }
+
+
+def _assert_failover_contract(rows, baseline_digest):
+    """The acceptance contract of replica failover, cell by cell."""
+    by_key = {(r["loss"], r["strategy"], r["mode"]): r for r in rows}
+    strict_gain = False
+    for (loss, strategy, mode), row in by_key.items():
+        if mode == "off" or loss == 0.0:
+            continue
+        off = by_key[(loss, strategy, "off")]
+        if row["certain"] < off["certain"]:
+            raise AssertionError(
+                f"loss{loss:g}/{strategy}/{mode}: failover certified "
+                f"{row['certain']} < {off['certain']} without it"
+            )
+        if mode == "on" and off["checks_skipped"] > 0:
+            # Every skipped check has a live isomeric copy (only
+            # component links are down), so failover must win ground.
+            if row["certain"] > off["certain"]:
+                strict_gain = True
+        if row["fully_recovered"]:
+            expected = baseline_digest[strategy]
+            if row["answer_digest"] != expected:
+                raise AssertionError(
+                    f"loss{loss:g}/{strategy}/{mode}: recovered answer "
+                    f"digest {row['answer_digest']} != fault-free "
+                    f"{expected}"
+                )
+        if mode == "hedge":
+            on = by_key[(loss, strategy, "on")]
+            if row["answer_digest"] != on["answer_digest"]:
+                raise AssertionError(
+                    f"loss{loss:g}/{strategy}: hedging changed the "
+                    "answer"
+                )
+    if not strict_gain:
+        raise AssertionError(
+            "no storm cell showed failover strictly beating eager "
+            "demotion — the sweep exercises nothing"
+        )
 
 
 def render(result):
@@ -123,7 +271,65 @@ def render(result):
          str(row["retries"]), row["availability"]]
         for row in result["rows"]
     ]
-    return format_table(headers, table_rows)
+    text = format_table(headers, table_rows)
+    headers = ["link loss", "strategy", "mode", "certain", "maybe",
+               "skipped", "failover", "hedges", "recovered",
+               "response (s)"]
+    table_rows = [
+        [f"{row['loss']:g}", row["strategy"], row["mode"],
+         str(row["certain"]), str(row["maybe"]),
+         str(row["checks_skipped"]), str(row["checks_failed_over"]),
+         f"{row['hedges_won']}/{row['hedges']}",
+         "yes" if row["fully_recovered"] else "no",
+         f"{row['response_s']:.3f}"]
+        for row in result["failover"]["rows"]
+    ]
+    return text + "\n\nfailover A/B (component-link storms):\n" + \
+        format_table(headers, table_rows)
+
+
+#: Per-row fields compared by --check (all deterministic; the chaos and
+#: failover sweeps carry no wall-clock fields at all).
+CHAOS_CHECKED = ("certain", "maybe", "completeness", "total_s",
+                 "response_s", "retries", "availability")
+FAILOVER_CHECKED = ("certain", "maybe", "answer_digest", "checks_skipped",
+                    "checks_failed_over", "hedges", "hedges_won",
+                    "fully_recovered", "contacts_suppressed", "total_s",
+                    "response_s")
+
+
+def check_against(result, baseline_path):
+    """Deterministic-field diffs vs the committed baseline.
+
+    Compares rows present in both runs (the CI quick sweep is a subset
+    of the committed full sweep).
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    diffs = []
+
+    def compare(kind, rows, base_rows, key_fields, checked):
+        base_by_key = {
+            tuple(r[k] for k in key_fields): r for r in base_rows
+        }
+        for row in rows:
+            key = tuple(row[k] for k in key_fields)
+            base = base_by_key.get(key)
+            if base is None:
+                continue
+            for fname in checked:
+                if row[fname] != base[fname]:
+                    diffs.append(
+                        f"{kind} {'/'.join(str(k) for k in key)}."
+                        f"{fname}: {base[fname]} -> {row[fname]}"
+                    )
+
+    compare("chaos", result["rows"], baseline["rows"],
+            ("scenario", "strategy"), CHAOS_CHECKED)
+    compare("failover", result["failover"]["rows"],
+            baseline["failover"]["rows"],
+            ("loss", "strategy", "mode"), FAILOVER_CHECKED)
+    return diffs
 
 
 def main(argv=None):
@@ -135,14 +341,18 @@ def main(argv=None):
                         help="comma-separated chaos rates, e.g. 0.25,0.5")
     parser.add_argument("--json", default="", dest="json_path",
                         help="also write the machine-readable result here")
+    parser.add_argument("--check", default="", dest="check_path",
+                        help="fail when deterministic fields differ from "
+                             "this committed baseline JSON")
     args = parser.parse_args(argv)
 
     if args.rates:
         rates = tuple(float(r) for r in args.rates.split(","))
     else:
         rates = QUICK_RATES if args.quick else FULL_RATES
+    storm_rates = QUICK_STORM_RATES if args.quick else FULL_STORM_RATES
 
-    result = sweep(rates, args.seed)
+    result = sweep(rates, args.seed, storm_rates)
     text = render(result)
     print(text)
     write_result("chaos", text)
@@ -166,6 +376,15 @@ def main(argv=None):
             json.dump(result, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"\njson written to {args.json_path}")
+
+    if args.check_path:
+        diffs = check_against(result, args.check_path)
+        if diffs:
+            print(f"\nBASELINE REGRESSION vs {args.check_path}:")
+            for diff in diffs:
+                print(f"  {diff}")
+            return 1
+        print(f"\nbaseline check OK vs {args.check_path}")
     return 0
 
 
@@ -173,7 +392,10 @@ def test_chaos_sweep(benchmark):
     """pytest-benchmark entry point (quick rates)."""
     from bench_common import run_once
 
-    result = run_once(benchmark, lambda: sweep(QUICK_RATES, seed=7))
+    result = run_once(
+        benchmark, lambda: sweep(QUICK_RATES, seed=7,
+                                 storm_rates=QUICK_STORM_RATES)
+    )
     write_result("chaos", render(result))
     losses = [r for r in result["rows"] if r["scenario"].startswith("loss:")]
     assert any(not r["complete"] for r in losses)
@@ -182,6 +404,10 @@ def test_chaos_sweep(benchmark):
     for site in result["sites"]:
         assert (by_key[(f"loss:{site}", "CA")]["certain"]
                 <= by_key[(f"loss:{site}", "BL")]["certain"])
+    # The failover contract already ran inside sweep(); spot-check that
+    # at least one storm cell fully recovered the fault-free answer.
+    fo_rows = result["failover"]["rows"]
+    assert any(r["fully_recovered"] for r in fo_rows if r["mode"] == "on")
 
 
 if __name__ == "__main__":

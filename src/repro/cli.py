@@ -27,11 +27,14 @@ import random
 import sys
 from typing import List, Optional
 
+import dataclasses
+
 from repro.bench.experiments import figure9, figure10, figure11
 from repro.bench.reporting import dump_traces, format_table, series_table
 from repro.core.engine import GlobalQueryEngine
 from repro.core.strategies import DEFAULT_REGISTRY
-from repro.faults import POLICIES, FaultPlan
+from repro.errors import FaultPlanError
+from repro.faults import POLICIES, FaultPlan, resolve_policy
 from repro.sim.costs import table1_rows
 from repro.workload.generator import generate
 from repro.workload.paper_example import Q1_TEXT, build_school_federation
@@ -87,9 +90,36 @@ def _add_fault_args(command: argparse.ArgumentParser) -> None:
         help="seed for loss draws and backoff jitter",
     )
     command.add_argument(
-        "--policy", default="degrade", choices=sorted(POLICIES),
-        help="fault-handling policy (default: degrade to partial answers)",
+        "--policy", default="degrade", metavar="SPEC",
+        help="fault-handling policy: a preset "
+             f"({', '.join(sorted(POLICIES))}) optionally followed by "
+             "inline overrides, e.g. 'degrade:timeout=0.5,retries=3,"
+             "hedge=0.1' (default: degrade to partial answers)",
     )
+    command.add_argument(
+        "--failover", action=argparse.BooleanOptionalAction, default=True,
+        help="reroute checks over the global-site relay and demote rows "
+             "only when no isomeric copy answered (--no-failover "
+             "restores eager skip-and-demote)",
+    )
+    command.add_argument(
+        "--hedge", type=float, default=None, metavar="SECONDS",
+        help="hedged dispatch: duplicate a check over the relay when "
+             "the direct link is slower than this seeded delay",
+    )
+
+
+def _resolve_cli_policy(args: argparse.Namespace):
+    """The execution policy from --policy (+ --hedge shorthand)."""
+    policy = resolve_policy(args.policy)
+    hedge = getattr(args, "hedge", None)
+    if hedge is not None:
+        policy = dataclasses.replace(
+            policy,
+            name=f"{policy.name}+hedge",
+            hedge_delay_s=hedge,
+        )
+    return policy
 
 
 def _add_batch_arg(command: argparse.ArgumentParser) -> None:
@@ -102,13 +132,15 @@ def _add_batch_arg(command: argparse.ArgumentParser) -> None:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     engine = GlobalQueryEngine(
-        build_school_federation(), batch_checks=not args.no_batch
+        build_school_federation(),
+        batch_checks=not args.no_batch,
+        failover=args.failover,
     )
     report = engine.execute(
         args.sql,
         strategy=args.strategy,
         fault_plan=_load_fault_plan(args),
-        policy=args.policy,
+        policy=_resolve_cli_policy(args),
         fault_seed=args.fault_seed,
     )
     print(f"strategy: {args.strategy}")
@@ -135,13 +167,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     engine = GlobalQueryEngine(
-        build_school_federation(), batch_checks=not args.no_batch
+        build_school_federation(),
+        batch_checks=not args.no_batch,
+        failover=args.failover,
     )
     report = engine.execute(
         args.sql,
         strategy=args.strategy,
         fault_plan=_load_fault_plan(args),
-        policy=args.policy,
+        policy=_resolve_cli_policy(args),
         fault_seed=args.fault_seed,
     )
     print(report.explain(width=args.width))
@@ -185,14 +219,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     params.seed = args.seed
     workload = generate(params, scale=args.scale)
     engine = GlobalQueryEngine(
-        workload.system, batch_checks=not args.no_batch
+        workload.system,
+        batch_checks=not args.no_batch,
+        failover=args.failover,
     )
     print(f"query: {workload.query}")
     outcomes = engine.compare(
         workload.query,
         strategies=list(STRATEGY_CHOICES),
         fault_plan=_load_fault_plan(args),
-        policy=args.policy,
+        policy=_resolve_cli_policy(args),
         fault_seed=args.fault_seed,
     )
     print(f"answer: {outcomes['CA'].results.summary()}\n")
@@ -335,6 +371,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except FaultPlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; not an error.
         devnull = os.open(os.devnull, os.O_WRONLY)

@@ -54,6 +54,10 @@ class ResolutionStats:
     fetches_by_site: Dict[str, int] = field(default_factory=dict)
     #: Sites whose copies could not be consulted (fault plan).
     skipped_sites: List[str] = field(default_factory=list)
+    #: Attribute merges whose outcome an unreachable copy could still
+    #: change (the value settled before any skip is *not* counted: the
+    #: fault-free walk would have stopped at the same contributor).
+    unresolved: int = 0
 
     @property
     def fetches(self) -> int:
@@ -140,6 +144,7 @@ def _merge_entity_attribute(
     stats.mapping_lookups += 1
     placements = table.loids_of(goid)
     collected: List[Value] = []
+    skipped_here = False
     for db_name in system.global_schema.databases_of(global_class):
         loid = placements.get(db_name)
         if loid is None:
@@ -149,6 +154,7 @@ def _merge_entity_attribute(
         ):
             if db_name not in stats.skipped_sites:
                 stats.skipped_sites.append(db_name)
+            skipped_here = True
             continue
         obj = system.db(db_name).get(loid)
         if obj is None:  # pragma: no cover - mapping implies presence
@@ -168,6 +174,10 @@ def _merge_entity_attribute(
             collected.append(member)
         if collected and not attr.multi_valued:
             break  # first non-null contributor wins
+    if skipped_here:
+        # A skipped copy preceded (or prevented) the winning
+        # contribution, so the merged value may differ from fault-free.
+        stats.unresolved += 1
     if not collected:
         return NULL
     if attr.multi_valued:

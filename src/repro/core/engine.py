@@ -47,6 +47,7 @@ class GlobalQueryEngine:
         policy: Union[str, ExecutionPolicy, None] = None,
         fault_seed: int = 0,
         batch_checks: bool = True,
+        failover: bool = True,
     ) -> None:
         self.system = system
         self.registry = registry or DEFAULT_REGISTRY
@@ -58,6 +59,11 @@ class GlobalQueryEngine:
         #: ``False`` restores the one-message-per-request wire protocol
         #: (the CLI's ``--no-batch`` escape hatch).
         self.batch_checks = batch_checks
+        #: Resilient dispatch under a fault plan: circuit breakers,
+        #: global-site relay failover and verdict-aware demotion.
+        #: ``False`` restores the eager skip-and-demote behavior
+        #: (the CLI's ``--no-failover`` escape hatch).
+        self.failover = failover
 
     def _resolve(self, strategy: Union[str, Strategy]) -> Strategy:
         if isinstance(strategy, Strategy):
@@ -84,6 +90,7 @@ class GlobalQueryEngine:
         fault_plan: Optional[FaultPlan],
         policy: Union[str, ExecutionPolicy, None],
         fault_seed: Optional[int],
+        failover: Optional[bool] = None,
     ) -> Optional[ExecutionContext]:
         """The execution's fault context, or None when faults are off.
 
@@ -98,7 +105,10 @@ class GlobalQueryEngine:
             self.policy if policy is None else resolve_policy(policy)
         )
         seed = self.fault_seed if fault_seed is None else fault_seed
-        return ExecutionContext(plan, chosen_policy, seed=seed)
+        chosen_failover = self.failover if failover is None else failover
+        return ExecutionContext(
+            plan, chosen_policy, seed=seed, failover=chosen_failover
+        )
 
     def execute(
         self,
@@ -108,6 +118,7 @@ class GlobalQueryEngine:
         policy: Union[str, ExecutionPolicy, None] = None,
         fault_seed: Optional[int] = None,
         batch_checks: Optional[bool] = None,
+        failover: Optional[bool] = None,
     ) -> ExecutionReport:
         """Run *query* (Query object or SQL/X text) once.
 
@@ -116,8 +127,9 @@ class GlobalQueryEngine:
         ``.trace``, ``.registry`` and ``.utilization`` views derived
         from the same run.
 
-        *fault_plan* / *policy* / *fault_seed* / *batch_checks* override
-        the engine-wide configuration for this execution only.
+        *fault_plan* / *policy* / *fault_seed* / *batch_checks* /
+        *failover* override the engine-wide configuration for this
+        execution only.
 
         Raises:
             UnavailableError: a site stayed unreachable under a
@@ -138,7 +150,7 @@ class GlobalQueryEngine:
         if getattr(chosen, "use_signatures", False) and self.system.signatures is None:
             self.system.build_signatures()
             built_signatures = True
-        ctx = self._fault_context(fault_plan, policy, fault_seed)
+        ctx = self._fault_context(fault_plan, policy, fault_seed, failover)
         cache_before = self.system.cache_stats()
         if ctx is None:
             result = chosen.execute(self.system, query)
@@ -166,7 +178,16 @@ class GlobalQueryEngine:
                 policy=ctx.policy.name,
                 seed=ctx.injector.seed,
                 complete=ctx.complete,
+                failover=ctx.failover,
             ))
+            if ctx.health is not None and ctx.health.transitions:
+                for site, from_state, to_state in ctx.health.transitions:
+                    report.record_event(TraceEvent.of(
+                        "fault.breaker",
+                        site=site,
+                        from_state=from_state,
+                        to_state=to_state,
+                    ))
         return report
 
     def explain(
@@ -195,6 +216,7 @@ class GlobalQueryEngine:
         policy: Union[str, ExecutionPolicy, None] = None,
         fault_seed: Optional[int] = None,
         batch_checks: Optional[bool] = None,
+        failover: Optional[bool] = None,
     ) -> Dict[str, ExecutionReport]:
         """Execute *query* under several strategies (default: CA, BL, PL).
 
@@ -223,6 +245,7 @@ class GlobalQueryEngine:
                 policy=policy,
                 fault_seed=fault_seed,
                 batch_checks=batch_checks,
+                failover=failover,
             )
         if check_agreement and len(outcomes) > 1:
             self._check_agreement(outcomes)

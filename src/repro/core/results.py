@@ -181,6 +181,26 @@ class Availability:
     checks_skipped: int = 0
     messages_lost: int = 0
     fault_wait_s: float = 0.0
+    #: Check requests rerouted over the global-site relay (failover).
+    checks_failed_over: int = 0
+    #: Hedge races fired / won by the relay route.
+    hedges: int = 0
+    hedges_won: int = 0
+    #: True when failover neutralized every injected fault: the answer
+    #: is byte-identical to the fault-free baseline even though some
+    #: links were down (``complete`` stays False — links *were* lost).
+    fully_recovered: bool = False
+    #: Queried sites whose whole block dropped (unrecoverable loss).
+    queried_sites_down: Tuple[str, ...] = ()
+    #: (site, breaker state) for sites not in the default closed state.
+    breaker: Tuple[Tuple[str, str], ...] = ()
+    #: Contacts suppressed by open circuit breakers (ladders not paid).
+    contacts_suppressed: int = 0
+
+    @property
+    def certification_intact(self) -> bool:
+        """The answer provably matches a fault-free execution."""
+        return self.complete or self.fully_recovered
 
     def to_dict(self) -> Dict[str, object]:
         # A site may appear once per retried link; a plain dict
@@ -197,12 +217,21 @@ class Availability:
             "checks_skipped": self.checks_skipped,
             "messages_lost": self.messages_lost,
             "fault_wait_s": self.fault_wait_s,
+            "checks_failed_over": self.checks_failed_over,
+            "hedges": self.hedges,
+            "hedges_won": self.hedges_won,
+            "fully_recovered": self.fully_recovered,
+            "queried_sites_down": list(self.queried_sites_down),
+            "breaker": {site: state for site, state in self.breaker},
+            "contacts_suppressed": self.contacts_suppressed,
         }
 
     def summary(self) -> str:
         if self.complete and not self.retries and not self.messages_lost:
             return "complete"
         parts = ["complete" if self.complete else "INCOMPLETE"]
+        if self.fully_recovered and not self.complete:
+            parts.append("recovered")
         if self.sites_skipped:
             parts.append(f"skipped={','.join(self.sites_skipped)}")
         if self.retries:
@@ -211,6 +240,14 @@ class Availability:
             )
         if self.checks_skipped:
             parts.append(f"checks_skipped={self.checks_skipped}")
+        if self.checks_failed_over:
+            parts.append(f"failover={self.checks_failed_over}")
+        if self.hedges:
+            parts.append(f"hedges={self.hedges_won}/{self.hedges}")
+        if self.breaker:
+            parts.append(
+                "breaker=" + ",".join(f"{s}:{b}" for s, b in self.breaker)
+            )
         if self.messages_lost:
             parts.append(f"lost={self.messages_lost}")
         if self.fault_wait_s:

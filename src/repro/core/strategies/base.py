@@ -413,6 +413,7 @@ def chase_blocked(
     verdicts: VerdictIndex,
     max_rounds: int,
     ctx: Optional[ExecutionContext] = None,
+    deferred_skips: Optional[List[Tuple[str, LOid, Predicate, int]]] = None,
 ) -> List[ChaseRound]:
     """Resolve multi-hop missing-reference chains by iterated checking.
 
@@ -427,6 +428,13 @@ def chase_blocked(
 
     Each hop strictly shortens the remaining relative path, so the loop
     terminates within the query's maximum path length.
+
+    With failover enabled (``ctx.failover`` and a *deferred_skips* list),
+    an unreachable follow-up site does not demote the chain immediately:
+    the ``(site, original assistant, original predicate, round)`` tuple
+    is recorded and the caller decides *after* all verdicts are in —
+    another copy of the blocking object may settle the original pair
+    anyway, in which case nothing was lost.
     """
     # Each entry tracks the original pair a chain must report back to:
     # (original assistant, original relative predicate, blocker loid,
@@ -464,10 +472,21 @@ def chase_blocked(
                     system.global_site, assistant.db
                 ):
                     # The follow-up check cannot be issued; the chain
-                    # stays UNKNOWN and the row remains maybe.
-                    if assistant.db not in round_data.skipped_sites:
-                        round_data.skipped_sites.append(assistant.db)
-                    ctx.note_skipped_check()
+                    # stays UNKNOWN and the row remains maybe — unless
+                    # failover defers the verdict to a live copy.
+                    if ctx.failover and deferred_skips is not None:
+                        deferred_skips.append(
+                            (
+                                assistant.db,
+                                orig_loid,
+                                orig_pred,
+                                len(rounds) + 1,
+                            )
+                        )
+                    else:
+                        if assistant.db not in round_data.skipped_sites:
+                            round_data.skipped_sites.append(assistant.db)
+                        ctx.note_skipped_check()
                     continue
                 answerable.append(assistant)
                 target_class = system.global_schema.constituent_class(

@@ -24,13 +24,18 @@ comparisons.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.binding_resolution import (
     ResolutionStats,
     resolve_missing_bindings,
 )
-from repro.core.certification import CertificationStats, certify
+from repro.core.certification import (
+    SATISFIED,
+    VIOLATED,
+    CertificationStats,
+    certify,
+)
 from repro.core.decompose import attributes_needed
 from repro.core.query import Query
 from repro.core.results import Availability
@@ -47,8 +52,16 @@ from repro.core.strategies.base import (
 )
 from repro.core.system import DistributedSystem
 from repro.faults.injector import ExecutionContext
+from repro.objectdb.ids import GOid
 from repro.objectdb.local_query import CheckReport, LocalResultSet
 from repro.obs.spans import TraceEvent
+from repro.resilience.failover import (
+    PendingSkip,
+    covered_by_verdicts,
+    pending_skips_of,
+    plan_hedge,
+    relay_route,
+)
 from repro.sim.metrics import ExecutionMetrics, WorkCounters
 from repro.sim.taskgraph import FederationSim, Node, PHASE_I, PHASE_O, PHASE_P, PHASE_SCAN
 
@@ -77,10 +90,21 @@ class _LocalizedStrategy(Strategy):
         signature_verdicts = []
         certify_deps: List[Node] = []
         events: List[TraceEvent] = []
-        #: Assistant home sites whose checks could not be dispatched.
-        unreachable_check_sites: List[str] = []
+        # Assistant home sites whose checks could not be dispatched
+        # (dict-as-ordered-set: insertion order is the deterministic
+        # site-loop order, membership tests stay O(1)).
+        unreachable_check_sites: Dict[str, None] = {}
         #: Entities whose assistant checks were skipped -> the down sites.
-        skipped_goids: Dict[object, set] = {}
+        skipped_goids: Dict[GOid, Set[str]] = {}
+        # Failover mode: skipped check pairs are not demoted eagerly but
+        # resolved after verdict collection (a live isomeric copy may
+        # have settled them anyway).
+        failover = ctx is not None and ctx.failover
+        if failover:
+            ctx.recovery_tracked = True
+        #: (src, dst, pending pairs) per check request that could not be
+        #: dispatched anywhere, awaiting post-verdict resolution.
+        deferred_requests: List[Tuple[str, str, List[PendingSkip]]] = []
 
         branch_classes = query.branch_classes(system.global_schema.schema)
         queried = list(decomposed.local_queries)
@@ -109,6 +133,7 @@ class _LocalizedStrategy(Strategy):
                     # are lost, but every other site's provenance is
                     # intact — certification proceeds over the sites
                     # actually queried.
+                    ctx.note_queried_site_down(db_name)
                     events.append(
                         TraceEvent.of(
                             "fault.site_skipped",
@@ -190,15 +215,47 @@ class _LocalizedStrategy(Strategy):
             )
 
             # --- dispatch assistant checks -------------------------------
-            # Requests to unreachable assistant sites are skipped: their
-            # verdicts never arrive, so the affected rows stay maybe.
+            # Requests whose direct link is dead fail over to the
+            # global-site relay when that route is alive; requests with
+            # no live route are skipped — eagerly demoting their rows
+            # (legacy), or deferring the demotion until verdicts are in
+            # (failover mode: a live isomeric copy may settle the pair).
             runnable = []
+            relayed = []
             for request in plan.requests:
                 if ctx is not None and not ctx.reachable(
                     db_name, request.db_name
                 ):
-                    if request.db_name not in unreachable_check_sites:
-                        unreachable_check_sites.append(request.db_name)
+                    if failover:
+                        via = relay_route(ctx, system, request.db_name)
+                        if via is not None:
+                            ctx.checks_failed_over += 1
+                            events.append(
+                                TraceEvent.of(
+                                    "fault.failover",
+                                    src=db_name,
+                                    dst=request.db_name,
+                                    via=via,
+                                    assistants=len(request.loids),
+                                )
+                            )
+                            relayed.append(request)
+                            continue
+                        deferred_requests.append((
+                            db_name,
+                            request.db_name,
+                            pending_skips_of(system, db_name, request),
+                        ))
+                        events.append(
+                            TraceEvent.of(
+                                "fault.check_skipped",
+                                src=db_name,
+                                dst=request.db_name,
+                                assistants=len(request.loids),
+                            )
+                        )
+                        continue
+                    unreachable_check_sites.setdefault(request.db_name)
                     g_cls = system.global_schema.global_class_of(
                         request.db_name, request.class_name
                     )
@@ -223,18 +280,23 @@ class _LocalizedStrategy(Strategy):
                     continue
                 runnable.append(request)
             paired = run_checks_paired(runnable, system)
+            relayed_paired = run_checks_paired(relayed, system)
             reports.extend(report for _, report in paired)
+            reports.extend(report for _, report in relayed_paired)
             self._dispatch_checks(
-                fed, system, ctx, db_name, paired, dispatch_node,
-                certify_deps, work, avg_branch_bytes, events,
+                fed, system, ctx, db_name, paired, relayed_paired,
+                dispatch_node, certify_deps, work, avg_branch_bytes,
+                events,
             )
 
         # --- chase rounds for multi-hop missing-reference chains ------------
         verdicts = collect_verdicts(reports, signature_verdicts)
         predicates = query.all_predicates()
         max_rounds = max((len(p.path) for p in predicates), default=0)
+        deferred_chase_skips: List[Tuple] = []
         chase_rounds = chase_blocked(
-            reports, system, verdicts, max_rounds, ctx=ctx
+            reports, system, verdicts, max_rounds, ctx=ctx,
+            deferred_skips=deferred_chase_skips,
         )
         for round_no, chase in enumerate(chase_rounds, start=1):
             events.append(TraceEvent.of(
@@ -244,13 +306,56 @@ class _LocalizedStrategy(Strategy):
                 mapping_lookups=chase.mapping_lookups,
             ))
             for site in chase.skipped_sites:
-                if site not in unreachable_check_sites:
-                    unreachable_check_sites.append(site)
+                unreachable_check_sites.setdefault(site)
                 events.append(TraceEvent.of(
                     "fault.check_skipped",
                     src=system.global_site,
                     dst=site,
                     round=round_no,
+                ))
+
+        # --- failover post-resolution ----------------------------------
+        # Every verdict is in; decide now which skipped pairs actually
+        # lost anything.  A pair settled definitively by any live
+        # isomeric copy is certified exactly as a fault-free run would
+        # certify it; only the rest demote their rows.
+        if failover:
+            recovered_pairs = 0
+            demoted_pairs = 0
+            for src, dst, skips in deferred_requests:
+                uncovered = [
+                    skip for skip in skips
+                    if not covered_by_verdicts(system, verdicts, skip)
+                ]
+                if not uncovered:
+                    recovered_pairs += len(skips)
+                    continue
+                demoted_pairs += len(uncovered)
+                unreachable_check_sites.setdefault(dst)
+                ctx.note_skipped_check()
+                for skip in uncovered:
+                    skipped_goids.setdefault(skip.goid, set()).add(dst)
+            for site, orig_loid, orig_pred, round_no in deferred_chase_skips:
+                if verdicts.get(orig_loid, orig_pred) in (
+                    SATISFIED, VIOLATED
+                ):
+                    recovered_pairs += 1
+                    continue
+                demoted_pairs += 1
+                unreachable_check_sites.setdefault(site)
+                ctx.note_skipped_check()
+                events.append(TraceEvent.of(
+                    "fault.check_skipped",
+                    src=system.global_site,
+                    dst=site,
+                    round=round_no,
+                ))
+            if recovered_pairs or demoted_pairs:
+                events.append(TraceEvent.of(
+                    "fault.failover",
+                    mode="coverage",
+                    recovered=recovered_pairs,
+                    demoted=demoted_pairs,
                 ))
         prev_deps: List[Node] = list(certify_deps)
         for round_no, chase in enumerate(chase_rounds, start=1):
@@ -310,6 +415,8 @@ class _LocalizedStrategy(Strategy):
         res_stats = ResolutionStats()
         resolve_missing_bindings(system, query, results, ctx=ctx, stats=res_stats)
         work.comparisons += res_stats.mapping_lookups
+        if ctx is not None:
+            ctx.fetches_unresolved = res_stats.unresolved
         if res_stats.fetches:
             events.append(TraceEvent.of(
                 "bindings.resolved",
@@ -360,7 +467,7 @@ class _LocalizedStrategy(Strategy):
             # root goid -> goids of its unsolved items: the (possibly
             # branch-class) entities whose assistant checks this row's
             # certification depended on.
-            item_goids: Dict[object, set] = {}
+            item_goids: Dict[GOid, Set[GOid]] = {}
             for site_result in local_results.values():
                 for row in site_result.maybe_rows:
                     root = system.catalog.goid_of(
@@ -399,6 +506,8 @@ class _LocalizedStrategy(Strategy):
             work.retries = ctx.retries
             work.timeouts = ctx.timeouts
             work.messages_lost = ctx.messages_lost
+            work.checks_failed_over = ctx.checks_failed_over
+            work.hedges = ctx.hedges
             fault_windows = ctx.plan.fault_windows(fed.sites)
 
         outcome = fed.run()
@@ -428,6 +537,7 @@ class _LocalizedStrategy(Strategy):
         ctx: Optional[ExecutionContext],
         db_name: str,
         paired: List[Tuple["CheckRequest", CheckReport]],
+        relayed: List[Tuple["CheckRequest", CheckReport]],
         dispatch_node: Node,
         certify_deps: List[Node],
         work: WorkCounters,
@@ -439,37 +549,138 @@ class _LocalizedStrategy(Strategy):
         Batched (the default): every request sharing a destination rides
         one request/reply message pair.  Unbatched (``--no-batch``): the
         historical one-pair-per-request protocol, byte for byte.
+
+        *relayed* pairs lost their direct link: their requests hop
+        through the global-site relay (``src -> global -> dst``); the
+        reply path (``dst -> global``) is the same as always.  Direct
+        pairs may additionally *hedge*: when the policy sets a hedge
+        delay and the direct negotiation is slower than it, a duplicate
+        request races through the relay and the faster route carries the
+        exchange while the loser's request message is still paid for.
         """
         if self.batch_checks:
             for batch in batch_exchanges(db_name, paired):
                 send_deps: List[Node] = [dispatch_node]
+                via: Optional[str] = None
                 if ctx is not None:
-                    send_deps = fault_wait_chain(
-                        fed,
-                        ctx,
-                        ctx.contact(db_name, batch.dst),
-                        events,
-                        deps=send_deps,
+                    negotiation = ctx.contact(db_name, batch.dst)
+                    send_deps, via = self._hedged_deps(
+                        fed, system, ctx, db_name, batch.dst,
+                        negotiation, send_deps,
+                        batch.request_bytes(system.cost_model),
+                        work, events,
                     )
                 certify_deps.append(self._schedule_batch(
                     fed, system, batch, send_deps, work,
+                    avg_branch_bytes, events, kind="check", via=via,
+                ))
+            for batch in batch_exchanges(db_name, relayed):
+                send_deps = fault_wait_chain(
+                    fed,
+                    ctx,
+                    ctx.contact(system.global_site, batch.dst),
+                    events,
+                    deps=[dispatch_node],
+                )
+                certify_deps.append(self._schedule_batch(
+                    fed, system, batch, send_deps, work,
                     avg_branch_bytes, events, kind="check",
+                    via=system.global_site,
                 ))
             return
         for request, report in paired:
             send_deps = [dispatch_node]
+            via = None
             if ctx is not None:
-                send_deps = fault_wait_chain(
-                    fed,
-                    ctx,
-                    ctx.contact(db_name, request.db_name),
-                    events,
-                    deps=send_deps,
+                negotiation = ctx.contact(db_name, request.db_name)
+                send_deps, via = self._hedged_deps(
+                    fed, system, ctx, db_name, request.db_name,
+                    negotiation, send_deps,
+                    system.cost_model.check_request_bytes(
+                        len(request.loids), len(request.predicates)
+                    ),
+                    work, events,
                 )
             certify_deps.append(self._schedule_single(
                 fed, system, request, report, db_name, send_deps, work,
-                avg_branch_bytes, kind="check",
+                avg_branch_bytes, kind="check", via=via,
             ))
+        for request, report in relayed:
+            send_deps = fault_wait_chain(
+                fed,
+                ctx,
+                ctx.contact(system.global_site, request.db_name),
+                events,
+                deps=[dispatch_node],
+            )
+            certify_deps.append(self._schedule_single(
+                fed, system, request, report, db_name, send_deps, work,
+                avg_branch_bytes, kind="check", via=system.global_site,
+            ))
+
+    def _hedged_deps(
+        self,
+        fed: FederationSim,
+        system: DistributedSystem,
+        ctx: ExecutionContext,
+        src: str,
+        dst: str,
+        negotiation,
+        send_deps: List[Node],
+        request_bytes: int,
+        work: WorkCounters,
+        events: List[TraceEvent],
+    ) -> Tuple[List[Node], Optional[str]]:
+        """Dependency frontier (and relay site, if the relay won) for
+        one direct exchange, racing the hedge when the policy asks.
+
+        No hedge (or the direct route wins): the link's fault-wait
+        ladder gates the send as before; the losing relay duplicate — if
+        a race fired — is billed but never gates anything.  Relay wins:
+        the send waits on the seeded hedge delay plus the relay link's
+        ladder instead of the slow direct ladder, and the direct
+        request's bytes are billed as the loser.
+        """
+        decision = plan_hedge(ctx, system, src, dst, negotiation)
+        if decision is None:
+            return (
+                fault_wait_chain(fed, ctx, negotiation, events, deps=send_deps),
+                None,
+            )
+        ctx.hedges += 1
+        events.append(TraceEvent.of(
+            "fault.hedge",
+            src=src,
+            dst=dst,
+            via=decision.via,
+            winner=decision.winner,
+            delay_s=f"{decision.delay_s:.6f}",
+        ))
+        # The loser's request message is sent regardless; pay for it.
+        work.bytes_network += request_bytes
+        work.messages += 1
+        if not decision.relay_won:
+            return (
+                fault_wait_chain(fed, ctx, negotiation, events, deps=send_deps),
+                None,
+            )
+        ctx.hedges_won += 1
+        delay_node = fed.delay(
+            src,
+            decision.delay_s,
+            label=f"hedge {src}->{dst}",
+            deps=send_deps,
+        )
+        return (
+            fault_wait_chain(
+                fed,
+                ctx,
+                ctx.contact(system.global_site, dst),
+                events,
+                deps=[delay_node],
+            ),
+            decision.via,
+        )
 
     def _schedule_batch(
         self,
@@ -482,6 +693,7 @@ class _LocalizedStrategy(Strategy):
         events: List[TraceEvent],
         kind: str,
         round_no: Optional[int] = None,
+        via: Optional[str] = None,
     ) -> Node:
         """One coalesced request/reply exchange; returns the reply node.
 
@@ -489,20 +701,44 @@ class _LocalizedStrategy(Strategy):
         destination stay separate nodes (same labels as the unbatched
         protocol, so Gantt granularity is unchanged); only the two
         network messages are shared by the whole batch.
+
+        With *via* (failover / hedge relay) the request rides two hops
+        (``src -> via -> dst``), each billed in full; the reply path is
+        unchanged (``dst -> global site``), so a relayed exchange costs
+        one extra message and one extra request-sized transfer.
         """
         cost = system.cost_model
         request_bytes = batch.request_bytes(cost)
         reply_bytes = batch.reply_bytes(cost)
-        work.bytes_network += request_bytes + reply_bytes
-        work.messages += 2
-        send = fed.transfer(
-            batch.src,
-            batch.dst,
-            nbytes=request_bytes,
-            label=f"{self.name} {kind}-req",
-            deps=send_deps,
-            phase=PHASE_O,
-        )
+        hops = 1 if via is None else 2
+        work.bytes_network += request_bytes * hops + reply_bytes
+        work.messages += hops + 1
+        if via is None:
+            send = fed.transfer(
+                batch.src,
+                batch.dst,
+                nbytes=request_bytes,
+                label=f"{self.name} {kind}-req",
+                deps=send_deps,
+                phase=PHASE_O,
+            )
+        else:
+            hop = fed.transfer(
+                batch.src,
+                via,
+                nbytes=request_bytes,
+                label=f"{self.name} {kind}-req",
+                deps=send_deps,
+                phase=PHASE_O,
+            )
+            send = fed.transfer(
+                via,
+                batch.dst,
+                nbytes=request_bytes,
+                label=f"{self.name} {kind}-relay",
+                deps=[hop],
+                phase=PHASE_O,
+            )
         check_cpus: List[Node] = []
         for _, report in batch.pairs:
             work.assistants_checked += report.objects_checked
@@ -536,6 +772,8 @@ class _LocalizedStrategy(Strategy):
         )
         if round_no is not None:
             attrs["round"] = round_no
+        if via is not None:
+            attrs["via"] = via
         events.append(TraceEvent.of("dispatch.batch", **attrs))
         return fed.transfer(
             batch.dst,
@@ -557,8 +795,13 @@ class _LocalizedStrategy(Strategy):
         work: WorkCounters,
         avg_branch_bytes: float,
         kind: str,
+        via: Optional[str] = None,
     ) -> Node:
-        """One per-request exchange (the pre-batching wire protocol)."""
+        """One per-request exchange (the pre-batching wire protocol).
+
+        *via* relays the request over two hops, exactly as in
+        :meth:`_schedule_batch`.
+        """
         cost = system.cost_model
         request_bytes = cost.check_request_bytes(
             len(request.loids), len(request.predicates)
@@ -567,18 +810,37 @@ class _LocalizedStrategy(Strategy):
             len(v) for v in report.satisfied.values()
         ) + sum(len(v) for v in report.violated.values())
         reply_bytes = cost.check_reply_bytes(max(verdict_count, 1))
-        work.bytes_network += request_bytes + reply_bytes
-        work.messages += 2
+        hops = 1 if via is None else 2
+        work.bytes_network += request_bytes * hops + reply_bytes
+        work.messages += hops + 1
         work.assistants_checked += report.objects_checked
         work.comparisons += report.comparisons
-        send = fed.transfer(
-            src,
-            request.db_name,
-            nbytes=request_bytes,
-            label=f"{self.name} {kind}-req",
-            deps=send_deps,
-            phase=PHASE_O,
-        )
+        if via is None:
+            send = fed.transfer(
+                src,
+                request.db_name,
+                nbytes=request_bytes,
+                label=f"{self.name} {kind}-req",
+                deps=send_deps,
+                phase=PHASE_O,
+            )
+        else:
+            hop = fed.transfer(
+                src,
+                via,
+                nbytes=request_bytes,
+                label=f"{self.name} {kind}-req",
+                deps=send_deps,
+                phase=PHASE_O,
+            )
+            send = fed.transfer(
+                via,
+                request.db_name,
+                nbytes=request_bytes,
+                label=f"{self.name} {kind}-relay",
+                deps=[hop],
+                phase=PHASE_O,
+            )
         check_bytes = report.objects_checked * avg_branch_bytes
         work.bytes_disk += int(check_bytes)
         check_disk = fed.disk(

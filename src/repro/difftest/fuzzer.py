@@ -26,6 +26,10 @@ P_MULTI_VALUED = 0.4
 P_FAULTS = 0.35
 P_MUTATE = 0.5
 P_LINK_FAULT = 0.5
+#: Probability that a faulted case is a component-link storm (every
+#: component->component link degraded, global-site links clean) — the
+#: scenario replica failover can fully recover.
+P_LINK_STORM = 0.3
 
 
 class FederationFuzzer:
@@ -64,7 +68,18 @@ class FederationFuzzer:
             yield self.case(index)
 
     def _fault_spec(self, rng: random.Random, n_dbs: int) -> str:
-        """A compact fault spec: a site outage, a lossy link, or both."""
+        """A compact fault spec: an outage + lossy link, or a link storm."""
+        if rng.random() < P_LINK_STORM:
+            # Kill direct component links only: the sites themselves
+            # stay up and reachable through the global site, so failover
+            # should reroute every check and recover the full answer.
+            loss = rng.choice((0.9, 0.97))
+            return ",".join(
+                f"link:DB{a}>DB{b}:loss{loss}"
+                for a in range(1, n_dbs + 1)
+                for b in range(1, n_dbs + 1)
+                if a != b
+            )
         parts = []
         victim = f"DB{rng.randint(1, n_dbs)}"
         duration = rng.choice((0.5, 1.5, 5.0))

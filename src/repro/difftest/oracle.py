@@ -20,6 +20,15 @@ reproduce.  What it checks:
     Under the case's fault plan, executions that stayed complete must
     strictly equal the fault-free answer; degraded executions may only
     certify a subset of it (degradation never adds certainty).
+``failover-*``
+    Replica failover must be sound and monotone: the failover-enabled
+    run certifies no entity the fault-free baseline does not
+    (``failover-soundness``) and loses none the eager skip-and-demote
+    run kept (``failover-monotonic`` — fuzz federations hold consistent
+    copies, so extra verdicts only add certainty).  A run reporting
+    ``fully_recovered`` must equal the fault-free answer byte for byte
+    (``failover-recovery``), and hedged dispatch must never change the
+    answer at all (``hedge-invariance``).
 ``monotonicity``
     After registering one extra consistent assistant copy, no certain
     result is demoted, no previously-eliminated entity is certified,
@@ -135,6 +144,9 @@ class StrategyOracle:
             violations.extend(
                 self._check_faults(case, engine, built, baseline)
             )
+            violations.extend(
+                self._check_failover(case, engine, built, baseline)
+            )
         if case.mutate:
             violations.extend(
                 self._check_monotonicity(case, engine, built, answers)
@@ -206,6 +218,80 @@ class StrategyOracle:
                     "fault-soundness", case.label,
                     f"{name} (degraded) certified {len(extra)} entities "
                     f"the complete answer does not, e.g. {extra[0]}",
+                    case,
+                ))
+        return violations
+
+    #: Strategies exercised by the failover invariants.  Failover lives
+    #: in the shared localized machinery; BL and PL cover both phase
+    #: orders without re-running the (expensive) signature variants.
+    FAILOVER_STRATEGIES = ("BL", "PL")
+
+    def _check_failover(self, case, engine, built, baseline) -> List[Violation]:
+        """Failover is sound, monotone, recovery-exact and hedge-stable."""
+        violations = []
+        for name in self.FAILOVER_STRATEGIES:
+            if name not in self.strategy_names:
+                continue
+            kwargs = dict(
+                fault_plan=built.fault_plan,
+                policy=FAULT_POLICY,
+                fault_seed=case.fault_seed,
+            )
+            on = engine.execute(
+                built.query, name, failover=True, **kwargs
+            )
+            off = engine.execute(
+                built.query, name, failover=False, **kwargs
+            )
+            if not certified_subset(on.results, baseline):
+                extra = sorted(
+                    {r.goid for r in on.results.certain}
+                    - {r.goid for r in baseline.certain},
+                    key=lambda g: g.value,
+                )
+                violations.append(Violation(
+                    "failover-soundness", case.label,
+                    f"{name} with failover certified {len(extra)} "
+                    f"entities the fault-free answer does not, "
+                    f"e.g. {extra[0]}",
+                    case,
+                ))
+            if not certified_subset(off.results, on.results):
+                lost = sorted(
+                    {r.goid for r in off.results.certain}
+                    - {r.goid for r in on.results.certain},
+                    key=lambda g: g.value,
+                )
+                violations.append(Violation(
+                    "failover-monotonic", case.label,
+                    f"{name} with failover lost {len(lost)} certain "
+                    f"result(s) the eager path kept, e.g. {lost[0]}",
+                    case,
+                ))
+            if on.availability.fully_recovered and not same_answers(
+                baseline, on.results
+            ):
+                violations.append(Violation(
+                    "failover-recovery", case.label,
+                    f"{name} claimed full recovery but differs from the "
+                    f"fault-free answer: "
+                    f"{_first_difference(baseline, on.results)}",
+                    case,
+                ))
+            hedged = engine.execute(
+                built.query,
+                name,
+                failover=True,
+                fault_plan=built.fault_plan,
+                policy=f"{FAULT_POLICY}:hedge=0.05",
+                fault_seed=case.fault_seed,
+            )
+            if not same_answers(on.results, hedged.results):
+                violations.append(Violation(
+                    "hedge-invariance", case.label,
+                    f"{name}: hedging changed the answer: "
+                    f"{_first_difference(on.results, hedged.results)}",
                     case,
                 ))
         return violations

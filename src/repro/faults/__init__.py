@@ -30,6 +30,7 @@ from repro.faults.policy import (
     PATIENT,
     POLICIES,
     ExecutionPolicy,
+    parse_policy_spec,
     resolve_policy,
 )
 
@@ -47,5 +48,6 @@ __all__ = [
     "OutageWindow",
     "PATIENT",
     "POLICIES",
+    "parse_policy_spec",
     "resolve_policy",
 ]

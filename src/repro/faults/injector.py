@@ -24,7 +24,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.health import SiteHealthRegistry
 
 from repro.errors import ExecutionTimeout, UnavailableError
 from repro.faults.plan import FaultPlan
@@ -34,6 +37,9 @@ from repro.faults.policy import DEGRADE, ExecutionPolicy
 OK = "ok"
 DOWN = "down"
 LOST = "lost"
+#: Synthetic outcome of a contact suppressed by an open circuit breaker
+#: (no retry ladder is paid; the wait is zero by construction).
+OPEN_CIRCUIT = "open-circuit"
 
 
 @dataclass(frozen=True)
@@ -153,6 +159,8 @@ class ExecutionContext:
         plan: FaultPlan,
         policy: ExecutionPolicy = DEGRADE,
         seed: int = 0,
+        failover: bool = False,
+        health: Optional["SiteHealthRegistry"] = None,
     ) -> None:
         self.plan = plan
         self.policy = policy
@@ -170,32 +178,75 @@ class ExecutionContext:
         #: Links whose wait ladder was already scheduled as delay nodes
         #: (strategies consult this so a link's waits appear only once).
         self.scheduled_links: set = set()
+        #: Replica failover: reroute checks over the global-site relay
+        #: and demote rows only when every isomeric copy is unreachable.
+        self.failover = failover
+        if health is None and failover:
+            from repro.resilience.health import SiteHealthRegistry
+
+            health = SiteHealthRegistry(seed=seed)
+        #: Per-site breakers; None when failover is disabled, keeping
+        #: the original contact path byte-identical.
+        self.health = health
+        #: Check requests recovered by rerouting through the relay.
+        self.checks_failed_over = 0
+        #: Hedge races fired / won by the relay route.
+        self.hedges = 0
+        self.hedges_won = 0
+        #: Queried sites whose whole block dropped (no local results).
+        self.queried_sites_down: List[str] = []
+        #: Binding-completion walks left unresolved by unreachable sites.
+        self.fetches_unresolved = 0
+        #: Whether the executing strategy maintains the recovery signals
+        #: above (localized strategies with failover do; CA does not).
+        self.recovery_tracked = False
 
     def contact(self, src: str, dst: str) -> Negotiation:
         """Negotiate the ``src -> dst`` link, with policy enforcement.
+
+        With a health registry attached (failover mode), a fresh
+        negotiation to an open-circuit site is suppressed: a synthetic
+        zero-wait ``open-circuit`` negotiation is memoized instead of
+        paying the retry ladder, and half-open probes go through the
+        normal injector path.
 
         Raises:
             UnavailableError: the link is dead and the policy fails fast.
             ExecutionTimeout: the cumulative wait blew the deadline.
         """
         fresh = (src, dst) not in self.injector._memo
-        negotiation = self.injector.negotiate(src, dst)
-        if fresh:
-            self.wait_s += negotiation.wait_s
-            self.retries += negotiation.retries
-            self.timeouts += len(negotiation.failures)
-            if negotiation.retries and negotiation.ok:
-                self.retried[dst] = (
-                    self.retried.get(dst, 0) + negotiation.retries
-                )
-            self.messages_lost += sum(
-                1 for a in negotiation.attempts if a.outcome == LOST
+        if fresh and self.health is not None and not self.health.allow(dst):
+            negotiation = Negotiation(
+                src=src,
+                dst=dst,
+                ok=False,
+                attempts=(Attempt(at=0.0, outcome=OPEN_CIRCUIT),),
             )
-            if negotiation.ok:
-                if dst not in self.contacted:
-                    self.contacted.append(dst)
-            elif dst not in self.skipped:
+            self.injector._memo[(src, dst)] = negotiation
+            if dst not in self.skipped:
                 self.skipped.append(dst)
+        else:
+            negotiation = self.injector.negotiate(src, dst)
+            if fresh:
+                self.wait_s += negotiation.wait_s
+                self.retries += negotiation.retries
+                self.timeouts += len(negotiation.failures)
+                if negotiation.retries and negotiation.ok:
+                    self.retried[dst] = (
+                        self.retried.get(dst, 0) + negotiation.retries
+                    )
+                self.messages_lost += sum(
+                    1 for a in negotiation.attempts if a.outcome == LOST
+                )
+                if negotiation.ok:
+                    if dst not in self.contacted:
+                        self.contacted.append(dst)
+                elif dst not in self.skipped:
+                    self.skipped.append(dst)
+                if self.health is not None:
+                    self.health.record(
+                        dst, negotiation.ok, latency_s=negotiation.wait_s
+                    )
         deadline = self.policy.deadline_s
         if deadline is not None and self.wait_s > deadline:
             raise ExecutionTimeout(self.wait_s, deadline)
@@ -210,14 +261,51 @@ class ExecutionContext:
     def note_skipped_check(self, count: int = 1) -> None:
         self.checks_skipped += count
 
+    def note_queried_site_down(self, site: str) -> None:
+        """A queried site's whole block dropped — unrecoverable loss."""
+        if site not in self.queried_sites_down:
+            self.queried_sites_down.append(site)
+
     def reachable(self, src: str, dst: str) -> bool:
         """Whether the ``src -> dst`` link negotiates successfully
         (policy enforcement included — fail-fast links raise instead)."""
         return self.contact(src, dst).ok
 
+    def hedge_delay(self, src: str, dst: str) -> Optional[float]:
+        """The effective (seeded, jittered) hedge delay for one link.
+
+        None when the policy does not hedge.  The jitter draw depends
+        only on (fault seed, plan seed, src, dst), so hedge decisions
+        are byte-deterministic and order-independent.
+        """
+        base = self.policy.hedge_delay_s
+        if base is None:
+            return None
+        u = random.Random(
+            f"hedge:{self.injector.seed}:{self.plan.seed}:{src}->{dst}"
+        ).random()
+        return base * (1.0 + self.policy.jitter * u)
+
     @property
     def complete(self) -> bool:
         return not self.skipped and self.checks_skipped == 0
+
+    @property
+    def fully_recovered(self) -> bool:
+        """Whether failover rerouting neutralized every injected fault.
+
+        True only when the executing strategy tracks recovery and no
+        unrecoverable degradation remains: every queried site answered,
+        every skipped check pair was settled by a live isomeric copy,
+        and every binding-completion walk resolved.  A fully recovered
+        answer is byte-identical to the fault-free baseline.
+        """
+        return (
+            self.recovery_tracked
+            and not self.queried_sites_down
+            and self.checks_skipped == 0
+            and self.fetches_unresolved == 0
+        )
 
     def availability(self) -> "Availability":
         """Snapshot the bookkeeping as a result annotation."""
@@ -231,4 +319,16 @@ class ExecutionContext:
             checks_skipped=self.checks_skipped,
             messages_lost=self.messages_lost,
             fault_wait_s=self.wait_s,
+            checks_failed_over=self.checks_failed_over,
+            hedges=self.hedges,
+            hedges_won=self.hedges_won,
+            fully_recovered=self.fully_recovered,
+            queried_sites_down=tuple(sorted(self.queried_sites_down)),
+            breaker=(
+                self.health.snapshot() if self.health is not None else ()
+            ),
+            contacts_suppressed=(
+                self.health.suppressed_total
+                if self.health is not None else 0
+            ),
         )

@@ -13,16 +13,24 @@ execution runs under:
   of degrading to a partial answer when a site stays unreachable;
 * ``deadline_s`` — optional hard cap on the cumulative fault wait of one
   execution (exceeding it raises
-  :class:`~repro.errors.ExecutionTimeout` even in degrade mode).
+  :class:`~repro.errors.ExecutionTimeout` even in degrade mode);
+* ``hedge_delay_s`` — optional hedged dispatch: when a link negotiation
+  waits longer than this (seeded, jittered) delay, the in-flight check
+  is duplicated through the global-site relay and the faster route wins
+  (see :mod:`repro.resilience.failover`).
 
 The named presets (``DEGRADE``, ``FAIL_FAST``, ``PATIENT``) are what the
-CLI's ``--policy`` flag selects.
+CLI's ``--policy`` flag selects; inline overrides like
+``degrade:timeout=0.5,retries=3,hedge=0.1`` are parsed by
+:func:`parse_policy_spec` and validated by
+:meth:`ExecutionPolicy.__post_init__`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.errors import FaultPlanError
 
@@ -39,6 +47,7 @@ class ExecutionPolicy:
     jitter: float = 0.5
     fail_fast: bool = False
     deadline_s: Optional[float] = None
+    hedge_delay_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.timeout_s <= 0:
@@ -51,6 +60,8 @@ class ExecutionPolicy:
             raise FaultPlanError(f"jitter {self.jitter} outside [0, 1]")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise FaultPlanError(f"deadline {self.deadline_s} <= 0")
+        if self.hedge_delay_s is not None and self.hedge_delay_s <= 0:
+            raise FaultPlanError(f"hedge delay {self.hedge_delay_s} <= 0")
 
     def backoff_s(self, attempt: int, u: float) -> float:
         """Backoff after the *attempt*-th failure (0-based); ``u`` in
@@ -75,17 +86,81 @@ POLICIES: Dict[str, ExecutionPolicy] = {
 }
 
 
+def _parse_bool(raw: str) -> bool:
+    lowered = raw.lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(raw)
+
+
+#: Spec key -> (ExecutionPolicy field, converter).
+_SPEC_FIELDS: Dict[str, Tuple[str, Callable[[str], object]]] = {
+    "timeout": ("timeout_s", float),
+    "retries": ("max_retries", int),
+    "backoff": ("backoff_base_s", float),
+    "multiplier": ("backoff_multiplier", float),
+    "jitter": ("jitter", float),
+    "fail_fast": ("fail_fast", _parse_bool),
+    "deadline": ("deadline_s", float),
+    "hedge": ("hedge_delay_s", float),
+}
+
+
+def parse_policy_spec(spec: str) -> ExecutionPolicy:
+    """Parse ``"<preset>[:key=value[,key=value...]]"`` into a policy.
+
+    The preset names a base policy from :data:`POLICIES`; each override
+    maps onto an :class:`ExecutionPolicy` field (``timeout``,
+    ``retries``, ``backoff``, ``multiplier``, ``jitter``, ``fail_fast``,
+    ``deadline``, ``hedge``).  The rebuilt dataclass re-runs
+    ``__post_init__``, so out-of-range overrides fail validation with
+    the same errors a programmatic construction would raise.
+    """
+    name, _, rest = spec.partition(":")
+    base = POLICIES.get(name)
+    if base is None:
+        raise FaultPlanError(
+            f"unknown policy {name!r}; choose from {sorted(POLICIES)}"
+        )
+    if not rest:
+        return base
+    overrides: Dict[str, object] = {}
+    for part in rest.split(","):
+        key, eq, raw = part.partition("=")
+        key = key.strip()
+        if not eq or not key or not raw.strip():
+            raise FaultPlanError(
+                f"malformed policy override {part!r} in {spec!r}; "
+                "expected key=value"
+            )
+        try:
+            field_name, convert = _SPEC_FIELDS[key]
+        except KeyError:
+            raise FaultPlanError(
+                f"unknown policy override {key!r} in {spec!r}; "
+                f"choose from {sorted(_SPEC_FIELDS)}"
+            ) from None
+        try:
+            overrides[field_name] = convert(raw.strip())
+        except ValueError:
+            raise FaultPlanError(
+                f"bad value {raw.strip()!r} for policy override {key!r} "
+                f"in {spec!r}"
+            ) from None
+    # replace() re-runs __post_init__, so validation errors surface here.
+    return dataclasses.replace(base, name=spec, **overrides)
+
+
 def resolve_policy(
     policy: Union[str, ExecutionPolicy, None]
 ) -> ExecutionPolicy:
-    """Accept a policy object, a preset name, or None (-> DEGRADE)."""
+    """Accept a policy object, a preset name or inline spec
+    (``"degrade:timeout=0.5,retries=3,hedge=0.1"``), or None
+    (-> DEGRADE)."""
     if policy is None:
         return DEGRADE
     if isinstance(policy, ExecutionPolicy):
         return policy
-    try:
-        return POLICIES[policy]
-    except KeyError:
-        raise FaultPlanError(
-            f"unknown policy {policy!r}; choose from {sorted(POLICIES)}"
-        ) from None
+    return parse_policy_spec(policy)

@@ -226,6 +226,8 @@ def registry_from_metrics(metrics: object) -> MetricsRegistry:
         "retries",
         "timeouts",
         "messages_lost",
+        "checks_failed_over",
+        "hedges",
     ):
         registry.counter(f"work.{fname}").inc(getattr(work, fname))
     registry.counter(

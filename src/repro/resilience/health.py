@@ -1,0 +1,196 @@
+"""Per-site health tracking and the deterministic circuit breaker.
+
+The fault layer negotiates every link with a full timeout+retry ladder,
+even when earlier negotiations already proved the destination dead.  A
+:class:`SiteHealthRegistry` closes that gap: it observes every fresh
+negotiation outcome an :class:`~repro.faults.injector.ExecutionContext`
+records and drives one circuit breaker per destination site:
+
+``closed``
+    Normal operation.  Consecutive failures are counted; reaching
+    :attr:`BreakerPolicy.failure_threshold` opens the circuit.
+``open``
+    Contacts are suppressed without paying the retry ladder (the
+    context synthesizes an ``open``-outcome negotiation with zero
+    wait).  Each suppressed contact decrements a *seeded* cooldown
+    counter — cooldowns are measured in suppressed contact attempts,
+    not wall-clock time, so executions stay byte-deterministic.
+``half-open``
+    The cooldown expired: exactly one probe negotiation is allowed
+    through.  Success closes the circuit; failure re-opens it with a
+    freshly seeded cooldown.
+
+Determinism: the only randomness is the cooldown jitter, drawn from
+``random.Random(f"breaker:{seed}:{site}:{opened_count}")`` — a function
+of the execution's fault seed, the site, and how often this breaker has
+opened.  No wall-clock, no ordering dependence beyond the (already
+deterministic) order in which strategies negotiate links.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import FaultPlanError
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Knobs of the per-site circuit breaker."""
+
+    #: Consecutive fresh-negotiation failures that open the circuit.
+    failure_threshold: int = 3
+    #: Base cooldown, counted in suppressed contact attempts.
+    cooldown_attempts: int = 2
+    #: Seeded extra cooldown attempts in ``[0, cooldown_jitter]``.
+    cooldown_jitter: int = 2
+    #: Smoothing factor of the per-site latency EWMA.
+    ewma_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise FaultPlanError(
+                f"breaker failure_threshold {self.failure_threshold} < 1"
+            )
+        if self.cooldown_attempts < 0 or self.cooldown_jitter < 0:
+            raise FaultPlanError("breaker cooldown must be non-negative")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise FaultPlanError(
+                f"breaker ewma_alpha {self.ewma_alpha} outside (0, 1]"
+            )
+
+
+@dataclass
+class SiteHealth:
+    """Mutable health record of one destination site."""
+
+    site: str
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    successes: int = 0
+    failures: int = 0
+    #: Contacts suppressed while the circuit was open.
+    suppressed: int = 0
+    #: EWMA of the fault wait paid per fresh negotiation (seconds).
+    latency_ewma_s: float = 0.0
+    #: Suppressed attempts left before the next half-open probe.
+    cooldown_remaining: int = 0
+    #: How many times this breaker has opened (seeds the cooldown).
+    opened_count: int = 0
+
+
+class SiteHealthRegistry:
+    """All site breakers of one execution, plus health-based ranking."""
+
+    def __init__(
+        self, policy: BreakerPolicy = BreakerPolicy(), seed: int = 0
+    ) -> None:
+        self.policy = policy
+        self.seed = seed
+        self._sites: Dict[str, SiteHealth] = {}
+        #: (site, from_state, to_state) in occurrence order.
+        self.transitions: List[Tuple[str, str, str]] = []
+
+    def health(self, site: str) -> SiteHealth:
+        record = self._sites.get(site)
+        if record is None:
+            record = self._sites[site] = SiteHealth(site=site)
+        return record
+
+    # --- breaker ------------------------------------------------------------
+
+    def allow(self, site: str) -> bool:
+        """Whether a fresh negotiation to *site* may proceed.
+
+        Open circuits consume one cooldown attempt and refuse; an
+        expired cooldown half-opens the circuit and lets one probe
+        through.
+        """
+        record = self.health(site)
+        if record.state != OPEN:
+            return True
+        if record.cooldown_remaining > 0:
+            record.cooldown_remaining -= 1
+            record.suppressed += 1
+            return False
+        self._transition(record, HALF_OPEN)
+        return True
+
+    def record(self, site: str, ok: bool, latency_s: float = 0.0) -> None:
+        """Fold one fresh negotiation outcome into *site*'s health."""
+        record = self.health(site)
+        alpha = self.policy.ewma_alpha
+        record.latency_ewma_s += alpha * (latency_s - record.latency_ewma_s)
+        if ok:
+            record.successes += 1
+            record.consecutive_failures = 0
+            if record.state != CLOSED:
+                self._transition(record, CLOSED)
+            return
+        record.failures += 1
+        record.consecutive_failures += 1
+        if record.state == HALF_OPEN or (
+            record.state == CLOSED
+            and record.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._open(record)
+
+    def _open(self, record: SiteHealth) -> None:
+        record.opened_count += 1
+        rng = random.Random(
+            f"breaker:{self.seed}:{record.site}:{record.opened_count}"
+        )
+        record.cooldown_remaining = (
+            self.policy.cooldown_attempts
+            + rng.randint(0, self.policy.cooldown_jitter)
+        )
+        self._transition(record, OPEN)
+
+    def _transition(self, record: SiteHealth, to_state: str) -> None:
+        self.transitions.append((record.site, record.state, to_state))
+        record.state = to_state
+
+    # --- queries ------------------------------------------------------------
+
+    def state(self, site: str) -> str:
+        record = self._sites.get(site)
+        return record.state if record is not None else CLOSED
+
+    def rank(self, sites: Iterable[str]) -> List[str]:
+        """*sites* ordered healthiest-first, deterministically.
+
+        Closed before half-open before open; fewer consecutive failures
+        first; lower latency EWMA first; site name breaks ties.
+        """
+        order = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+        def key(site: str):
+            record = self._sites.get(site) or SiteHealth(site=site)
+            return (
+                order[record.state],
+                record.consecutive_failures,
+                record.latency_ewma_s,
+                site,
+            )
+
+        return sorted(sites, key=key)
+
+    def snapshot(self) -> Tuple[Tuple[str, str], ...]:
+        """(site, state) for every site not in the default closed state,
+        sorted by site — the Availability annotation's breaker view."""
+        return tuple(
+            (site, record.state)
+            for site, record in sorted(self._sites.items())
+            if record.state != CLOSED
+        )
+
+    @property
+    def suppressed_total(self) -> int:
+        return sum(r.suppressed for r in self._sites.values())

@@ -38,6 +38,9 @@ class WorkCounters:
     retries: int = 0
     timeouts: int = 0
     messages_lost: int = 0
+    # Resilience work: relay-rerouted check requests and hedge races.
+    checks_failed_over: int = 0
+    hedges: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -60,6 +63,8 @@ class WorkCounters:
         self.retries += other.retries
         self.timeouts += other.timeouts
         self.messages_lost += other.messages_lost
+        self.checks_failed_over += other.checks_failed_over
+        self.hedges += other.hedges
 
 
 @dataclass

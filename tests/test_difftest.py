@@ -204,9 +204,9 @@ class TestRunner:
     def test_violations_shrunk_and_written(self, broken_resolver, tmp_path):
         stream = io.StringIO()
         violations = run_fuzz(
-            1996, 3, out_dir=str(tmp_path), stream=stream
+            1996, 5, out_dir=str(tmp_path), stream=stream
         )
-        assert violations  # fuzz-1996-2 fails under the broken resolver
+        assert violations  # fuzz-1996-4 fails under the broken resolver
         out = stream.getvalue()
         assert "VIOLATION" in out and "shrunk to:" in out
         written = sorted(tmp_path.glob("*.json"))

@@ -96,6 +96,62 @@ class TestBulkLoad:
         assert rc.log_length == 20
 
 
+class TestFaultWindow:
+    """Replica lag as a fault window: what failover may rely on.
+
+    Relay failover re-issues checks through the global site on the
+    assumption that every site's mapping replica answers like the
+    primary.  These tests pin the window in which that assumption is
+    false (lazy replication, updates logged but unsynced) and prove it
+    closes completely after one sync round.
+    """
+
+    def test_lagging_replica_misses_new_entity(self):
+        rc = ReplicatedCatalog(["DB1", "DB2"], eager=False)
+        rc.record("S", GOid("g1"), l1("s1"))
+        # Inside the window: the replica cannot resolve the new entity,
+        # so a check routed via this site would come back UNKNOWN.
+        assert rc.replica("DB2").goid_of("S", l1("s1")) is None
+        assert rc.pending("DB2") == 1
+        assert not rc.verify_consistent()
+        rc.sync()
+        assert rc.replica("DB2").goid_of("S", l1("s1")) == GOid("g1")
+        assert rc.verify_consistent()
+
+    def test_lagging_replica_misses_isomeric_copy(self):
+        rc = ReplicatedCatalog(["DB1", "DB2", "DB3"], eager=False)
+        rc.record("S", GOid("g1"), l1("s1"))
+        rc.record("S", GOid("g1"), LOid("DB2", "s1'"))
+        rc.sync()
+        # A later copy registration reopens the window: the stale
+        # replica still answers, but without the newest assistant.
+        rc.record("S", GOid("g1"), LOid("DB3", "s1''"))
+        stale = rc.replica("DB1").assistants_of("S", l1("s1"))
+        assert LOid("DB3", "s1''") not in stale
+        assert not rc.verify_consistent()
+        rc.sync()
+        fresh = rc.replica("DB1").assistants_of("S", l1("s1"))
+        assert LOid("DB3", "s1''") in fresh
+        assert rc.verify_consistent()
+
+    def test_partial_sync_leaves_window_open_elsewhere(self):
+        rc = ReplicatedCatalog(["DB1", "DB2", "DB3"], eager=False)
+        rc.record("S", GOid("g1"), l1("s1"))
+        rc.sync(sites=["DB1", "DB3"])
+        assert rc.replica("DB1").goid_of("S", l1("s1")) == GOid("g1")
+        assert rc.replica("DB2").goid_of("S", l1("s1")) is None
+        assert not rc.verify_consistent()
+        rc.sync(sites=["DB2"])
+        assert rc.verify_consistent()
+
+    def test_eager_mode_has_no_window(self):
+        rc = ReplicatedCatalog(["DB1", "DB2"])
+        for i in range(5):
+            rc.record("S", GOid(f"g{i}"), l1(f"s{i}"))
+            assert rc.verify_consistent()
+            assert rc.pending("DB2") == 0
+
+
 class TestErrors:
     def test_no_sites_rejected(self):
         with pytest.raises(MappingError):
