@@ -16,12 +16,21 @@ Commands:
 * ``tables``     — print Tables 1 and 2;
 * ``fuzz``       — run the differential correctness harness (seeded
   federation fuzzer + cross-strategy oracle), or replay committed
-  case files with ``--replay``.
+  case files with ``--replay``;
+* ``traffic``    — drive a deterministic concurrent workload (N
+  workers, weighted query mix, admission control) against a synthetic
+  federation and report throughput + latency percentiles.
+
+Every query-running command executes through an
+:class:`~repro.core.session.EngineSession` configured with one
+:class:`~repro.core.options.ExecutionOptions` value built from the
+fault/batching flags.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import random
 import sys
@@ -32,6 +41,7 @@ import dataclasses
 from repro.bench.experiments import figure9, figure10, figure11
 from repro.bench.reporting import dump_traces, format_table, series_table
 from repro.core.engine import GlobalQueryEngine
+from repro.core.options import ExecutionOptions
 from repro.core.strategies import DEFAULT_REGISTRY
 from repro.errors import FaultPlanError
 from repro.faults import POLICIES, FaultPlan, resolve_policy
@@ -130,19 +140,27 @@ def _add_batch_arg(command: argparse.ArgumentParser) -> None:
     )
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
-    engine = GlobalQueryEngine(
-        build_school_federation(),
-        batch_checks=not args.no_batch,
-        failover=args.failover,
-    )
-    report = engine.execute(
-        args.sql,
-        strategy=args.strategy,
+def _cli_options(args: argparse.Namespace) -> ExecutionOptions:
+    """One ExecutionOptions value from the fault/batching flags."""
+    return ExecutionOptions(
         fault_plan=_load_fault_plan(args),
         policy=_resolve_cli_policy(args),
-        fault_seed=args.fault_seed,
+        fault_seed=getattr(args, "fault_seed", 0),
+        batch_checks=not getattr(args, "no_batch", False),
+        failover=getattr(args, "failover", True),
     )
+
+
+def _cli_session(system, args: argparse.Namespace):
+    """The CLI's session over a fresh engine on *system*."""
+    return GlobalQueryEngine(system).session(
+        name="cli", options=_cli_options(args)
+    )
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    session = _cli_session(build_school_federation(), args)
+    report = session.execute(args.sql, strategy=args.strategy)
     print(f"strategy: {args.strategy}")
     availability = report.availability.summary()
     if availability != "complete":
@@ -166,18 +184,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    engine = GlobalQueryEngine(
-        build_school_federation(),
-        batch_checks=not args.no_batch,
-        failover=args.failover,
-    )
-    report = engine.execute(
-        args.sql,
-        strategy=args.strategy,
-        fault_plan=_load_fault_plan(args),
-        policy=_resolve_cli_policy(args),
-        fault_seed=args.fault_seed,
-    )
+    session = _cli_session(build_school_federation(), args)
+    report = session.execute(args.sql, strategy=args.strategy)
     print(report.explain(width=args.width))
     if args.trace:
         with open(args.trace, "w") as handle:
@@ -218,18 +226,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     params = sample_params(rng)
     params.seed = args.seed
     workload = generate(params, scale=args.scale)
-    engine = GlobalQueryEngine(
-        workload.system,
-        batch_checks=not args.no_batch,
-        failover=args.failover,
-    )
+    session = _cli_session(workload.system, args)
     print(f"query: {workload.query}")
-    outcomes = engine.compare(
+    outcomes = session.compare(
         workload.query,
         strategies=list(STRATEGY_CHOICES),
-        fault_plan=_load_fault_plan(args),
-        policy=_resolve_cli_policy(args),
-        fault_seed=args.fault_seed,
     )
     print(f"answer: {outcomes['CA'].results.summary()}\n")
     headers = ["strategy", "total (s)", "response (s)", "net bytes", "checked"]
@@ -268,6 +269,53 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             args.seed, args.cases, out_dir=args.out or None
         )
     return 1 if violations else 0
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    # Imported lazily: traffic pulls in the difftest oracle.
+    from repro.traffic import AdmissionControl, TrafficEngine, default_mix
+
+    rng = random.Random(args.seed)
+    params = sample_params(rng)
+    params.seed = args.seed
+    workload = generate(params, scale=args.scale)
+    engine = TrafficEngine(
+        workload.system,
+        default_mix(workload),
+        workers=args.workers,
+        queries=args.queries,
+        seed=args.seed,
+        strategy=args.strategy,
+        options=_cli_options(args),
+        admission=AdmissionControl(
+            max_in_flight=args.max_in_flight,
+            queue_depth=args.queue_depth,
+        ),
+    )
+    report = engine.run(verify=args.verify)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"mix: {report.mix} over {workload.query}")
+        print(report.summary())
+        print(
+            f"gate: {report.gate_queued} queued "
+            f"({report.gate_wait_s:.3f}s waiting), "
+            f"{report.gate_rejected} shed"
+        )
+        print(
+            f"caches: {report.cache_hits} hits / "
+            f"{report.cache_misses} misses, "
+            f"{report.shared_hits} cross-worker"
+        )
+        if args.verify:
+            print(
+                f"verified: {report.verified} answers vs serial, "
+                f"{len(report.violations)} violations"
+            )
+        for violation in report.violations:
+            print(f"  VIOLATION: {violation}")
+    return 1 if report.violations else 0
 
 
 def _cmd_tables(_args: argparse.Namespace) -> int:
@@ -339,6 +387,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("tables", help="print Tables 1 and 2")
 
+    traffic = sub.add_parser(
+        "traffic",
+        help="drive a deterministic concurrent workload against a "
+             "synthetic federation",
+    )
+    traffic.add_argument("--workers", type=int, default=8)
+    traffic.add_argument(
+        "--queries", type=int, default=50, help="queries per worker"
+    )
+    traffic.add_argument("--seed", type=int, default=1996)
+    traffic.add_argument("--scale", type=float, default=0.03)
+    traffic.add_argument(
+        "--strategy", default="BL", choices=QUERY_STRATEGIES
+    )
+    traffic.add_argument(
+        "--max-in-flight", type=int, default=8, dest="max_in_flight",
+        help="admission gate capacity (concurrent executions)",
+    )
+    traffic.add_argument(
+        "--queue-depth", type=int, default=32, dest="queue_depth",
+        help="waiting submissions beyond which new ones are shed",
+    )
+    traffic.add_argument(
+        "--verify", action=argparse.BooleanOptionalAction, default=True,
+        help="re-execute each distinct query serially and require "
+             "byte-identical answers (--no-verify to skip)",
+    )
+    traffic.add_argument(
+        "--json", action="store_true",
+        help="print the full report as deterministic JSON",
+    )
+    _add_fault_args(traffic)
+    _add_batch_arg(traffic)
+
     fuzz = sub.add_parser(
         "fuzz", help="differential-test the strategies on random "
                      "federations (or --replay committed cases)"
@@ -368,6 +450,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "tables": _cmd_tables,
         "fuzz": _cmd_fuzz,
+        "traffic": _cmd_traffic,
     }
     try:
         return handlers[args.command](args)

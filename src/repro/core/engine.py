@@ -9,30 +9,69 @@ per-site utilization profile of that one execution.  ``explain()`` and
 ``compare()`` consume the same report object, so rendering a schedule
 never re-runs the query.
 
-Fault tolerance: pass a :class:`~repro.faults.plan.FaultPlan` (and
-optionally an :class:`~repro.faults.policy.ExecutionPolicy`) to inject
-deterministic site outages and link degradation into an execution.  An
-empty/inactive plan leaves execution byte-identical to a fault-free run;
-an active plan makes strategies retry, wait, skip unreachable sites, and
-annotate the degraded answer with its
-:class:`~repro.core.results.Availability`.
+Per-execution configuration lives in one immutable
+:class:`~repro.core.options.ExecutionOptions` value (``engine.options``);
+derive variants with ``engine.options.with_(batch_checks=False)`` and
+pass them as ``options=``.  The historical ``fault_plan=`` / ``policy=``
+/ ``fault_seed=`` / ``batch_checks=`` / ``failover=`` kwargs on
+``execute()`` and ``compare()`` still work but are deprecated.
+
+Concurrent callers over one shared federation each take an
+:meth:`GlobalQueryEngine.session` — a lightweight handle with its own
+default strategy, options and per-worker cache accounting.  All
+per-execution state (fault negotiations, breakers, hedges) lives in an
+:class:`~repro.faults.injector.ExecutionContext` created per call, so
+interleaved executions can never bleed into each other.
 """
 
 from __future__ import annotations
 
+import copy
+import warnings
 from typing import Dict, Optional, Sequence, Union
 
+from repro.core.options import ExecutionOptions
 from repro.core.query import Query
 from repro.core.report import ExecutionReport
 from repro.core.results import certified_subset, same_answers
+from repro.core.session import EngineSession
 from repro.core.strategies import DEFAULT_REGISTRY, Strategy
 from repro.core.strategies.registry import StrategyRegistry
 from repro.core.system import DistributedSystem
 from repro.errors import ReproError
 from repro.faults.injector import ExecutionContext
 from repro.faults.plan import FaultPlan
-from repro.faults.policy import ExecutionPolicy, resolve_policy
+from repro.faults.policy import ExecutionPolicy
 from repro.obs.spans import TraceEvent
+
+#: The deprecated per-call override kwargs (now ExecutionOptions fields).
+_LEGACY_KWARGS = ("fault_plan", "policy", "fault_seed", "batch_checks", "failover")
+
+
+def _merge_legacy(
+    where: str,
+    options: Optional[ExecutionOptions],
+    base: ExecutionOptions,
+    legacy: Dict[str, object],
+) -> ExecutionOptions:
+    """Fold deprecated override kwargs into an options value.
+
+    *base* is the caller's default options (engine- or session-wide);
+    explicit ``options=`` wins as the starting point, then any legacy
+    kwarg overrides field-by-field (with a DeprecationWarning).
+    """
+    given = {k: v for k, v in legacy.items() if v is not None}
+    effective = options if options is not None else base
+    if not given:
+        return effective
+    warnings.warn(
+        f"{where}({', '.join(sorted(given))}=...) is deprecated; pass "
+        f"options=engine.options.with_({', '.join(sorted(given))}=...) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return effective.with_(**given)
 
 
 class GlobalQueryEngine:
@@ -45,25 +84,101 @@ class GlobalQueryEngine:
         registry: Optional[StrategyRegistry] = None,
         fault_plan: Optional[FaultPlan] = None,
         policy: Union[str, ExecutionPolicy, None] = None,
-        fault_seed: int = 0,
-        batch_checks: bool = True,
-        failover: bool = True,
+        fault_seed: Optional[int] = None,
+        batch_checks: Optional[bool] = None,
+        failover: Optional[bool] = None,
+        options: Optional[ExecutionOptions] = None,
     ) -> None:
         self.system = system
         self.registry = registry or DEFAULT_REGISTRY
         self.default_strategy = self._resolve(default_strategy)
-        self.fault_plan = fault_plan
-        self.policy = resolve_policy(policy)
-        self.fault_seed = fault_seed
-        #: Coalesce phase-O check/chase messages per (src, dst) link.
-        #: ``False`` restores the one-message-per-request wire protocol
-        #: (the CLI's ``--no-batch`` escape hatch).
-        self.batch_checks = batch_checks
-        #: Resilient dispatch under a fault plan: circuit breakers,
-        #: global-site relay failover and verdict-aware demotion.
-        #: ``False`` restores the eager skip-and-demote behavior
-        #: (the CLI's ``--no-failover`` escape hatch).
-        self.failover = failover
+        base = options if options is not None else ExecutionOptions()
+        overrides = {
+            name: value
+            for name, value in (
+                ("fault_plan", fault_plan),
+                ("policy", policy),
+                ("fault_seed", fault_seed),
+                ("batch_checks", batch_checks),
+                ("failover", failover),
+            )
+            if value is not None
+        }
+        #: Engine-wide default :class:`ExecutionOptions`; immutable —
+        #: replace it (``engine.options = engine.options.with_(...)``)
+        #: rather than mutating.
+        self.options = base.with_(**overrides) if overrides else base
+        self._sessions = 0
+        self._root_session = EngineSession(self, name="main")
+
+    # --- configuration shims (legacy attribute views onto options) --------
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        return self.options.fault_plan
+
+    @fault_plan.setter
+    def fault_plan(self, value: Optional[FaultPlan]) -> None:
+        self.options = self.options.with_(fault_plan=value)
+
+    @property
+    def policy(self) -> ExecutionPolicy:
+        return self.options.policy
+
+    @policy.setter
+    def policy(self, value: Union[str, ExecutionPolicy, None]) -> None:
+        self.options = self.options.with_(policy=value)
+
+    @property
+    def fault_seed(self) -> int:
+        return self.options.fault_seed
+
+    @fault_seed.setter
+    def fault_seed(self, value: int) -> None:
+        self.options = self.options.with_(fault_seed=value)
+
+    @property
+    def batch_checks(self) -> bool:
+        return self.options.batch_checks
+
+    @batch_checks.setter
+    def batch_checks(self, value: bool) -> None:
+        self.options = self.options.with_(batch_checks=value)
+
+    @property
+    def failover(self) -> bool:
+        return self.options.failover
+
+    @failover.setter
+    def failover(self, value: bool) -> None:
+        self.options = self.options.with_(failover=value)
+
+    # --- sessions ----------------------------------------------------------
+
+    def session(
+        self,
+        name: Optional[str] = None,
+        strategy: Union[str, Strategy, None] = None,
+        options: Optional[ExecutionOptions] = None,
+        fault_seed: Optional[int] = None,
+    ) -> EngineSession:
+        """A lightweight per-caller handle over the shared federation.
+
+        Each session carries its own default strategy, options and fault
+        seed plus per-session cache hit/miss accounting, while the
+        federation (databases, catalogs, decomposition/mapping caches,
+        signature catalog) stays shared.  Sessions are cooperative: calls
+        interleave deterministically, and all per-execution fault state
+        is created per call, so sessions never bleed into each other.
+        """
+        self._sessions += 1
+        return EngineSession(
+            self,
+            name=name or f"session-{self._sessions}",
+            strategy=strategy,
+            options=options,
+            fault_seed=fault_seed,
+        )
 
     def _resolve(self, strategy: Union[str, Strategy]) -> Strategy:
         if isinstance(strategy, Strategy):
@@ -81,16 +196,14 @@ class GlobalQueryEngine:
 
         Signature strategies (BL-S/PL-S) need the catalog; without this
         call the engine builds it implicitly on first use and records a
-        ``signatures.build`` event on that report.
+        ``signatures.build`` event on that report.  The catalog is part
+        of the shared federation: it is built once and reused by every
+        session.
         """
         self.system.ensure_signatures()
 
     def _fault_context(
-        self,
-        fault_plan: Optional[FaultPlan],
-        policy: Union[str, ExecutionPolicy, None],
-        fault_seed: Optional[int],
-        failover: Optional[bool] = None,
+        self, options: ExecutionOptions
     ) -> Optional[ExecutionContext]:
         """The execution's fault context, or None when faults are off.
 
@@ -98,70 +211,59 @@ class GlobalQueryEngine:
         original two-argument code path, so fault-free executions are
         byte-identical to the pre-fault-layer engine.
         """
-        plan = fault_plan if fault_plan is not None else self.fault_plan
-        if plan is None or not plan.active:
+        if not options.faults_active:
             return None
-        chosen_policy = (
-            self.policy if policy is None else resolve_policy(policy)
-        )
-        seed = self.fault_seed if fault_seed is None else fault_seed
-        chosen_failover = self.failover if failover is None else failover
         return ExecutionContext(
-            plan, chosen_policy, seed=seed, failover=chosen_failover
+            options.fault_plan,
+            options.policy,
+            seed=options.fault_seed,
+            failover=options.failover,
+            batch_checks=options.batch_checks,
         )
 
-    def execute(
+    def _run(
         self,
         query: Union[Query, str],
-        strategy: Optional[Union[str, Strategy]] = None,
-        fault_plan: Optional[FaultPlan] = None,
-        policy: Union[str, ExecutionPolicy, None] = None,
-        fault_seed: Optional[int] = None,
-        batch_checks: Optional[bool] = None,
-        failover: Optional[bool] = None,
+        strategy: Optional[Union[str, Strategy]],
+        options: ExecutionOptions,
+        session: EngineSession,
     ) -> ExecutionReport:
-        """Run *query* (Query object or SQL/X text) once.
+        """One execution with fully-resolved options, on behalf of *session*.
 
-        Returns an :class:`ExecutionReport`: the answer plus metrics
-        (it still quacks like the old ``StrategyResult``), with
-        ``.trace``, ``.registry`` and ``.utilization`` views derived
-        from the same run.
-
-        *fault_plan* / *policy* / *fault_seed* / *batch_checks* /
-        *failover* override the engine-wide configuration for this
-        execution only.
-
-        Raises:
-            UnavailableError: a site stayed unreachable under a
-                fail-fast policy.
-            ExecutionTimeout: cumulative fault waits exceeded the
-                policy's deadline.
+        The chosen strategy instance is never mutated: a ``batch_checks``
+        override rides the :class:`ExecutionContext` when one exists and
+        a private copy of the strategy otherwise, so a Strategy shared
+        between sessions is safe under interleaving.
         """
         query_text = query if isinstance(query, str) else str(query)
         if isinstance(query, str):
             query = self.parse(query)
         chosen = (
-            self.default_strategy if strategy is None else self._resolve(strategy)
+            session.default_strategy
+            if strategy is None
+            else self._resolve(strategy)
         )
-        chosen.batch_checks = (
-            self.batch_checks if batch_checks is None else batch_checks
-        )
+        if chosen.batch_checks != options.batch_checks:
+            chosen = copy.copy(chosen)
+            chosen.batch_checks = options.batch_checks
         built_signatures = False
         if getattr(chosen, "use_signatures", False) and self.system.signatures is None:
             self.system.build_signatures()
             built_signatures = True
-        ctx = self._fault_context(fault_plan, policy, fault_seed, failover)
+        ctx = self._fault_context(options)
         cache_before = self.system.cache_stats()
-        if ctx is None:
-            result = chosen.execute(self.system, query)
-        else:
-            result = chosen.execute(self.system, query, ctx)
+        with self.system.cache_scope(session.name):
+            if ctx is None:
+                result = chosen.execute(self.system, query)
+            else:
+                result = chosen.execute(self.system, query, ctx)
         # Strategies do not see the cache layer; attribute the traffic
         # this execution generated (mapping-index + decomposition) to its
         # metrics before the lazy registry snapshot is built.
         cache_delta = self.system.cache_stats().delta(cache_before)
         result.metrics.work.cache_hits = cache_delta.hits
         result.metrics.work.cache_misses = cache_delta.misses
+        session.note_execution(cache_delta)
         report = ExecutionReport.from_result(result, query_text=query_text)
         if built_signatures:
             report.record_event(TraceEvent.of(
@@ -190,6 +292,48 @@ class GlobalQueryEngine:
                     ))
         return report
 
+    def execute(
+        self,
+        query: Union[Query, str],
+        strategy: Optional[Union[str, Strategy]] = None,
+        options: Optional[ExecutionOptions] = None,
+        *,
+        fault_plan: Optional[FaultPlan] = None,
+        policy: Union[str, ExecutionPolicy, None] = None,
+        fault_seed: Optional[int] = None,
+        batch_checks: Optional[bool] = None,
+        failover: Optional[bool] = None,
+    ) -> ExecutionReport:
+        """Run *query* (Query object or SQL/X text) once.
+
+        Returns an :class:`ExecutionReport`: the answer plus metrics
+        (it still quacks like the old ``StrategyResult``), with
+        ``.trace``, ``.registry`` and ``.utilization`` views derived
+        from the same run.
+
+        *options* overrides the engine-wide :class:`ExecutionOptions`
+        for this execution only.  The individual *fault_plan* / *policy*
+        / *fault_seed* / *batch_checks* / *failover* kwargs are a
+        deprecated shim for the same thing.
+
+        Raises:
+            UnavailableError: a site stayed unreachable under a
+                fail-fast policy.
+            ExecutionTimeout: cumulative fault waits exceeded the
+                policy's deadline.
+        """
+        effective = _merge_legacy(
+            "execute", options, self.options,
+            {
+                "fault_plan": fault_plan,
+                "policy": policy,
+                "fault_seed": fault_seed,
+                "batch_checks": batch_checks,
+                "failover": failover,
+            },
+        )
+        return self._run(query, strategy, effective, self._root_session)
+
     def explain(
         self,
         query: Union[Query, str, ExecutionReport],
@@ -212,6 +356,8 @@ class GlobalQueryEngine:
         query: Union[Query, str],
         strategies: Optional[Sequence[Union[str, Strategy]]] = None,
         check_agreement: bool = True,
+        options: Optional[ExecutionOptions] = None,
+        *,
         fault_plan: Optional[FaultPlan] = None,
         policy: Union[str, ExecutionPolicy, None] = None,
         fault_seed: Optional[int] = None,
@@ -228,28 +374,26 @@ class GlobalQueryEngine:
         exactly, and every incomplete (degraded) execution may only
         certify a subset of what a complete one certifies — degradation
         must never add certainty.
+
+        *options* (or the deprecated individual kwargs) applies to every
+        strategy's execution.
         """
-        if isinstance(query, str):
-            query = self.parse(query)
-        chosen = (
-            [info.create() for info in self.registry.infos(paper_only=True)]
-            if strategies is None
-            else [self._resolve(s) for s in strategies]
+        effective = _merge_legacy(
+            "compare", options, self.options,
+            {
+                "fault_plan": fault_plan,
+                "policy": policy,
+                "fault_seed": fault_seed,
+                "batch_checks": batch_checks,
+                "failover": failover,
+            },
         )
-        outcomes: Dict[str, ExecutionReport] = {}
-        for strategy in chosen:
-            outcomes[strategy.name] = self.execute(
-                query,
-                strategy,
-                fault_plan=fault_plan,
-                policy=policy,
-                fault_seed=fault_seed,
-                batch_checks=batch_checks,
-                failover=failover,
-            )
-        if check_agreement and len(outcomes) > 1:
-            self._check_agreement(outcomes)
-        return outcomes
+        return self._root_session.compare(
+            query,
+            strategies=strategies,
+            check_agreement=check_agreement,
+            options=effective,
+        )
 
     @staticmethod
     def _check_agreement(outcomes: Dict[str, ExecutionReport]) -> None:

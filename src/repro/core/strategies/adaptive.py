@@ -194,7 +194,7 @@ class AdaptiveStrategy(Strategy):
         self.last_choice = choice
         self.last_predictions = predictions
         delegate = strategy_by_name(choice)
-        delegate.batch_checks = self.batch_checks
+        delegate.batch_checks = self.effective_batch_checks(ctx)
         if ctx is None:
             result = delegate.execute(system, query)
         else:

@@ -95,6 +95,20 @@ class Strategy(abc.ABC):
         pre-fault-layer behavior.
         """
 
+    def effective_batch_checks(self, ctx: Optional[ExecutionContext]) -> bool:
+        """This execution's wire protocol: the context override wins.
+
+        The engine never mutates a (possibly shared) Strategy instance;
+        a per-execution ``batch_checks`` override travels on the
+        :class:`ExecutionContext` when faults are active and on a
+        private copy of the strategy otherwise.  Strategies must consult
+        this instead of reading :attr:`batch_checks` directly wherever a
+        context is in scope.
+        """
+        if ctx is not None and ctx.batch_checks is not None:
+            return ctx.batch_checks
+        return self.batch_checks
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"
 

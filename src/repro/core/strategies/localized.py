@@ -369,7 +369,7 @@ class _LocalizedStrategy(Strategy):
             work.comparisons += chase.mapping_lookups
             certify_deps.append(lookup)
             round_replies: List[Node] = []
-            if self.batch_checks:
+            if self.effective_batch_checks(ctx):
                 for batch in batch_exchanges(
                     system.global_site, chase.pairs
                 ):
@@ -558,7 +558,7 @@ class _LocalizedStrategy(Strategy):
         request races through the relay and the faster route carries the
         exchange while the loser's request message is still paid for.
         """
-        if self.batch_checks:
+        if self.effective_batch_checks(ctx):
             for batch in batch_exchanges(db_name, paired):
                 send_deps: List[Node] = [dispatch_node]
                 via: Optional[str] = None

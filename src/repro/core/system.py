@@ -16,6 +16,7 @@ instead (the paper assumes isomeric objects "have been determined").
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Tuple
 
@@ -57,6 +58,16 @@ class DistributedSystem:
     _decompose_stats: CacheStats = field(
         default_factory=CacheStats, repr=False
     )
+    #: Active cache-accounting scope (the executing session's name);
+    #: set by the engine around each execution via :meth:`cache_scope`.
+    _cache_scope: Optional[str] = field(default=None, repr=False)
+    #: Which scope paid the miss for each decomposition cache entry.
+    _decompose_owner: Dict = field(default_factory=dict, repr=False)
+    #: Per-scope count of *shared* hits: decomposition lookups served
+    #: from an entry a different scope populated.  This is the shared
+    #: federation's contention/benefit signal — work one session paid
+    #: for and another reused.
+    _shared_hits: Dict[str, int] = field(default_factory=dict, repr=False)
 
     @classmethod
     def build(
@@ -123,20 +134,54 @@ class DistributedSystem:
         cached = self._decompose_cache.get(key)
         if cached is not None:
             self._decompose_stats.hits += 1
+            scope = self._cache_scope
+            if scope is not None and self._decompose_owner.get(key) not in (
+                None, scope
+            ):
+                self._shared_hits[scope] = self._shared_hits.get(scope, 0) + 1
             return cached
         self._decompose_stats.misses += 1
         decomposed = _decompose(query, self.global_schema)
         self._decompose_cache[key] = decomposed
+        if self._cache_scope is not None:
+            self._decompose_owner[key] = self._cache_scope
         return decomposed
 
     def bump_schema_version(self) -> None:
         """Invalidate the decomposition cache after a mutation."""
         self.schema_version += 1
         self._decompose_cache.clear()
+        self._decompose_owner.clear()
 
     def cache_stats(self) -> CacheStats:
         """Combined mapping-index + decomposition cache traffic."""
         return self.catalog.cache_stats().merge(self._decompose_stats)
+
+    @contextmanager
+    def cache_scope(self, name: Optional[str]):
+        """Attribute cache traffic inside the block to scope *name*.
+
+        The engine wraps every execution in the executing session's
+        scope, so shared-cache contention accounting
+        (:meth:`shared_hits_of`) knows which session populated an entry
+        and which sessions later reused it.  Scopes nest (restores the
+        previous scope on exit); ``None`` disables attribution.
+        """
+        previous = self._cache_scope
+        self._cache_scope = name
+        try:
+            yield self
+        finally:
+            self._cache_scope = previous
+
+    def shared_hits_of(self, name: str) -> int:
+        """Decomposition hits *name* got on entries another scope built."""
+        return self._shared_hits.get(name, 0)
+
+    @property
+    def shared_hits_total(self) -> int:
+        """All cross-scope decomposition hits on this federation."""
+        return sum(self._shared_hits.values())
 
     # --- dynamic registration -----------------------------------------------
 

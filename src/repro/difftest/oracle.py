@@ -82,8 +82,8 @@ def answer_digest(results: ResultSet) -> str:
 def case_digest(case: FuzzCase) -> str:
     """Content hash of a case's reference (CA) answer."""
     built = case.build()
-    engine = GlobalQueryEngine(built.system)
-    return answer_digest(engine.execute(built.query, "CA").results)
+    session = GlobalQueryEngine(built.system).session(name="difftest")
+    return answer_digest(session.execute(built.query, "CA").results)
 
 
 def _first_difference(left: ResultSet, right: ResultSet) -> str:
@@ -124,11 +124,14 @@ class StrategyOracle:
         built = case.build()
         engine = GlobalQueryEngine(built.system)
         engine.ensure_signatures()
+        # One session per case: every oracle execution flows through it
+        # with explicit ExecutionOptions (never the deprecated kwargs).
+        session = engine.session(name=f"difftest:{case.label}")
 
         # Fault-free answers, one per strategy; CA anchors comparisons.
         answers: Dict[str, ResultSet] = {}
         for name in self.strategy_names:
-            answers[name] = engine.execute(built.query, name).results
+            answers[name] = session.execute(built.query, name).results
         baseline = answers["CA"]
         for name, results in answers.items():
             if name != "CA" and not same_answers(baseline, results):
@@ -138,31 +141,32 @@ class StrategyOracle:
                     case,
                 ))
 
-        violations.extend(self._check_batching(case, engine, built, answers))
+        violations.extend(self._check_batching(case, session, built, answers))
         violations.extend(self._check_determinism(case, baseline))
         if built.fault_plan is not None:
             violations.extend(
-                self._check_faults(case, engine, built, baseline)
+                self._check_faults(case, session, built, baseline)
             )
             violations.extend(
-                self._check_failover(case, engine, built, baseline)
+                self._check_failover(case, session, built, baseline)
             )
         if case.mutate:
             violations.extend(
-                self._check_monotonicity(case, engine, built, answers)
+                self._check_monotonicity(case, session, built, answers)
             )
         return violations
 
     # --- invariants --------------------------------------------------------
 
-    def _check_batching(self, case, engine, built, answers) -> List[Violation]:
+    def _check_batching(self, case, session, built, answers) -> List[Violation]:
         """Flipping batch_checks must never change an answer."""
         violations = []
+        unbatched_options = session.options.with_(batch_checks=False)
         for name in self.strategy_names:
             if not self.registry.create(name).affected_by_batching:
                 continue
-            unbatched = engine.execute(
-                built.query, name, batch_checks=False
+            unbatched = session.execute(
+                built.query, name, options=unbatched_options
             ).results
             if not same_answers(answers[name], unbatched):
                 violations.append(Violation(
@@ -176,8 +180,8 @@ class StrategyOracle:
     def _check_determinism(self, case, baseline) -> List[Violation]:
         """The recipe must rebuild to a byte-identical answer."""
         rebuilt = case.build()
-        engine = GlobalQueryEngine(rebuilt.system)
-        again = engine.execute(rebuilt.query, "CA").results
+        session = GlobalQueryEngine(rebuilt.system).session(name="rebuild")
+        again = session.execute(rebuilt.query, "CA").results
         left, right = answer_digest(baseline), answer_digest(again)
         if left != right:
             return [Violation(
@@ -187,16 +191,17 @@ class StrategyOracle:
             )]
         return []
 
-    def _check_faults(self, case, engine, built, baseline) -> List[Violation]:
+    def _check_faults(self, case, session, built, baseline) -> List[Violation]:
         """Complete runs equal the baseline; degraded ones under-certify."""
         violations = []
+        fault_options = session.options.with_(
+            fault_plan=built.fault_plan,
+            policy=FAULT_POLICY,
+            fault_seed=case.fault_seed,
+        )
         for name in self.strategy_names:
-            report = engine.execute(
-                built.query,
-                name,
-                fault_plan=built.fault_plan,
-                policy=FAULT_POLICY,
-                fault_seed=case.fault_seed,
+            report = session.execute(
+                built.query, name, options=fault_options
             )
             results = report.results
             if report.availability.complete:
@@ -227,22 +232,24 @@ class StrategyOracle:
     #: orders without re-running the (expensive) signature variants.
     FAILOVER_STRATEGIES = ("BL", "PL")
 
-    def _check_failover(self, case, engine, built, baseline) -> List[Violation]:
+    def _check_failover(self, case, session, built, baseline) -> List[Violation]:
         """Failover is sound, monotone, recovery-exact and hedge-stable."""
         violations = []
+        fault_options = session.options.with_(
+            fault_plan=built.fault_plan,
+            policy=FAULT_POLICY,
+            fault_seed=case.fault_seed,
+        )
         for name in self.FAILOVER_STRATEGIES:
             if name not in self.strategy_names:
                 continue
-            kwargs = dict(
-                fault_plan=built.fault_plan,
-                policy=FAULT_POLICY,
-                fault_seed=case.fault_seed,
+            on = session.execute(
+                built.query, name,
+                options=fault_options.with_(failover=True),
             )
-            on = engine.execute(
-                built.query, name, failover=True, **kwargs
-            )
-            off = engine.execute(
-                built.query, name, failover=False, **kwargs
+            off = session.execute(
+                built.query, name,
+                options=fault_options.with_(failover=False),
             )
             if not certified_subset(on.results, baseline):
                 extra = sorted(
@@ -279,13 +286,11 @@ class StrategyOracle:
                     f"{_first_difference(baseline, on.results)}",
                     case,
                 ))
-            hedged = engine.execute(
-                built.query,
-                name,
-                failover=True,
-                fault_plan=built.fault_plan,
-                policy=f"{FAULT_POLICY}:hedge=0.05",
-                fault_seed=case.fault_seed,
+            hedged = session.execute(
+                built.query, name,
+                options=fault_options.with_(
+                    failover=True, policy=f"{FAULT_POLICY}:hedge=0.05"
+                ),
             )
             if not same_answers(on.results, hedged.results):
                 violations.append(Violation(
@@ -296,7 +301,7 @@ class StrategyOracle:
                 ))
         return violations
 
-    def _check_monotonicity(self, case, engine, built, answers) -> List[Violation]:
+    def _check_monotonicity(self, case, session, built, answers) -> List[Violation]:
         """One extra consistent copy must only ever *add* certainty."""
         baseline = answers["CA"]
         goid = _register_assistant_copy(
@@ -307,7 +312,7 @@ class StrategyOracle:
             return []  # every entity already has copies everywhere
         after: Dict[str, ResultSet] = {}
         for name in self.strategy_names:
-            after[name] = engine.execute(built.query, name).results
+            after[name] = session.execute(built.query, name).results
         violations = []
         for name, results in after.items():
             if name != "CA" and not same_answers(after["CA"], results):

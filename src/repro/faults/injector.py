@@ -161,10 +161,17 @@ class ExecutionContext:
         seed: int = 0,
         failover: bool = False,
         health: Optional["SiteHealthRegistry"] = None,
+        batch_checks: Optional[bool] = None,
     ) -> None:
         self.plan = plan
         self.policy = policy
         self.injector = FaultInjector(plan, policy, seed=seed)
+        #: This execution's wire protocol for phase-O checks.  Carried
+        #: here (not mutated onto the Strategy instance, which may be
+        #: shared between concurrent sessions); ``None`` defers to the
+        #: strategy's own default — see
+        #: :meth:`Strategy.effective_batch_checks`.
+        self.batch_checks = batch_checks
         self.contacted: List[str] = []
         self.skipped: List[str] = []
         self.retried: Dict[str, int] = {}

@@ -120,6 +120,8 @@ class Resource:
         self.wait_time = 0.0
         self.grants = 0
         self.grants_queued = 0
+        #: Admission-control refusals (see :meth:`admit`).
+        self.rejected = 0
 
     def add_downtime(self, start: float, end: float) -> None:
         """Declare the resource down (no grants) during ``[start, end)``."""
@@ -188,6 +190,21 @@ class Resource:
     @property
     def queued(self) -> int:
         return len(self._queue)
+
+    def admit(self, depth: int) -> bool:
+        """Admission control: is there room for one more acquire?
+
+        Admits while a server is free or fewer than *depth* grants are
+        waiting; otherwise counts a rejection and returns False.
+        Callers use this to shed load before calling :meth:`acquire`
+        instead of letting queues grow without bound; the decision is a
+        pure function of current occupancy, so admission stays
+        deterministic under the (time, seq) event ordering.
+        """
+        if self._in_use < self.capacity or self.queued < depth:
+            return True
+        self.rejected += 1
+        return False
 
 
 class Process:

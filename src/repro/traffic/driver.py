@@ -1,0 +1,455 @@
+"""The concurrent traffic engine: N workers over one shared federation.
+
+:class:`TrafficEngine` interleaves thousands of queries from N logical
+workers through the simulation kernel against *one*
+:class:`~repro.core.system.DistributedSystem`.  Workers are cooperative
+:class:`~repro.sim.kernel.Process`\\ es, not threads: each holds an
+:class:`~repro.core.session.EngineSession` (its own options, fault
+seeds and cache accounting over the shared caches), draws queries from
+a weighted :class:`~repro.traffic.mix.QueryMix` with its own derived
+RNG, and competes for an admission gate before executing.
+
+Timing model: executing a query is synchronous on the host (the
+strategy runs its own inner federation simulation), and its simulated
+``total_time`` is then *charged on the traffic clock* while the worker
+holds an admission slot.  The gate is a kernel
+:class:`~repro.sim.kernel.Resource` with ``max_in_flight`` servers and
+a bounded FIFO: a submission finding ``queue_depth`` waiters is *shed*
+(counted, never executed) and the worker backs off.  The (time, seq)
+event ordering makes the whole interleaving — grants, sheds, finish
+times — byte-deterministic in the root seed.
+
+Correctness under interleaving is checked, not assumed:
+:meth:`TrafficEngine.run` with ``verify=True`` re-executes every
+distinct bound query serially on a fresh engine and demands a
+byte-identical answer digest (the difftest oracle's notion of answer
+equality).  Shared caches may change *cost*, never *answers*.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import GlobalQueryEngine
+from repro.core.options import ExecutionOptions
+from repro.core.system import DistributedSystem
+from repro.difftest.oracle import answer_digest
+from repro.errors import WorkloadError
+from repro.integration.mapping import CacheStats
+from repro.sim.kernel import Acquire, Release, Resource, Simulator, Timeout
+from repro.traffic.mix import QueryMix
+from repro.traffic.seeds import derive_seed
+from repro.traffic.templates import BoundQuery
+
+
+@dataclass(frozen=True)
+class AdmissionControl:
+    """Backpressure at the federation's front door.
+
+    *max_in_flight* queries execute concurrently; up to *queue_depth*
+    more wait in FIFO order; beyond that, submissions are shed and the
+    submitting worker backs off *shed_backoff_s* (jittered) before its
+    next query.
+    """
+
+    max_in_flight: int = 8
+    queue_depth: int = 32
+    shed_backoff_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise WorkloadError("max_in_flight must be >= 1")
+        if self.queue_depth < 0:
+            raise WorkloadError("queue_depth must be >= 0")
+        if self.shed_backoff_s < 0:
+            raise WorkloadError("shed_backoff_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One query's life on the traffic clock."""
+
+    worker: int
+    seq: int
+    template: str
+    submitted_s: float
+    started_s: float
+    finished_s: float
+    service_s: float
+    digest: str
+    fault_seed: Optional[int] = None
+    shed: bool = False
+
+    @property
+    def latency_s(self) -> float:
+        """Submission-to-finish time (queueing wait + service)."""
+        return self.finished_s - self.submitted_s
+
+    @property
+    def wait_s(self) -> float:
+        return self.started_s - self.submitted_s
+
+
+@dataclass
+class WorkerSummary:
+    """One worker's totals after a run."""
+
+    worker: int
+    completed: int
+    shed: int
+    cache_hits: int
+    cache_misses: int
+    shared_hits: int
+
+
+@dataclass
+class TrafficReport:
+    """Everything one traffic run produced (wall-clock free)."""
+
+    workers: int
+    queries_per_worker: int
+    queries_total: int
+    seed: int
+    strategy: str
+    mix: str
+    admission: AdmissionControl
+    completed: int
+    shed: int
+    makespan_s: float
+    throughput_qps: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    mean_service_s: float
+    gate_wait_s: float
+    gate_queued: int
+    gate_rejected: int
+    cache_hits: int
+    cache_misses: int
+    shared_hits: int
+    template_counts: Dict[str, int]
+    per_worker: List[WorkerSummary]
+    records: List[QueryRecord] = field(repr=False, default_factory=list)
+    verified: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-stable summary (records elided, no wall clock)."""
+        return {
+            "workers": self.workers,
+            "queries_per_worker": self.queries_per_worker,
+            "queries_total": self.queries_total,
+            "seed": self.seed,
+            "strategy": self.strategy,
+            "mix": self.mix,
+            "admission": {
+                "max_in_flight": self.admission.max_in_flight,
+                "queue_depth": self.admission.queue_depth,
+                "shed_backoff_s": self.admission.shed_backoff_s,
+            },
+            "completed": self.completed,
+            "shed": self.shed,
+            "makespan_s": round(self.makespan_s, 9),
+            "throughput_qps": round(self.throughput_qps, 6),
+            "latency_p50_s": round(self.latency_p50_s, 9),
+            "latency_p95_s": round(self.latency_p95_s, 9),
+            "latency_p99_s": round(self.latency_p99_s, 9),
+            "mean_service_s": round(self.mean_service_s, 9),
+            "gate_wait_s": round(self.gate_wait_s, 9),
+            "gate_queued": self.gate_queued,
+            "gate_rejected": self.gate_rejected,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "shared_hits": self.shared_hits,
+            "template_counts": dict(sorted(self.template_counts.items())),
+            "per_worker": [
+                {
+                    "worker": w.worker,
+                    "completed": w.completed,
+                    "shed": w.shed,
+                    "cache_hits": w.cache_hits,
+                    "cache_misses": w.cache_misses,
+                    "shared_hits": w.shared_hits,
+                }
+                for w in self.per_worker
+            ],
+            "verified": self.verified,
+            "violations": list(self.violations),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.completed} queries ({self.shed} shed) in "
+            f"{self.makespan_s:.3f} simulated s — "
+            f"{self.throughput_qps:.1f} q/s, latency p50/p95/p99 = "
+            f"{self.latency_p50_s * 1000:.1f}/"
+            f"{self.latency_p95_s * 1000:.1f}/"
+            f"{self.latency_p99_s * 1000:.1f} ms"
+        )
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-int(q * len(sorted_values) * 100) // 100))
+    index = min(len(sorted_values) - 1, rank - 1)
+    return sorted_values[index]
+
+
+class TrafficEngine:
+    """Drive a seeded concurrent workload through one shared federation."""
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        mix: QueryMix,
+        workers: int = 4,
+        queries: int = 50,
+        seed: int = 0,
+        strategy: str = "BL",
+        options: Optional[ExecutionOptions] = None,
+        admission: Optional[AdmissionControl] = None,
+        think_time_s: float = 0.0,
+        total_queries: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise WorkloadError("traffic needs at least one worker")
+        self.system = system
+        self.mix = mix
+        self.workers = workers
+        if total_queries is not None:
+            # A total budget divided as evenly as possible: the first
+            # (total % workers) workers ask one extra query.
+            if total_queries < 1:
+                raise WorkloadError("traffic needs at least one query")
+            base_n, extra = divmod(total_queries, workers)
+            self._counts: Tuple[int, ...] = tuple(
+                base_n + (1 if i < extra else 0) for i in range(workers)
+            )
+        else:
+            if queries < 1:
+                raise WorkloadError(
+                    "traffic needs at least one query per worker"
+                )
+            self._counts = (queries,) * workers
+        self.queries = max(self._counts)
+        self.seed = seed
+        self.strategy = strategy
+        self.admission = admission or AdmissionControl()
+        self.think_time_s = think_time_s
+        self.engine = GlobalQueryEngine(
+            system, default_strategy=strategy, options=options
+        )
+        # Build the signature catalog once, up front, when the chosen
+        # strategy needs it: it is part of the shared federation, and
+        # letting the first grant build it implicitly would bill one
+        # arbitrary worker for shared work.
+        if getattr(self.engine.default_strategy, "use_signatures", False):
+            self.engine.ensure_signatures()
+        self._sessions: List = []
+
+    # --- the worker process -------------------------------------------------
+
+    def _worker_body(
+        self,
+        sim: Simulator,
+        gate: Resource,
+        worker_id: int,
+        session,
+        records: List[QueryRecord],
+    ):
+        """One worker: draw, admit (or shed), execute, repeat.
+
+        Two independent derived RNG streams per worker: *params* drives
+        template choice and parameter binding, *clock* drives think/
+        backoff jitter — so retuning the timing knobs never changes
+        which queries are asked.
+        """
+        params = random.Random(derive_seed(self.seed, "worker", worker_id))
+        clock = random.Random(derive_seed(self.seed, "clock", worker_id))
+        base = session.options
+        for seq in range(self._counts[worker_id]):
+            if self.think_time_s > 0:
+                yield Timeout(clock.random() * 2 * self.think_time_s)
+            template = self.mix.choose(params)
+            bound = template.instantiate(params)
+            submitted = sim.now
+            if not gate.admit(self.admission.queue_depth):
+                records.append(QueryRecord(
+                    worker=worker_id,
+                    seq=seq,
+                    template=bound.template,
+                    submitted_s=submitted,
+                    started_s=submitted,
+                    finished_s=submitted,
+                    service_s=0.0,
+                    digest="",
+                    shed=True,
+                ))
+                if self.admission.shed_backoff_s > 0:
+                    yield Timeout(
+                        self.admission.shed_backoff_s
+                        * (0.5 + clock.random())
+                    )
+                continue
+            yield Acquire(gate)
+            fault_seed: Optional[int] = None
+            opts = base
+            if base.faults_active:
+                fault_seed = derive_seed(self.seed, "fault", worker_id, seq)
+                opts = base.with_(fault_seed=fault_seed)
+            report = session.execute(bound.query, options=opts)
+            service = report.metrics.total_time
+            yield Timeout(service)
+            yield Release(gate)
+            records.append(QueryRecord(
+                worker=worker_id,
+                seq=seq,
+                template=bound.template,
+                submitted_s=submitted,
+                started_s=sim.now - service,
+                finished_s=sim.now,
+                service_s=service,
+                digest=answer_digest(report.results),
+                fault_seed=fault_seed,
+            ))
+
+    # --- runs ---------------------------------------------------------------
+
+    def run(self, verify: bool = False) -> TrafficReport:
+        """Execute the full workload; optionally verify against serial.
+
+        With *verify*, every distinct bound query (same query, same
+        fault seed) is re-executed serially on a fresh engine over the
+        same federation and its answer digest must equal what the
+        interleaved run produced — 0 violations means the shared-cache
+        interleaving changed no answer.
+        """
+        sim = Simulator()
+        gate = Resource(
+            sim, "admission", capacity=self.admission.max_in_flight
+        )
+        records: List[QueryRecord] = []
+        self._sessions = [
+            self.engine.session(name=f"worker-{worker_id}")
+            for worker_id in range(self.workers)
+        ]
+        for worker_id, session in enumerate(self._sessions):
+            body = self._worker_body(sim, gate, worker_id, session, records)
+            sim.process(body, name=f"worker-{worker_id}")
+        sim.run()
+        records.sort(key=lambda r: (r.worker, r.seq))
+        done = [r for r in records if not r.shed]
+        shed = len(records) - len(done)
+        makespan = max((r.finished_s for r in done), default=0.0)
+        latencies = sorted(r.latency_s for r in done)
+        template_counts: Dict[str, int] = {}
+        for record in records:
+            template_counts[record.template] = (
+                template_counts.get(record.template, 0) + 1
+            )
+        report = TrafficReport(
+            workers=self.workers,
+            queries_per_worker=self.queries,
+            queries_total=sum(self._counts),
+            seed=self.seed,
+            strategy=self.strategy,
+            mix=self.mix.describe(),
+            admission=self.admission,
+            completed=len(done),
+            shed=shed,
+            makespan_s=makespan,
+            throughput_qps=(len(done) / makespan) if makespan > 0 else 0.0,
+            latency_p50_s=_percentile(latencies, 0.50),
+            latency_p95_s=_percentile(latencies, 0.95),
+            latency_p99_s=_percentile(latencies, 0.99),
+            mean_service_s=(
+                sum(r.service_s for r in done) / len(done) if done else 0.0
+            ),
+            gate_wait_s=gate.wait_time,
+            gate_queued=gate.grants_queued,
+            gate_rejected=gate.rejected,
+            cache_hits=sum(
+                s.cache.hits for s in self.engine_sessions()
+            ),
+            cache_misses=sum(
+                s.cache.misses for s in self.engine_sessions()
+            ),
+            shared_hits=self.system.shared_hits_total,
+            template_counts=template_counts,
+            per_worker=[
+                WorkerSummary(
+                    worker=int(s.name.split("-")[-1]),
+                    completed=sum(
+                        1 for r in done
+                        if f"worker-{r.worker}" == s.name
+                    ),
+                    shed=sum(
+                        1 for r in records
+                        if r.shed and f"worker-{r.worker}" == s.name
+                    ),
+                    cache_hits=s.cache.hits,
+                    cache_misses=s.cache.misses,
+                    shared_hits=s.shared_hits,
+                )
+                for s in self.engine_sessions()
+            ],
+            records=records,
+        )
+        if verify:
+            self._verify_serial(report)
+        return report
+
+    def engine_sessions(self):
+        """The worker sessions of the most recent run, in worker order."""
+        return self._sessions
+
+    def _verify_serial(self, report: TrafficReport) -> None:
+        """Re-execute each distinct bound query serially; compare digests."""
+        serial = GlobalQueryEngine(
+            self.system,
+            default_strategy=self.strategy,
+            options=self.engine.options,
+        )
+        expected: Dict[Tuple[object, Optional[int]], str] = {}
+        regen: Dict[int, List[BoundQuery]] = {
+            worker_id: self.replay_worker(worker_id)
+            for worker_id in range(self.workers)
+        }
+        for record in report.records:
+            if record.shed:
+                continue
+            bound = regen[record.worker][record.seq]
+            key = (bound.query, record.fault_seed)
+            digest = expected.get(key)
+            if digest is None:
+                opts = serial.options
+                if record.fault_seed is not None:
+                    opts = opts.with_(fault_seed=record.fault_seed)
+                digest = answer_digest(
+                    serial.execute(bound.query, options=opts).results
+                )
+                expected[key] = digest
+            report.verified += 1
+            if digest != record.digest:
+                report.violations.append(
+                    f"worker {record.worker} seq {record.seq} "
+                    f"({record.template}): interleaved digest "
+                    f"{record.digest} != serial {digest}"
+                )
+
+    def replay_worker(self, worker_id: int) -> List[BoundQuery]:
+        """Regenerate one worker's exact bound-query sequence.
+
+        Binding is a pure function of the derived worker seed, so the
+        sequence can be rebuilt without running any traffic — this is
+        what serial verification replays against.
+        """
+        params = random.Random(derive_seed(self.seed, "worker", worker_id))
+        return [
+            self.mix.choose(params).instantiate(params)
+            for _ in range(self._counts[worker_id])
+        ]

@@ -1,0 +1,143 @@
+"""Weighted query mixes: which template the next query comes from.
+
+A :class:`QueryMix` is a weighted set of
+:class:`~repro.traffic.templates.QueryTemplate`\\ s.  Each worker draws
+templates from the mix with its own seeded RNG, so the mix composition
+is statistical per worker but the full draw sequence — and therefore
+the whole workload — is a pure function of the root seed.
+
+:func:`default_mix` derives the standard three-template mix from a
+generated workload (see ``repro.workload.generator``):
+
+* ``point`` — key-equality lookups over the root extent (the OLTP-ish
+  end: tiny answers, heavy decomposition-cache reuse);
+* ``scan`` — a range scan on the root target attribute (bigger answers,
+  exercises maybe-result chasing);
+* ``paper`` — the workload's own Table 2 query with its threshold
+  operands re-drawn per execution (the paper's analytical shape under
+  varying selectivity).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.core.query import Op
+from repro.errors import WorkloadError
+from repro.traffic.templates import (
+    INT_UNIFORM,
+    ParamSpec,
+    PredicateTemplate,
+    QueryTemplate,
+)
+from repro.workload.generator import VALUE_DOMAIN, GeneratedWorkload
+
+#: Default template weights: mostly point lookups, some scans, the
+#: occasional full paper query (ratio 4:2:1).
+DEFAULT_WEIGHTS = {"point": 4.0, "scan": 2.0, "paper": 1.0}
+
+
+@dataclass(frozen=True)
+class MixEntry:
+    template: QueryTemplate
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError(
+                f"mix entry {self.template.name!r}: weight must be > 0"
+            )
+
+
+@dataclass(frozen=True)
+class QueryMix:
+    """A weighted set of templates to draw queries from."""
+
+    entries: Tuple[MixEntry, ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise WorkloadError("a query mix needs at least one template")
+        names = [e.template.name for e in self.entries]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"duplicate templates in mix: {names}")
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(e.template.name for e in self.entries)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(e.weight for e in self.entries)
+
+    def choose(self, rng: random.Random) -> QueryTemplate:
+        """Weighted template draw (one ``rng.random()`` consumed)."""
+        point = rng.random() * self.total_weight
+        cumulative = 0.0
+        for entry in self.entries:
+            cumulative += entry.weight
+            if point < cumulative:
+                return entry.template
+        return self.entries[-1].template
+
+    def describe(self) -> str:
+        total = self.total_weight
+        parts = [
+            f"{e.template.name}={e.weight / total:.0%}" for e in self.entries
+        ]
+        return " ".join(parts)
+
+
+def default_mix(
+    workload: GeneratedWorkload,
+    weights: Dict[str, float] = DEFAULT_WEIGHTS,
+) -> QueryMix:
+    """The standard point/scan/paper mix over a generated workload."""
+    n_root = max(workload.entities_per_class[0], 1) if (
+        workload.entities_per_class
+    ) else 1
+    point = QueryTemplate(
+        name="point",
+        range_class=workload.query.range_class,
+        targets=("key", "t0"),
+        predicates=(PredicateTemplate(path="key", op=Op.EQ, param="key"),),
+        params=(ParamSpec("key", kind=INT_UNIFORM, low=0, high=n_root),),
+    )
+    scan = QueryTemplate(
+        name="scan",
+        range_class=workload.query.range_class,
+        targets=("key", "t0"),
+        predicates=(
+            PredicateTemplate(path="t0", op=Op.LT, param="threshold"),
+        ),
+        params=(
+            ParamSpec(
+                "threshold",
+                kind=INT_UNIFORM,
+                low=VALUE_DOMAIN // 10,
+                high=VALUE_DOMAIN,
+            ),
+        ),
+    )
+    # Re-draw the paper query's threshold (LT) operands per execution;
+    # equality predicates keep their categorical operand (varying those
+    # would change which signature partitions can prune).
+    vary = {
+        str(pred.path): ParamSpec(
+            str(pred.path),
+            kind=INT_UNIFORM,
+            low=max(int(pred.operand) // 2, 1),
+            high=max(int(pred.operand) * 2, 2),
+        )
+        for pred in workload.query.predicates
+        if pred.op is Op.LT and isinstance(pred.operand, int)
+    }
+    paper = QueryTemplate.from_query("paper", workload.query, vary=vary)
+    entries = []
+    for name, template in (("point", point), ("scan", scan), ("paper", paper)):
+        weight = weights.get(name, 0.0)
+        if weight > 0:
+            entries.append(MixEntry(template=template, weight=weight))
+    return QueryMix(entries=tuple(entries))

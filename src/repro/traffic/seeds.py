@@ -1,0 +1,31 @@
+"""Deterministic seed derivation for the traffic engine.
+
+All traffic randomness flows from one *root seed* through
+:func:`derive_seed`: per-worker parameter streams, per-query fault
+seeds, template draws.  Derivation hashes the scope path instead of
+offsetting the root (``root + worker`` style schemes collide across
+scopes), so streams are independent and the full workload is a pure
+function of the root seed — two runs with the same seed are
+byte-identical, and any single query can be replayed in isolation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Bytes of the sha256 digest folded into the derived integer seed.
+_SEED_BYTES = 8
+
+
+def derive_seed(root: int, *scope: object) -> int:
+    """A child seed for *scope* under *root*, stable across runs.
+
+    ``derive_seed(1996, "worker", 3)`` names worker 3's parameter
+    stream; ``derive_seed(1996, "fault", 3, 17)`` names the fault seed
+    of that worker's 17th query.  Scopes are joined textually, so any
+    hashable-as-string path works and distinct paths give independent
+    64-bit seeds.
+    """
+    payload = ":".join(str(part) for part in (root, *scope))
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:_SEED_BYTES], "big")

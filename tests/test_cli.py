@@ -79,3 +79,31 @@ class TestAutoStrategy:
         assert code == 0
         out = capsys.readouterr().out
         assert "certain" in out
+
+
+class TestTrafficCommand:
+    ARGS = [
+        "traffic", "--workers", "2", "--queries", "4",
+        "--seed", "13", "--scale", "0.02",
+    ]
+
+    def test_traffic_smoke(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "q/s" in out and "latency p50/p95/p99" in out
+        assert "0 violations" in out
+
+    def test_traffic_json_deterministic(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(self.ARGS + ["--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert first["violations"] == []
+        assert first["completed"] + first["shed"] == 8
+
+    def test_traffic_defaults(self):
+        args = build_parser().parse_args(["traffic"])
+        assert args.workers == 8 and args.verify

@@ -1,0 +1,272 @@
+"""ExecutionOptions, the legacy-kwarg shim, and per-caller sessions.
+
+Covers the options value object (immutability, ``with_`` validation,
+policy normalization), the engine's deprecated override kwargs (both
+paths must produce identical reports), the attribute shims
+(``engine.batch_checks = ...`` still works), the no-strategy-mutation
+regression (a shared Strategy instance must never see its
+``batch_checks`` flipped by one caller), and :class:`EngineSession`:
+per-session defaults, per-session cache accounting summing to the
+federation-wide delta, and cross-session shared-hit attribution.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.core.engine import GlobalQueryEngine
+from repro.core.options import OPTION_FIELDS, ExecutionOptions
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import resolve_policy
+from repro.workload.paper_example import Q1_TEXT, build_school_federation
+
+
+def _digest(report) -> str:
+    return json.dumps(report.results.to_dicts(), sort_keys=True)
+
+
+PLAN = "DB2@0:0.8,link:*>DB3:loss0.4"
+
+
+class TestExecutionOptions:
+    def test_defaults(self):
+        options = ExecutionOptions()
+        assert options.fault_plan is None
+        assert options.fault_seed == 0
+        assert options.batch_checks and options.failover
+        assert not options.faults_active
+        assert options.policy == resolve_policy(None)
+
+    def test_policy_normalized_at_construction(self):
+        options = ExecutionOptions(policy="degrade:timeout=0.5")
+        assert options.policy.timeout_s == 0.5
+        assert options == ExecutionOptions(policy="degrade:timeout=0.5")
+
+    def test_with_overrides_and_preserves(self):
+        base = ExecutionOptions(fault_seed=7)
+        derived = base.with_(batch_checks=False)
+        assert not derived.batch_checks
+        assert derived.fault_seed == 7
+        assert base.batch_checks  # the original is untouched
+
+    def test_with_rejects_unknown_names(self):
+        with pytest.raises(TypeError, match="unknown execution option"):
+            ExecutionOptions().with_(bogus=True)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ExecutionOptions().batch_checks = False
+
+    def test_faults_active_requires_active_plan(self):
+        plan = FaultPlan.from_spec(PLAN)
+        assert ExecutionOptions(fault_plan=plan).faults_active
+        assert not ExecutionOptions(fault_plan=FaultPlan()).faults_active
+
+    def test_describe_mentions_every_field(self):
+        text = ExecutionOptions(
+            fault_plan=FaultPlan.from_spec(PLAN), fault_seed=3
+        ).describe()
+        for token in ("faults(", "policy=", "fault_seed=3",
+                      "batch_checks=True", "failover=True"):
+            assert token in text
+
+    def test_option_fields_match_dataclass(self):
+        assert set(OPTION_FIELDS) == set(
+            ExecutionOptions.__dataclass_fields__
+        )
+
+
+class TestLegacyKwargShim:
+    def test_legacy_kwargs_warn_and_match_options_path(self, school):
+        engine = GlobalQueryEngine(school)
+        plan = FaultPlan.from_spec(PLAN)
+        with pytest.warns(DeprecationWarning, match="execute"):
+            legacy = engine.execute(
+                Q1_TEXT, "BL", fault_plan=plan, fault_seed=5,
+                batch_checks=False,
+            )
+        modern = engine.execute(
+            Q1_TEXT, "BL",
+            options=engine.options.with_(
+                fault_plan=plan, fault_seed=5, batch_checks=False
+            ),
+        )
+        assert _digest(legacy) == _digest(modern)
+        assert legacy.total_time == modern.total_time
+        assert (legacy.availability.summary()
+                == modern.availability.summary())
+
+    def test_options_path_emits_no_warning(self, school):
+        engine = GlobalQueryEngine(school)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine.execute(
+                Q1_TEXT, "BL",
+                options=engine.options.with_(batch_checks=False),
+            )
+
+    def test_compare_legacy_kwargs_warn(self, school):
+        engine = GlobalQueryEngine(school)
+        with pytest.warns(DeprecationWarning, match="compare"):
+            outcomes = engine.compare(
+                Q1_TEXT, strategies=("CA", "BL"),
+                fault_plan=FaultPlan.from_spec(PLAN), fault_seed=2,
+            )
+        assert set(outcomes) == {"CA", "BL"}
+
+    def test_constructor_kwargs_fold_into_options(self, school):
+        engine = GlobalQueryEngine(
+            school, batch_checks=False, fault_seed=9, failover=False
+        )
+        assert not engine.options.batch_checks
+        assert engine.options.fault_seed == 9
+        assert not engine.options.failover
+
+    def test_attribute_shims_read_and_write_options(self, school):
+        engine = GlobalQueryEngine(school)
+        assert engine.batch_checks is True
+        engine.batch_checks = False
+        engine.fault_seed = 11
+        engine.policy = "fail-fast"
+        assert not engine.options.batch_checks
+        assert engine.options.fault_seed == 11
+        assert engine.policy.fail_fast
+        assert engine.fault_plan is None
+
+
+class TestNoStrategyMutation:
+    """Regression: execute() must never flip a shared Strategy's flags."""
+
+    def test_batch_override_leaves_instance_alone_fault_free(self):
+        from helpers import make_workload
+
+        workload = make_workload(103, n_dbs=3)
+        engine = GlobalQueryEngine(workload.system)
+        shared = engine.registry.create("BL")
+        assert shared.batch_checks
+        unbatched = engine.execute(
+            workload.query, shared,
+            options=engine.options.with_(batch_checks=False),
+        )
+        assert shared.batch_checks, (
+            "engine mutated the caller's Strategy instance"
+        )
+        # The override still took effect: unbatched sends more messages.
+        batched = engine.execute(workload.query, shared)
+        assert (unbatched.metrics.work.messages
+                > batched.metrics.work.messages)
+
+    def test_batch_override_leaves_instance_alone_under_faults(self, school):
+        engine = GlobalQueryEngine(school)
+        shared = engine.registry.create("BL")
+        faulted = engine.options.with_(
+            fault_plan=FaultPlan.from_spec(PLAN), batch_checks=False
+        )
+        engine.execute(Q1_TEXT, shared, options=faulted)
+        assert shared.batch_checks
+
+    def test_default_strategy_not_mutated_by_session_override(self, school):
+        engine = GlobalQueryEngine(school)
+        session = engine.session(
+            options=engine.options.with_(batch_checks=False)
+        )
+        session.execute(Q1_TEXT)
+        assert engine.default_strategy.batch_checks
+
+    def test_auto_delegate_honors_override_without_mutation(self, school):
+        engine = GlobalQueryEngine(school)
+        auto = engine.registry.create("AUTO")
+        engine.execute(
+            Q1_TEXT, auto, options=engine.options.with_(batch_checks=False)
+        )
+        assert auto.batch_checks
+
+
+class TestEngineSession:
+    def test_session_defaults_inherit_engine_live(self, school):
+        engine = GlobalQueryEngine(school)
+        session = engine.session()
+        assert session.options == engine.options
+        engine.batch_checks = False
+        assert not session.options.batch_checks  # inherits live
+
+    def test_session_own_options_are_isolated(self, school):
+        engine = GlobalQueryEngine(school)
+        session = engine.session(
+            options=engine.options.with_(batch_checks=False),
+            fault_seed=21,
+        )
+        assert not session.options.batch_checks
+        assert session.options.fault_seed == 21
+        assert engine.options.batch_checks
+        assert engine.options.fault_seed == 0
+
+    def test_session_default_strategy(self, school):
+        engine = GlobalQueryEngine(school)
+        session = engine.session(strategy="PL")
+        report = session.execute(Q1_TEXT)
+        assert report.metrics.strategy == "PL"
+        assert engine.default_strategy.name == "BL"
+
+    def test_sessions_autoname_and_repr(self, school):
+        engine = GlobalQueryEngine(school)
+        first, second = engine.session(), engine.session()
+        assert first.name != second.name
+        assert first.name in repr(first)
+
+    def test_session_answers_match_engine(self, school):
+        engine = GlobalQueryEngine(school)
+        session = engine.session()
+        assert _digest(session.execute(Q1_TEXT)) == _digest(
+            engine.execute(Q1_TEXT)
+        )
+
+    def test_session_compare_agreement(self, school):
+        engine = GlobalQueryEngine(school)
+        outcomes = engine.session().compare(
+            Q1_TEXT, strategies=("CA", "BL", "PL")
+        )
+        assert set(outcomes) == {"CA", "BL", "PL"}
+
+    def test_interleaved_session_deltas_sum_to_global(self, school):
+        """Two interleaved workers' cache deltas == the CacheStats delta."""
+        engine = GlobalQueryEngine(school)
+        alpha, beta = engine.session("alpha"), engine.session("beta")
+        before = engine.system.cache_stats()
+        # Interleave: A, B, A, B, ...
+        for _ in range(3):
+            alpha.execute(Q1_TEXT)
+            beta.execute(Q1_TEXT, "PL")
+        global_delta = engine.system.cache_stats().delta(before)
+        assert (alpha.cache.hits + beta.cache.hits) == global_delta.hits
+        assert (alpha.cache.misses + beta.cache.misses) == (
+            global_delta.misses
+        )
+        assert alpha.executions == 3 and beta.executions == 3
+        # Both workers generated real traffic of both kinds.
+        assert alpha.cache.lookups > 0 and beta.cache.lookups > 0
+
+    def test_shared_hit_attribution_across_sessions(self, school):
+        """A session reusing another's decomposition pays a shared hit."""
+        engine = GlobalQueryEngine(school)
+        payer, rider = engine.session("payer"), engine.session("rider")
+        payer.execute(Q1_TEXT)
+        assert payer.shared_hits == 0
+        rider.execute(Q1_TEXT)
+        assert rider.shared_hits == 1
+        assert engine.system.shared_hits_of("rider") == 1
+        assert engine.system.shared_hits_total == 1
+        # Re-use by the owner itself is not "shared".
+        payer.execute(Q1_TEXT)
+        assert payer.shared_hits == 0
+
+    def test_root_execute_attributes_to_main(self, school):
+        engine = GlobalQueryEngine(school)
+        engine.execute(Q1_TEXT)
+        engine.execute(Q1_TEXT)
+        session = engine.session("other")
+        session.execute(Q1_TEXT)
+        assert session.shared_hits == 1  # decompose entry paid by "main"

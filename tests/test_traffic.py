@@ -1,0 +1,295 @@
+"""The concurrent traffic engine: templates, mixes, seeds, driver.
+
+The load-bearing guarantees:
+
+* seed derivation is a pure function (same scope → same seed, distinct
+  scopes → distinct streams);
+* template instantiation is deterministic in the RNG and never mutates
+  shared state;
+* two runs with the same root seed are byte-identical end to end
+  (records, latencies, report JSON);
+* per-worker cache deltas sum to the federation-wide delta even under
+  interleaving;
+* every interleaved answer equals its serial re-execution (0
+  violations), with and without an active fault plan;
+* admission control sheds deterministically under overload and the
+  shed count matches the gate's rejection counter.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from helpers import make_workload
+from repro.core.query import Op
+from repro.errors import WorkloadError
+from repro.faults.plan import FaultPlan
+from repro.traffic import (
+    AdmissionControl,
+    ParamSpec,
+    PredicateTemplate,
+    QueryMix,
+    MixEntry,
+    QueryTemplate,
+    TrafficEngine,
+    default_mix,
+    derive_seed,
+)
+from repro.core.options import ExecutionOptions
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(1996)
+
+
+def small_engine(workload, **overrides):
+    kwargs = dict(workers=3, queries=8, seed=42, strategy="BL")
+    kwargs.update(overrides)
+    return TrafficEngine(workload.system, default_mix(workload), **kwargs)
+
+
+class TestSeeds:
+    def test_stable_and_scoped(self):
+        assert derive_seed(1996, "worker", 3) == derive_seed(1996, "worker", 3)
+        assert derive_seed(1996, "worker", 3) != derive_seed(1996, "worker", 4)
+        assert derive_seed(1996, "worker", 3) != derive_seed(1997, "worker", 3)
+        assert derive_seed(1996, "fault", 3) != derive_seed(1996, "worker", 3)
+
+    def test_no_concatenation_collisions(self):
+        # "1:23" vs "12:3" style collisions must not happen.
+        assert derive_seed(1, "w", 23) != derive_seed(1, "w2", 3)
+
+
+class TestTemplates:
+    def test_param_spec_kinds(self):
+        rng = random.Random(1)
+        assert 0 <= ParamSpec("a", low=0, high=5).draw(rng) < 5
+        assert ParamSpec("b", kind="choice", choices=(7,)).draw(rng) == 7
+        assert ParamSpec("c", kind="const", value=9).draw(rng) == 9
+
+    def test_param_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            ParamSpec("a", low=5, high=5)
+        with pytest.raises(WorkloadError):
+            ParamSpec("a", kind="choice")
+        with pytest.raises(WorkloadError):
+            ParamSpec("a", kind="bogus")
+
+    def test_instantiate_is_deterministic(self, workload):
+        template = default_mix(workload).entries[0].template
+        one = template.instantiate(random.Random(3))
+        two = template.instantiate(random.Random(3))
+        assert one == two
+        assert one.query == two.query
+
+    def test_unknown_predicate_param_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown param"):
+            QueryTemplate(
+                name="bad", range_class="K1", targets=("key",),
+                predicates=(
+                    PredicateTemplate(path="key", op=Op.EQ, param="nope"),
+                ),
+                params=(),
+            )
+
+    def test_from_query_consts_and_vary(self, workload):
+        query = workload.query
+        template = QueryTemplate.from_query("paper", query)
+        bound = template.instantiate(random.Random(0))
+        assert bound.query == query  # all-const: reproduces verbatim
+        with pytest.raises(WorkloadError, match="unknown predicate paths"):
+            QueryTemplate.from_query(
+                "bad", query, vary={"no.such.path": ParamSpec("x", high=2)}
+            )
+
+    def test_const_params_consume_no_rng(self, workload):
+        template = QueryTemplate.from_query("paper", workload.query)
+        rng = random.Random(5)
+        template.instantiate(rng)
+        probe = random.Random(5).random()
+        assert rng.random() == probe  # stream untouched
+
+
+class TestMix:
+    def test_default_mix_names_and_weights(self, workload):
+        mix = default_mix(workload)
+        assert mix.names == ("point", "scan", "paper")
+        assert "point" in mix.describe()
+
+    def test_choose_is_weighted_and_deterministic(self, workload):
+        mix = default_mix(workload)
+        counts = {}
+        rng = random.Random(9)
+        for _ in range(700):
+            name = mix.choose(rng).name
+            counts[name] = counts.get(name, 0) + 1
+        assert counts["point"] > counts["scan"] > counts["paper"]
+        again = random.Random(9)
+        assert mix.choose(again).name == mix.choose(random.Random(9)).name
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(WorkloadError):
+            QueryMix(entries=())
+
+    def test_duplicate_template_rejected(self, workload):
+        entry = default_mix(workload).entries[0]
+        with pytest.raises(WorkloadError, match="duplicate"):
+            QueryMix(entries=(entry, entry))
+
+
+class TestDriverDeterminism:
+    def test_two_runs_byte_identical(self, workload):
+        first = small_engine(workload).run()
+        w2 = make_workload(1996)
+        second = TrafficEngine(
+            w2.system, default_mix(w2), workers=3, queries=8, seed=42,
+            strategy="BL",
+        ).run()
+        assert first.records == second.records
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )
+
+    def test_seed_changes_workload(self, workload):
+        one = small_engine(workload, seed=1).run()
+        two = small_engine(make_workload(1996), seed=2).run()
+        assert one.records != two.records
+
+    def test_replay_matches_executed_templates(self, workload):
+        engine = small_engine(workload)
+        report = engine.run()
+        for worker_id in range(engine.workers):
+            replayed = engine.replay_worker(worker_id)
+            mine = [r for r in report.records if r.worker == worker_id]
+            assert [r.template for r in mine] == [
+                b.template for b in replayed
+            ]
+
+    def test_total_queries_distribution(self, workload):
+        engine = TrafficEngine(
+            workload.system, default_mix(workload),
+            workers=4, total_queries=10, seed=1,
+        )
+        assert engine._counts == (3, 3, 2, 2)
+        report = engine.run()
+        assert report.queries_total == 10
+        assert report.completed + report.shed == 10
+
+
+class TestDriverAccounting:
+    def test_per_worker_deltas_sum_to_global(self, workload):
+        system = workload.system
+        engine = small_engine(workload)
+        before = system.cache_stats()
+        report = engine.run()
+        delta = system.cache_stats().delta(before)
+        assert sum(w.cache_hits for w in report.per_worker) == delta.hits
+        assert sum(w.cache_misses for w in report.per_worker) == (
+            delta.misses
+        )
+        assert report.cache_hits == delta.hits
+        assert report.cache_misses == delta.misses
+
+    def test_latency_decomposes(self, workload):
+        report = small_engine(workload).run()
+        for record in report.records:
+            if record.shed:
+                continue
+            assert record.latency_s == pytest.approx(
+                record.wait_s + record.service_s
+            )
+            assert record.service_s > 0
+
+    def test_report_json_shape(self, workload):
+        data = small_engine(workload).run().to_dict()
+        assert data["workers"] == 3
+        assert data["completed"] + data["shed"] == data["queries_total"]
+        assert set(data["template_counts"]) <= {"point", "scan", "paper"}
+        json.dumps(data)  # serializable
+
+
+class TestSerialVerification:
+    def test_zero_violations_fault_free(self, workload):
+        report = small_engine(workload).run(verify=True)
+        assert report.verified == report.completed > 0
+        assert report.violations == []
+
+    def test_zero_violations_under_faults(self, workload):
+        options = ExecutionOptions(
+            fault_plan=FaultPlan.from_spec("DB2@0:0.5,link:*>DB1:loss0.2"),
+        )
+        report = small_engine(workload, options=options).run(verify=True)
+        assert report.violations == []
+        # Per-query fault seeds were derived and recorded.
+        seeds = {r.fault_seed for r in report.records if not r.shed}
+        assert None not in seeds
+        assert len(seeds) > 1
+
+    def test_detects_divergence(self, workload):
+        engine = small_engine(workload)
+        report = engine.run()
+        broken = report.records[0]
+        report.records[0] = type(broken)(
+            worker=broken.worker, seq=broken.seq, template=broken.template,
+            submitted_s=broken.submitted_s, started_s=broken.started_s,
+            finished_s=broken.finished_s, service_s=broken.service_s,
+            digest="bogus0bogus0", fault_seed=broken.fault_seed,
+        )
+        engine._verify_serial(report)
+        assert any("bogus0bogus0" in v for v in report.violations)
+
+
+class TestAdmissionControl:
+    def test_sheds_deterministically_under_overload(self, workload):
+        admission = AdmissionControl(
+            max_in_flight=1, queue_depth=1, shed_backoff_s=0.01
+        )
+        one = small_engine(workload, workers=6, admission=admission).run()
+        two = small_engine(workload, workers=6, admission=admission).run()
+        assert one.shed > 0
+        assert one.shed == two.shed
+        assert one.gate_rejected == one.shed
+        shed_records = [r for r in one.records if r.shed]
+        assert all(
+            r.digest == "" and r.service_s == 0 for r in shed_records
+        )
+
+    def test_no_shedding_with_room(self, workload):
+        report = small_engine(
+            workload,
+            admission=AdmissionControl(max_in_flight=8, queue_depth=64),
+        ).run()
+        assert report.shed == 0
+        assert report.completed == 3 * 8
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            AdmissionControl(max_in_flight=0)
+        with pytest.raises(WorkloadError):
+            AdmissionControl(queue_depth=-1)
+
+    def test_kernel_admit_counter(self):
+        from repro.sim.kernel import Resource, Simulator
+
+        sim = Simulator()
+        gate = Resource(sim, "gate", capacity=1)
+        assert gate.admit(0)  # nothing queued yet
+        gate.acquire()
+        gate.acquire()  # queues (capacity held)
+        assert not gate.admit(1)
+        assert gate.rejected == 1
+
+    def test_signature_strategy_builds_catalog_once(self, workload):
+        system = make_workload(304).system
+        assert system.signatures is None
+        engine = TrafficEngine(
+            system, default_mix(make_workload(304)),
+            workers=2, queries=3, seed=5, strategy="BL-S",
+        )
+        assert system.signatures is not None
+        report = engine.run(verify=True)
+        assert report.violations == []
