@@ -19,7 +19,11 @@ Commands:
   case files with ``--replay``;
 * ``traffic``    — drive a deterministic concurrent workload (N
   workers, weighted query mix, admission control) against a synthetic
-  federation and report throughput + latency percentiles.
+  federation and report throughput + latency percentiles; ``--evolve``
+  runs membership/schema churn on the same simulated clock;
+* ``evolve``     — step an evolution plan through a synthetic
+  federation transition by transition, re-executing the workload query
+  at every epoch to show the consistency contract in action.
 
 Every query-running command executes through an
 :class:`~repro.core.session.EngineSession` configured with one
@@ -43,7 +47,7 @@ from repro.bench.reporting import dump_traces, format_table, series_table
 from repro.core.engine import GlobalQueryEngine
 from repro.core.options import ExecutionOptions
 from repro.core.strategies import DEFAULT_REGISTRY
-from repro.errors import FaultPlanError
+from repro.errors import EvolutionError, FaultPlanError
 from repro.faults import POLICIES, FaultPlan, resolve_policy
 from repro.sim.costs import table1_rows
 from repro.workload.generator import generate
@@ -275,13 +279,29 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     # Imported lazily: traffic pulls in the difftest oracle.
     from repro.traffic import AdmissionControl, TrafficEngine, default_mix
 
-    rng = random.Random(args.seed)
-    params = sample_params(rng)
-    params.seed = args.seed
-    workload = generate(params, scale=args.scale)
+    def build_workload():
+        rng = random.Random(args.seed)
+        params = sample_params(rng)
+        params.seed = args.seed
+        return generate(params, scale=args.scale)
+
+    workload = build_workload()
+    mix = default_mix(workload)
+    evolution = None
+    if args.evolve:
+        from repro.evolution import EvolutionPlan, resolve_auto
+        from repro.evolution.seeding import mix_referenced_attributes
+
+        plan = EvolutionPlan.from_spec(
+            args.evolve, seed=args.seed, propagation_lag_s=args.evolve_lag
+        )
+        evolution = resolve_auto(
+            plan, workload.system, workload.query,
+            extra_referenced=mix_referenced_attributes(mix),
+        )
     engine = TrafficEngine(
         workload.system,
-        default_mix(workload),
+        mix,
         workers=args.workers,
         queries=args.queries,
         seed=args.seed,
@@ -291,12 +311,22 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
             max_in_flight=args.max_in_flight,
             queue_depth=args.queue_depth,
         ),
+        evolution=evolution,
+        system_factory=lambda: build_workload().system,
     )
     report = engine.run(verify=args.verify)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(f"mix: {report.mix} over {workload.query}")
+        if report.evolution:
+            print(
+                f"evolution: {report.evolution} — "
+                f"{report.evo_transitions} transitions, final epoch "
+                f"{report.final_epoch}, {report.queries_straddled} "
+                f"queries straddled, mean propagation lag "
+                f"{report.propagation_lag_mean_s:.3f}s"
+            )
         print(report.summary())
         print(
             f"gate: {report.gate_queued} queued "
@@ -316,6 +346,65 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
         for violation in report.violations:
             print(f"  VIOLATION: {violation}")
     return 1 if report.violations else 0
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    """Step an evolution plan epoch by epoch, re-querying at each one."""
+    from repro.difftest.oracle import answer_digest
+    from repro.evolution import (
+        EvolutionController,
+        EvolutionPlan,
+        resolve_auto,
+    )
+
+    rng = random.Random(args.seed)
+    params = sample_params(rng)
+    params.seed = args.seed
+    workload = generate(params, scale=args.scale)
+    plan = resolve_auto(
+        EvolutionPlan.from_spec(
+            args.spec, seed=args.seed, propagation_lag_s=args.lag
+        ),
+        workload.system,
+        workload.query,
+    )
+    if not plan.active:
+        print(
+            "no feasible evolution events for this federation",
+            file=sys.stderr,
+        )
+        return 2
+    session = _cli_session(workload.system, args)
+    controller = EvolutionController(workload.system, plan)
+    print(f"query: {workload.query}")
+    print(f"plan:  {plan.describe()} (lag {plan.propagation_lag_s}s/site)")
+
+    def show(prefix: str) -> None:
+        report = session.execute(workload.query, strategy=args.strategy)
+        print(
+            f"  {prefix} epoch={report.availability.schema_epoch} "
+            f"answer={report.results.summary()} "
+            f"digest={answer_digest(report.results)} "
+            f"[{report.availability.summary()}]"
+        )
+
+    print(f"sites: {', '.join(sorted(workload.system.databases))}")
+    show("baseline")
+    while not controller.done:
+        transition = controller.step()
+        print(
+            f"t={transition.at:.2f} {transition.label} -> epoch "
+            f"{transition.epoch}, sites "
+            f"{', '.join(sorted(workload.system.databases))}"
+        )
+        show("now")
+    labels = [e.label for e in plan.ordered_events()]
+    lags = ", ".join(
+        f"{label}={controller.propagation_lag(label):.3f}s"
+        for label in labels
+    )
+    print(f"propagation: {lags}")
+    return 0
 
 
 def _cmd_tables(_args: argparse.Namespace) -> int:
@@ -418,8 +507,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the full report as deterministic JSON",
     )
+    traffic.add_argument(
+        "--evolve", default="",
+        help="evolution plan spec run on the traffic clock, e.g. "
+             "'leave@5,join@40,rename@80' (bare kinds auto-resolve to "
+             "query-safe targets; see docs/EVOLUTION.md)",
+    )
+    traffic.add_argument(
+        "--evolve-lag", type=float, default=0.05, dest="evolve_lag",
+        help="per-site propagation lag in simulated seconds (a window "
+             "over N sites stays open N*lag)",
+    )
     _add_fault_args(traffic)
     _add_batch_arg(traffic)
+
+    evolve = sub.add_parser(
+        "evolve",
+        help="step an evolution plan through a synthetic federation, "
+             "re-querying at every epoch",
+    )
+    evolve.add_argument("--seed", type=int, default=1996)
+    evolve.add_argument("--scale", type=float, default=0.03)
+    evolve.add_argument(
+        "--spec", default="leave@1,join@2,rename@3,add@4,drop@5",
+        help="evolution plan spec (KIND[:TARGET]@TIME, comma-joined; "
+             "bare kinds auto-resolve to query-safe targets)",
+    )
+    evolve.add_argument(
+        "--lag", type=float, default=0.05,
+        help="per-site propagation lag in simulated seconds",
+    )
+    evolve.add_argument(
+        "--strategy", default="BL", choices=QUERY_STRATEGIES
+    )
+    _add_fault_args(evolve)
+    _add_batch_arg(evolve)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential-test the strategies on random "
@@ -451,10 +573,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tables": _cmd_tables,
         "fuzz": _cmd_fuzz,
         "traffic": _cmd_traffic,
+        "evolve": _cmd_evolve,
     }
     try:
         return handlers[args.command](args)
-    except FaultPlanError as exc:
+    except (EvolutionError, FaultPlanError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:

@@ -27,13 +27,14 @@ interleaved executions can never bleed into each other.
 from __future__ import annotations
 
 import copy
+import dataclasses
 import warnings
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.options import ExecutionOptions
 from repro.core.query import Query
 from repro.core.report import ExecutionReport
-from repro.core.results import certified_subset, same_answers
+from repro.core.results import ResultKind, certified_subset, same_answers
 from repro.core.session import EngineSession
 from repro.core.strategies import DEFAULT_REGISTRY, Strategy
 from repro.core.strategies.registry import StrategyRegistry
@@ -46,6 +47,68 @@ from repro.obs.spans import TraceEvent
 
 #: The deprecated per-call override kwargs (now ExecutionOptions fields).
 _LEGACY_KWARGS = ("fault_plan", "policy", "fault_seed", "batch_checks", "failover")
+
+
+def _with_departed_outages(
+    options: ExecutionOptions, sites: Sequence[str]
+) -> ExecutionOptions:
+    """Merge formally-departed sites into the execution's fault plan.
+
+    A site whose leave window is open is unreachable for the whole
+    execution; modelling that as a synthetic whole-execution outage
+    reuses the entire existing degradation machinery (relay failover,
+    verdict demotion, certified-subset soundness) unchanged.
+    """
+    from repro.faults.plan import OutageWindow
+
+    base = options.fault_plan
+    synthetic = tuple(OutageWindow(site, 0.0, 1e12) for site in sites)
+    if base is None:
+        plan = FaultPlan(outages=synthetic)
+    else:
+        plan = FaultPlan(
+            seed=base.seed,
+            outages=base.outages + synthetic,
+            links=base.links,
+        )
+    return options.with_(fault_plan=plan)
+
+
+def _demote_uncertified(
+    results, query: Query, flux
+) -> Tuple[int, List[str]]:
+    """Apply the flux consistency contract to one straddling answer.
+
+    When an open window drops or renames an attribute the query
+    references, rows certified mid-propagation cannot be trusted to
+    match either the pre- or post-epoch baseline bindings — so *every*
+    certain row is demoted to maybe with an ``"uncertified: schema in
+    flux"`` note.  (An empty certified set is trivially a sound subset
+    of both baselines; adds and joins need no demotion because the flux
+    answer equals one baseline exactly, and leaves are handled by the
+    fault machinery's own degradation.)  Returns (rows demoted, labels
+    of the windows that forced it).
+    """
+    from repro.evolution.seeding import referenced_attributes
+
+    if not flux.uncertified_attrs:
+        return 0, []
+    referenced = referenced_attributes(query)
+    hit = [
+        label
+        for label, event in flux.open_events
+        if any(a in referenced for a in event.touched_attrs)
+    ]
+    if not hit or not results.certain:
+        return 0, hit
+    notes = tuple(f"uncertified: schema in flux ({label})" for label in hit)
+    demoted = list(results.certain)
+    results.certain.clear()
+    for row in demoted:
+        row.kind = ResultKind.MAYBE
+        row.notes = row.notes + notes
+        results.maybe.append(row)
+    return len(demoted), hit
 
 
 def _merge_legacy(
@@ -250,13 +313,39 @@ class GlobalQueryEngine:
         if getattr(chosen, "use_signatures", False) and self.system.signatures is None:
             self.system.build_signatures()
             built_signatures = True
+        # Epoch pinning: the execution runs synchronously against the
+        # federation state *now*, so snapshotting the flux view here is
+        # what "pinned to schema_epoch" means — the controller only
+        # advances between executions (sim-kernel grants are atomic).
+        evo = self.system.evolution
+        flux = evo.in_flux_view() if evo is not None else None
+        if flux is not None and flux.departed_sites:
+            options = _with_departed_outages(options, flux.departed_sites)
         ctx = self._fault_context(options)
+        if ctx is not None and ctx.health is not None and flux is not None:
+            for site in flux.departed_sites:
+                # Formal leave: suppress contact ladders immediately.
+                ctx.health.force_open(site)
         cache_before = self.system.cache_stats()
         with self.system.cache_scope(session.name):
             if ctx is None:
                 result = chosen.execute(self.system, query)
             else:
                 result = chosen.execute(self.system, query, ctx)
+        demoted, flux_labels = 0, []
+        if evo is not None:
+            if flux is not None and flux.active:
+                demoted, flux_labels = _demote_uncertified(
+                    result.results, query, flux
+                )
+                if demoted:
+                    result.metrics.certain_results = len(result.results.certain)
+                    result.metrics.maybe_results = len(result.results.maybe)
+            result.availability = dataclasses.replace(
+                result.availability,
+                schema_epoch=self.system.schema_epoch,
+                epochs_straddled=flux.labels if flux is not None else (),
+            )
         # Strategies do not see the cache layer; attribute the traffic
         # this execution generated (mapping-index + decomposition) to its
         # metrics before the lazy registry snapshot is built.
@@ -272,6 +361,19 @@ class GlobalQueryEngine:
                 strategy=chosen.name,
                 hint="call engine.ensure_signatures() to build up front",
             ))
+        if evo is not None:
+            report.record_event(TraceEvent.of(
+                "evolution.epoch",
+                epoch=self.system.schema_epoch,
+                in_flux=bool(flux is not None and flux.active),
+                straddled=",".join(flux.labels) if flux is not None else "",
+            ))
+            if demoted:
+                report.record_event(TraceEvent.of(
+                    "evolution.straddle",
+                    demoted=demoted,
+                    windows=",".join(flux_labels),
+                ))
         if ctx is not None:
             report.record_event(TraceEvent.of(
                 "faults.plan",

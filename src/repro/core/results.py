@@ -196,6 +196,13 @@ class Availability:
     breaker: Tuple[Tuple[str, str], ...] = ()
     #: Contacts suppressed by open circuit breakers (ladders not paid).
     contacts_suppressed: int = 0
+    #: Federation evolution epoch the execution was pinned to (0 for a
+    #: frozen federation).
+    schema_epoch: int = 0
+    #: Labels of evolution windows open while this query executed —
+    #: non-empty means the answer straddled schema/membership
+    #: propagation and is covered by the flux consistency contract.
+    epochs_straddled: Tuple[str, ...] = ()
 
     @property
     def certification_intact(self) -> bool:
@@ -224,12 +231,21 @@ class Availability:
             "queried_sites_down": list(self.queried_sites_down),
             "breaker": {site: state for site, state in self.breaker},
             "contacts_suppressed": self.contacts_suppressed,
+            "schema_epoch": self.schema_epoch,
+            "epochs_straddled": list(self.epochs_straddled),
         }
 
     def summary(self) -> str:
-        if self.complete and not self.retries and not self.messages_lost:
+        if (
+            self.complete
+            and not self.retries
+            and not self.messages_lost
+            and not self.epochs_straddled
+        ):
             return "complete"
         parts = ["complete" if self.complete else "INCOMPLETE"]
+        if self.epochs_straddled:
+            parts.append(f"straddled={','.join(self.epochs_straddled)}")
         if self.fully_recovered and not self.complete:
             parts.append("recovered")
         if self.sites_skipped:

@@ -54,6 +54,16 @@ class DistributedSystem:
     #: Bumped on every entity/schema mutation; keys the decomposition
     #: cache so stale local queries can never be served.
     schema_version: int = 0
+    #: Federation evolution epoch: the number of evolution transitions
+    #: (window opens/closes) applied.  Every query's Availability is
+    #: stamped with the epoch it executed against; replaying a churned
+    #: run means rebuilding the federation and stepping a fresh
+    #: controller to the same epoch.
+    schema_epoch: int = 0
+    #: The attached :class:`~repro.evolution.controller
+    #: .EvolutionController`, or None for a frozen federation.  The
+    #: engine consults it per execution for flux annotations/demotion.
+    evolution: Optional[object] = field(default=None, repr=False)
     _decompose_cache: Dict = field(default_factory=dict, repr=False)
     _decompose_stats: CacheStats = field(
         default_factory=CacheStats, repr=False
@@ -148,10 +158,25 @@ class DistributedSystem:
         return decomposed
 
     def bump_schema_version(self) -> None:
-        """Invalidate the decomposition cache after a mutation."""
+        """Invalidate the decomposition cache after a mutation.
+
+        The cache is federation-global and keyed ``(query,
+        schema_version)``, so one bump invalidates *every* session's
+        cached decompositions at once — a session can never be served a
+        decomposition computed against a pre-mutation schema.
+        """
         self.schema_version += 1
         self._decompose_cache.clear()
         self._decompose_owner.clear()
+
+    def bump_epoch(self) -> None:
+        """Advance the evolution epoch (one transition applied).
+
+        Implies :meth:`bump_schema_version`: an epoch boundary always
+        invalidates cached decompositions across all sessions.
+        """
+        self.schema_epoch += 1
+        self.bump_schema_version()
 
     def cache_stats(self) -> CacheStats:
         """Combined mapping-index + decomposition cache traffic."""

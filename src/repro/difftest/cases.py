@@ -18,6 +18,7 @@ from typing import Dict, Optional
 from repro.core.query import Query
 from repro.core.system import DistributedSystem
 from repro.errors import ReproError
+from repro.evolution.plan import EvolutionPlan
 from repro.faults.plan import FaultPlan
 from repro.workload.generator import generate
 from repro.workload.params import sample_params
@@ -30,6 +31,9 @@ class BuiltCase:
     system: DistributedSystem
     query: Query
     fault_plan: Optional[FaultPlan] = None
+    #: Resolved, query-safe evolution plan (None when the case has no
+    #: ``evolve`` kinds or none of them had a safe target).
+    evolution: Optional[EvolutionPlan] = None
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,10 @@ class FuzzCase:
         fault_seed: seed for the plan's loss/jitter draws.
         mutate: run the monotonicity suite (register an extra assistant
             copy and re-execute).
+        evolve: comma-joined evolution kinds (``leave``, ``join``,
+            ``add``, ``drop``, ``rename``) resolved to concrete,
+            query-safe targets by :func:`repro.evolution.seeding
+            .safe_plan` at build time; empty skips the evolution suite.
         label: stable human-readable identifier.
     """
 
@@ -63,6 +71,7 @@ class FuzzCase:
     fault_spec: str = ""
     fault_seed: int = 0
     mutate: bool = False
+    evolve: str = ""
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -94,8 +103,23 @@ class FuzzCase:
         plan = None
         if self.fault_spec:
             plan = FaultPlan.from_spec(self.fault_spec, seed=self.fault_seed)
+        evolution = None
+        if self.evolve:
+            from repro.evolution.seeding import safe_plan
+
+            evolution = safe_plan(
+                workload.system,
+                workload.query,
+                [k.strip() for k in self.evolve.split(",") if k.strip()],
+                seed=self.seed,
+            )
+            if not evolution.active:
+                evolution = None  # no kind had a safe target here
         return BuiltCase(
-            system=workload.system, query=workload.query, fault_plan=plan
+            system=workload.system,
+            query=workload.query,
+            fault_plan=plan,
+            evolution=evolution,
         )
 
     # --- (de)serialization -------------------------------------------------
@@ -145,6 +169,8 @@ class FuzzCase:
             parts.append(f"faults={self.fault_spec!r}")
         if self.mutate:
             parts.append("mutate")
+        if self.evolve:
+            parts.append(f"evolve={self.evolve}")
         return " ".join(parts)
 
 

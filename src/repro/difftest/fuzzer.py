@@ -25,7 +25,12 @@ SCALES = (0.01, 0.015, 0.02)
 P_MULTI_VALUED = 0.4
 P_FAULTS = 0.35
 P_MUTATE = 0.5
+P_EVOLVE = 0.35
 P_LINK_FAULT = 0.5
+
+#: Evolution kinds the fuzzer draws churn from (resolved to concrete,
+#: query-safe targets by ``safe_plan`` when the case builds).
+EVOLVE_KINDS = ("leave", "join", "rename", "add", "drop")
 #: Probability that a faulted case is a component-link storm (every
 #: component->component link degraded, global-site links clean) — the
 #: scenario replica failover can fully recover.
@@ -49,6 +54,11 @@ class FederationFuzzer:
         if rng.random() < P_FAULTS:
             fault_spec = self._fault_spec(rng, n_dbs)
             fault_seed = index + 1
+        evolve = ""
+        if rng.random() < P_EVOLVE:
+            evolve = ",".join(
+                rng.choice(EVOLVE_KINDS) for _ in range(rng.randint(1, 3))
+            )
         return FuzzCase(
             seed=self.seed * 100_003 + index,
             n_dbs=n_dbs,
@@ -60,6 +70,7 @@ class FederationFuzzer:
             fault_spec=fault_spec,
             fault_seed=fault_seed,
             mutate=rng.random() < P_MUTATE,
+            evolve=evolve,
             label=f"fuzz-{self.seed}-{index}",
         )
 

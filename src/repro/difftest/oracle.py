@@ -33,6 +33,15 @@ reproduce.  What it checks:
     After registering one extra consistent assistant copy, no certain
     result is demoted, no previously-eliminated entity is certified,
     and the strategies still strictly agree.
+``evolution-*``
+    On cases with churn (``evolve`` kinds), each event's propagation
+    window is stepped open and closed on a fresh federation.  A query
+    executed *during* the window must satisfy the flux consistency
+    contract — equal to the pre-epoch serial baseline, equal to the
+    post-epoch one, or a certified subset of both (``evolution-flux``)
+    — and carry the window's label in ``Availability.epochs_straddled``
+    (``evolution-straddle``).  After every window closes, the
+    strategies must still strictly agree (``evolution-agreement``).
 """
 
 from __future__ import annotations
@@ -154,6 +163,9 @@ class StrategyOracle:
             violations.extend(
                 self._check_monotonicity(case, session, built, answers)
             )
+        if built.evolution is not None:
+            # Last: the suite mutates its own fresh federation copy.
+            violations.extend(self._check_evolution(case))
         return violations
 
     # --- invariants --------------------------------------------------------
@@ -346,6 +358,98 @@ class StrategyOracle:
                 f"previously-eliminated entit(ies), e.g. {resurrected[0]}",
                 case,
             ))
+        return violations
+
+    #: Strategies exercised by the evolution invariants.  The flux
+    #: contract lives in the engine, shared by every strategy; CA, BL
+    #: and PL cover the global and both localized phase orders.
+    EVOLUTION_STRATEGIES = ("CA", "BL", "PL")
+
+    def _check_evolution(self, case) -> List[Violation]:
+        """Every propagation window honors the flux consistency contract.
+
+        Runs on a *fresh* build (the controller mutates the federation
+        in place).  For each event: snapshot pre-epoch answers, open the
+        window, execute in flux, close it, snapshot post-epoch answers.
+        The flux answer must equal pre, equal post, or certify a subset
+        of both; it must carry the window label in
+        ``epochs_straddled``; and the strategies must agree post-close.
+        """
+        from repro.evolution.controller import EvolutionController
+
+        fresh = case.build()
+        if fresh.evolution is None:  # pragma: no cover - caller checked
+            return []
+        controller = EvolutionController(fresh.system, fresh.evolution)
+        session = GlobalQueryEngine(fresh.system).session(
+            name=f"difftest-evo:{case.label}"
+        )
+        names = [
+            n for n in self.EVOLUTION_STRATEGIES if n in self.strategy_names
+        ]
+        violations: List[Violation] = []
+        while not controller.done:
+            pre = {
+                name: session.execute(fresh.query, name).results
+                for name in names
+            }
+            opened = controller.step()
+            if opened.phase != "open":  # pragma: no cover - paired plans
+                continue
+            label = opened.event.label
+            flux_reports = {
+                name: session.execute(fresh.query, name) for name in names
+            }
+            closed = controller.step()
+            # safe_plan spaces events so windows never overlap; without
+            # that guarantee a true post-epoch baseline is unavailable.
+            paired = (
+                closed.phase == "close" and closed.event.label == label
+            )
+            for name in names:
+                straddled = flux_reports[name].availability.epochs_straddled
+                if label not in straddled:
+                    violations.append(Violation(
+                        "evolution-straddle", case.label,
+                        f"{name} executed inside {label}'s window but "
+                        f"annotated epochs_straddled={list(straddled)}",
+                        case,
+                    ))
+            if not paired:  # pragma: no cover - paired plans
+                continue
+            post = {
+                name: session.execute(fresh.query, name).results
+                for name in names
+            }
+            for name in names:
+                flux = flux_reports[name].results
+                sound = (
+                    same_answers(flux, pre[name])
+                    or same_answers(flux, post[name])
+                    or (
+                        certified_subset(flux, pre[name])
+                        and certified_subset(flux, post[name])
+                    )
+                )
+                if not sound:
+                    violations.append(Violation(
+                        "evolution-flux", case.label,
+                        f"{name} inside {label}'s window matches neither "
+                        f"epoch: vs pre "
+                        f"{_first_difference(flux, pre[name])}; vs post "
+                        f"{_first_difference(flux, post[name])}",
+                        case,
+                    ))
+            for name in names:
+                if name != "CA" and not same_answers(
+                    post["CA"], post[name]
+                ):
+                    violations.append(Violation(
+                        "evolution-agreement", case.label,
+                        f"after {label} closed, CA vs {name}: "
+                        f"{_first_difference(post['CA'], post[name])}",
+                        case,
+                    ))
         return violations
 
 

@@ -3,8 +3,9 @@
 The shrinker never touches federation objects — it edits the *recipe*
 (:class:`FuzzCase`) and asks the caller's ``is_failing`` predicate
 whether the regenerated case still fails.  Each pass tries a fixed
-sequence of simplifications (drop the mutation, drop the faults, fewer
-sites, shorter class chains, fewer objects, simpler targets) and keeps
+sequence of simplifications (drop the mutation, drop evolution events —
+all of them, then one at a time — drop the faults, fewer sites, shorter
+class chains, fewer objects, simpler targets) and keeps
 an edit only if the failure survives it; passes repeat until a
 fixpoint.  Because the predicate rebuilds from the recipe, a shrunk
 case committed to ``tests/cases/`` replays the exact minimal federation
@@ -34,6 +35,13 @@ def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
 
     if case.mutate:
         yield from replaced(mutate=False)
+    if case.evolve:
+        yield from replaced(evolve="")
+        kinds = case.evolve.split(",")
+        if len(kinds) > 1:
+            for index in range(len(kinds)):
+                remaining = kinds[:index] + kinds[index + 1:]
+                yield from replaced(evolve=",".join(remaining))
     if case.fault_spec:
         yield from replaced(fault_spec="", fault_seed=0)
     if case.multi_valued_targets:

@@ -90,6 +90,16 @@ class FaultPlanError(ReproError):
     """A fault plan is malformed (negative windows, bad probabilities)."""
 
 
+class EvolutionError(ReproError):
+    """A federation evolution plan or transition is invalid.
+
+    Raised for malformed evolution specs, events targeting unknown
+    sites/classes/attributes, or transitions that would leave the
+    federation inconsistent (e.g. removing a global class's last
+    constituent, or renaming a correspondence key attribute).
+    """
+
+
 class UnavailableError(ReproError):
     """A site could not be reached and the execution policy is fail-fast.
 

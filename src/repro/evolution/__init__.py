@@ -1,0 +1,67 @@
+"""Live federation evolution: epoch-versioned membership and schema churn.
+
+The evolution layer lets sites join/leave and component schemas change
+*while queries execute*, with a defined consistency contract instead of
+undefined behavior:
+
+* an :class:`EvolutionPlan` declares the churn (seeded, deterministic,
+  JSON/CLI-spec round-trippable) — see :mod:`repro.evolution.plan`;
+* an :class:`EvolutionController` applies it transition-by-transition,
+  bumping the federation's ``schema_epoch`` on every open/close — see
+  :mod:`repro.evolution.controller`;
+* :func:`safe_plan` resolves abstract churn ("a leave, a rename") into
+  concrete targets that keep a workload's queries well-formed — see
+  :mod:`repro.evolution.seeding`.
+
+Consistency contract (``docs/EVOLUTION.md``): a query pinned to epoch
+``E`` sees the full federation state at ``E``; a query executing while
+a propagation window is open gets its answer annotated
+(``Availability.epochs_straddled``) and — when the window's change
+could silently alter certified rows — those rows demoted to maybe with
+an ``"uncertified: schema in flux"`` note.  Never a wrong certain
+answer.
+"""
+
+from repro.evolution.events import (
+    ATTR_ADD,
+    ATTR_DROP,
+    ATTR_RENAME,
+    KINDS,
+    SITE_JOIN,
+    SITE_LEAVE,
+    EvolutionEvent,
+)
+from repro.evolution.plan import (
+    DEFAULT_CLONE_FRACTION,
+    DEFAULT_LAG_S,
+    EMPTY_EVOLUTION,
+    EvolutionPlan,
+)
+from repro.evolution.controller import EvolutionController, InFluxView, Transition
+from repro.evolution.seeding import (
+    mix_referenced_attributes,
+    referenced_attributes,
+    resolve_auto,
+    safe_plan,
+)
+
+__all__ = [
+    "ATTR_ADD",
+    "ATTR_DROP",
+    "ATTR_RENAME",
+    "DEFAULT_CLONE_FRACTION",
+    "DEFAULT_LAG_S",
+    "EMPTY_EVOLUTION",
+    "EvolutionController",
+    "EvolutionEvent",
+    "EvolutionPlan",
+    "InFluxView",
+    "KINDS",
+    "SITE_JOIN",
+    "SITE_LEAVE",
+    "Transition",
+    "mix_referenced_attributes",
+    "referenced_attributes",
+    "resolve_auto",
+    "safe_plan",
+]

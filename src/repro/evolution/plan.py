@@ -1,0 +1,236 @@
+"""Declarative, seeded evolution plans (mirror of ``faults.plan``).
+
+An :class:`EvolutionPlan` is to federation churn what a
+:class:`~repro.faults.plan.FaultPlan` is to failures: a fully
+deterministic description of the membership and schema changes one run
+should experience.  The plan holds no randomness beyond its ``seed`` —
+join-entity cloning draws from ``random.Random(f"evolve:{seed}:...")``
+— so the same plan against the same federation always evolves it
+byte-identically.
+
+Plans round-trip through JSON and parse from a compact CLI spec
+(:meth:`EvolutionPlan.from_spec`)::
+
+    leave:DB2@1.0              site_leave of DB2, window opens at t=1.0
+    join:DBX@2.0               site_join of a new site DBX at t=2.0
+    add:DB1.K1.x9@0.5          attr_add of K1.x9 at DB1
+    drop:DB2.K1.p0@0.9         attr_drop of K1.p0 at DB2
+    rename:K1.t1>t1r@1.5       attr_rename K1.t1 -> K1.t1r (all sites)
+    leave@1.0                  *auto* target, resolved against the
+                               federation by ``seeding.safe_plan``
+
+Auto entries (bare ``kind@time``) carry no target; they are resolved
+deterministically by :func:`repro.evolution.seeding.safe_plan`, which
+picks targets that keep the running workload's queries well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import EvolutionError
+from repro.evolution.events import KINDS, EvolutionEvent
+
+#: Default per-site propagation lag: one site learns of a change every
+#: ``propagation_lag_s`` simulated seconds, so a window over an N-site
+#: federation stays open for ``N * propagation_lag_s``.
+DEFAULT_LAG_S = 0.05
+
+#: Fraction of each class's entities cloned onto a joining site.
+DEFAULT_CLONE_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class EvolutionPlan:
+    """A deterministic churn scenario: who changes what, and when."""
+
+    seed: int = 0
+    propagation_lag_s: float = DEFAULT_LAG_S
+    clone_fraction: float = DEFAULT_CLONE_FRACTION
+    events: Tuple[EvolutionEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.propagation_lag_s <= 0:
+            raise EvolutionError(
+                f"propagation lag {self.propagation_lag_s} must be positive"
+            )
+        if not 0.0 <= self.clone_fraction <= 1.0:
+            raise EvolutionError(
+                f"clone fraction {self.clone_fraction} outside [0, 1]"
+            )
+
+    @property
+    def active(self) -> bool:
+        return bool(self.events)
+
+    def ordered_events(self) -> Tuple[EvolutionEvent, ...]:
+        """Events by (open time, declaration order) — the rollout order."""
+        indexed = list(enumerate(self.events))
+        indexed.sort(key=lambda pair: (pair[1].at, pair[0]))
+        return tuple(event for _index, event in indexed)
+
+    def describe(self) -> str:
+        if not self.events:
+            return "evolve(off)"
+        labels = ",".join(e.label for e in self.ordered_events())
+        return f"evolve({labels})"
+
+    # --- construction -----------------------------------------------------
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: str,
+        seed: int = 0,
+        propagation_lag_s: float = DEFAULT_LAG_S,
+    ) -> "EvolutionPlan":
+        """Parse the compact CLI form (see module docstring).
+
+        Auto entries (bare ``kind@time``) become placeholder events with
+        empty targets — callers must resolve them through
+        :func:`repro.evolution.seeding.safe_plan` before attaching the
+        plan to a controller (:meth:`needs_resolution` says whether any
+        remain).
+        """
+        events: List[EvolutionEvent] = []
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            events.append(_parse_entry(part))
+        return cls(
+            seed=seed,
+            propagation_lag_s=propagation_lag_s,
+            events=tuple(events),
+        )
+
+    @property
+    def needs_resolution(self) -> bool:
+        """Whether any event still lacks a concrete target (auto entry).
+
+        Auto entries carry ``?``-prefixed sentinel targets (see
+        ``_parse_entry``); an empty field counts as unresolved too.
+        """
+        def unresolved(value: str) -> bool:
+            return not value or value.startswith("?")
+
+        for event in self.events:
+            if event.kind in ("site_join", "site_leave"):
+                if unresolved(event.site):
+                    return True
+            elif unresolved(event.global_class) or unresolved(event.attr):
+                return True
+        return False
+
+    # --- (de)serialization ------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "propagation_lag_s": self.propagation_lag_s,
+            "clone_fraction": self.clone_fraction,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "EvolutionPlan":
+        return cls(
+            seed=int(raw.get("seed", 0)),
+            propagation_lag_s=float(
+                raw.get("propagation_lag_s", DEFAULT_LAG_S)
+            ),
+            clone_fraction=float(
+                raw.get("clone_fraction", DEFAULT_CLONE_FRACTION)
+            ),
+            events=tuple(
+                EvolutionEvent.from_dict(e) for e in raw.get("events", ())
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "EvolutionPlan":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise EvolutionError(
+                f"evolution plan is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(raw, dict):
+            raise EvolutionError("evolution plan JSON must be an object")
+        return cls.from_dict(raw)
+
+
+def _parse_entry(part: str) -> EvolutionEvent:
+    """One spec entry -> event (possibly an unresolved auto placeholder)."""
+    try:
+        head, at_text = part.rsplit("@", 1)
+        at = float(at_text)
+    except ValueError as exc:
+        raise EvolutionError(
+            f"bad evolution spec entry {part!r} (want KIND[:TARGET]@TIME)"
+        ) from exc
+    if ":" not in head:
+        kind = _auto_kind(head, part)
+        # Auto placeholder: targets filled in by seeding.safe_plan.  A
+        # synthetic site name keeps join/leave events constructible.
+        if kind in ("site_join", "site_leave"):
+            return EvolutionEvent(kind=kind, at=at, site="?auto")
+        if kind == "attr_rename":
+            return EvolutionEvent(
+                kind=kind, at=at, global_class="?", attr="?", new_name="?r"
+            )
+        return EvolutionEvent(
+            kind=kind, at=at, site="?", global_class="?", attr="?"
+        )
+    tag, target = head.split(":", 1)
+    kind = _auto_kind(tag, part)
+    if kind == "site_join" or kind == "site_leave":
+        return EvolutionEvent(kind=kind, at=at, site=target)
+    if kind == "attr_rename":
+        try:
+            dotted, new_name = target.split(">", 1)
+            global_class, attr = dotted.split(".", 1)
+        except ValueError as exc:
+            raise EvolutionError(
+                f"bad rename entry {part!r} (want rename:CLS.ATTR>NEW@TIME)"
+            ) from exc
+        return EvolutionEvent(
+            kind=kind, at=at, global_class=global_class,
+            attr=attr, new_name=new_name,
+        )
+    try:
+        site, global_class, attr = target.split(".", 2)
+    except ValueError as exc:
+        raise EvolutionError(
+            f"bad {tag} entry {part!r} (want {tag}:DB.CLS.ATTR@TIME)"
+        ) from exc
+    return EvolutionEvent(
+        kind=kind, at=at, site=site, global_class=global_class, attr=attr
+    )
+
+
+#: Spec tags -> event kinds.
+_TAGS = {
+    "join": "site_join",
+    "leave": "site_leave",
+    "add": "attr_add",
+    "drop": "attr_drop",
+    "rename": "attr_rename",
+}
+
+
+def _auto_kind(tag: str, part: str) -> str:
+    tag = tag.strip()
+    kind = _TAGS.get(tag, tag if tag in KINDS else None)
+    if kind is None:
+        raise EvolutionError(
+            f"unknown evolution kind {tag!r} in {part!r} "
+            f"(choose from {sorted(_TAGS)})"
+        )
+    return kind
+
+
+#: The do-nothing plan.
+EMPTY_EVOLUTION = EvolutionPlan()

@@ -1,0 +1,403 @@
+"""Deterministic safe-target resolution for evolution plans.
+
+The fuzzer and the CLI describe churn abstractly ("a leave, then a
+rename") and leave the *targets* to this module: :func:`safe_plan`
+inspects the live federation plus the workload's query and picks, with
+a seeded RNG over sorted candidate lists, targets that keep that query
+well-formed across the whole plan:
+
+* a leaving site never takes a global class's last constituent with it,
+  nor the last definition of an attribute the query references;
+* a dropped attribute is never a correspondence key, never multi-valued,
+  and — when the query references it — stays defined at another site;
+* a renamed attribute is never referenced by the query, never a key,
+  never multi-valued, and never a complex reference;
+* added attributes and joined sites get fresh, collision-free names.
+
+Kinds with no safe candidate are *skipped* (the plan simply omits
+them), so callers can request churn against arbitrary fuzzed
+federations without pre-checking feasibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.evolution.events import (
+    ATTR_ADD,
+    ATTR_DROP,
+    ATTR_RENAME,
+    KINDS,
+    SITE_JOIN,
+    SITE_LEAVE,
+    EvolutionEvent,
+)
+from repro.evolution.plan import DEFAULT_LAG_S, EvolutionPlan
+from repro.errors import EvolutionError
+
+
+def referenced_attributes(query) -> Set[str]:
+    """Every attribute name a query's targets or predicates step through."""
+    names: Set[str] = set()
+    for path in query.targets:
+        names.update(path.steps)
+    for pred in query.predicates:
+        names.update(pred.path.steps)
+    return names
+
+
+def mix_referenced_attributes(mix) -> Set[str]:
+    """Every attribute any template of a traffic mix can reference.
+
+    Use as ``extra_referenced`` when resolving a plan that will run
+    under traffic: the workload query alone under-approximates what the
+    mix touches, and a rename of (say) ``t0`` would break every ``scan``
+    template instantiation mid-run.
+    """
+    from repro.core.query import Path
+
+    names: Set[str] = set()
+    for entry in mix.entries:
+        template = entry.template
+        for dotted in template.targets:
+            names.update(Path.parse(dotted).steps)
+        for pred in template.predicates:
+            names.update(Path.parse(pred.path).steps)
+    return names
+
+
+def safe_plan(
+    system,
+    query,
+    kinds: Sequence[str],
+    seed: int = 0,
+    times: Optional[Sequence[float]] = None,
+    propagation_lag_s: float = DEFAULT_LAG_S,
+    extra_referenced: Iterable[str] = (),
+) -> EvolutionPlan:
+    """Resolve *kinds* into a concrete, query-safe :class:`EvolutionPlan`.
+
+    Args:
+        system: the federation the plan will run against (inspected,
+            not mutated).
+        query: the workload query whose validity every event must
+            preserve; ``None`` treats every attribute as unreferenced.
+        kinds: event kinds (or their spec tags: ``leave``, ``join``,
+            ``add``, ``drop``, ``rename``), one event each, in order.
+        times: open time per kind; defaults to ``1.0, 2.0, ...``.
+        extra_referenced: additional attribute names to protect (e.g.
+            attributes other templates in a traffic mix touch).
+    """
+    rng = random.Random(f"evolve:{seed}")
+    referenced: Set[str] = set(extra_referenced)
+    if query is not None:
+        referenced |= referenced_attributes(query)
+    # Simulated roster/attribute state, tracked so successive events
+    # stay safe with respect to *earlier* events in the same plan.
+    roster = sorted(system.databases)
+    dropped: Set[Tuple[str, str, str]] = set()  # (site, class, attr)
+    renamed: Set[Tuple[str, str]] = set()  # (class, old attr)
+    added: Set[Tuple[str, str, str]] = set()  # (site, class, new attr)
+    #: site -> estimated close time of its join window.  A joined site
+    #: does not exist until its window *closes*, so later events may
+    #: only target it past that point (a leave of a site whose join is
+    #: still propagating would hit an unknown site at runtime).
+    join_close: dict = {}
+    events: List[EvolutionEvent] = []
+    for index, raw_kind in enumerate(kinds):
+        kind = _normalize(raw_kind)
+        at = float(times[index]) if times is not None else float(index + 1)
+        # Joins see the full roster (fresh names must dodge pending
+        # joins too); everything else only the sites live at ``at``.
+        visible = roster if kind == SITE_JOIN else [
+            site for site in roster if join_close.get(site, at) <= at
+        ]
+        event = _resolve_one(
+            system, kind, at, rng, referenced, visible, dropped, renamed,
+            added,
+        )
+        if event is None:
+            continue  # no safe candidate for this kind; skip it
+        events.append(event)
+        if event.kind == SITE_LEAVE:
+            roster.remove(event.site)
+        elif event.kind == SITE_JOIN:
+            roster.append(event.site)
+            roster.sort()
+            # Conservative close estimate: the live roster at open time
+            # can exceed the simulated one by a not-yet-excised leaver.
+            join_close[event.site] = at + propagation_lag_s * (
+                len(roster) + 1
+            )
+        elif event.kind == ATTR_DROP:
+            dropped.add((event.site, event.global_class, event.attr))
+        elif event.kind == ATTR_RENAME:
+            renamed.add((event.global_class, event.attr))
+            referenced.add(event.new_name)
+        elif event.kind == ATTR_ADD:
+            added.add((event.site, event.global_class, event.attr))
+    return EvolutionPlan(
+        seed=seed,
+        propagation_lag_s=propagation_lag_s,
+        events=tuple(events),
+    )
+
+
+_TAGS = {
+    "join": SITE_JOIN,
+    "leave": SITE_LEAVE,
+    "add": ATTR_ADD,
+    "drop": ATTR_DROP,
+    "rename": ATTR_RENAME,
+}
+
+
+def _normalize(kind: str) -> str:
+    resolved = _TAGS.get(kind, kind if kind in KINDS else None)
+    if resolved is None:
+        raise EvolutionError(
+            f"unknown evolution kind {kind!r} (choose from {sorted(_TAGS)})"
+        )
+    return resolved
+
+
+def _resolve_one(
+    system, kind, at, rng, referenced, roster, dropped, renamed, added
+) -> Optional[EvolutionEvent]:
+    if kind == SITE_LEAVE:
+        site = _pick_leave_site(system, rng, referenced, roster, dropped)
+        if site is None:
+            return None
+        return EvolutionEvent(kind=kind, at=at, site=site)
+    if kind == SITE_JOIN:
+        return EvolutionEvent(kind=kind, at=at, site=_fresh_site(roster))
+    if kind == ATTR_ADD:
+        target = _pick_add_target(system, rng, roster, added)
+        if target is None:
+            return None
+        site, global_class, attr = target
+        return EvolutionEvent(
+            kind=kind, at=at, site=site, global_class=global_class, attr=attr
+        )
+    if kind == ATTR_DROP:
+        target = _pick_drop_target(
+            system, rng, referenced, roster, dropped, renamed
+        )
+        if target is None:
+            return None
+        site, global_class, attr = target
+        return EvolutionEvent(
+            kind=kind, at=at, site=site, global_class=global_class, attr=attr
+        )
+    target = _pick_rename_target(
+        system, rng, referenced, renamed, roster, dropped
+    )
+    if target is None:
+        return None
+    global_class, attr, new_name = target
+    return EvolutionEvent(
+        kind=kind, at=at, global_class=global_class,
+        attr=attr, new_name=new_name,
+    )
+
+
+def _defining_sites(system, global_class, attr, roster, dropped):
+    """Sites (still on the roster) whose constituent defines *attr*."""
+    sites = []
+    corr = system.global_schema.correspondence(global_class)
+    for ref in corr.constituents:
+        if ref.db_name not in roster:
+            continue
+        if (ref.db_name, global_class, attr) in dropped:
+            continue
+        cdef = system.db(ref.db_name).schema.cls(ref.class_name)
+        if cdef.has_attribute(attr):
+            sites.append(ref.db_name)
+    return sites
+
+
+def _pick_leave_site(system, rng, referenced, roster, dropped):
+    if len(roster) < 2:
+        return None
+    candidates = []
+    for site in roster:
+        ok = True
+        for global_class in sorted(system.global_schema._correspondences):
+            corr = system.global_schema.correspondence(global_class)
+            remaining = [
+                r.db_name for r in corr.constituents
+                if r.db_name in roster and r.db_name != site
+            ]
+            if not remaining:
+                ok = False
+                break
+            gdef = system.global_schema.cls(global_class)
+            for attr in gdef.attributes:
+                if attr.name not in referenced:
+                    continue
+                defining = _defining_sites(
+                    system, global_class, attr.name, roster, dropped
+                )
+                if defining and all(d == site for d in defining):
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            candidates.append(site)
+    return rng.choice(candidates) if candidates else None
+
+
+def _fresh_site(roster) -> str:
+    n = 1
+    while f"DBJ{n}" in roster:
+        n += 1
+    return f"DBJ{n}"
+
+
+def _pick_add_target(system, rng, roster, added):
+    candidates = []
+    for site in roster:
+        if site not in system.databases:
+            continue  # a join not yet applied; skip
+        db = system.db(site)
+        for local_cls in sorted(db.schema.class_names):
+            global_class = system.global_schema.global_class_of(
+                site, local_cls
+            )
+            if global_class is not None:
+                candidates.append((site, global_class))
+    if not candidates:
+        return None
+    site, global_class = rng.choice(sorted(candidates))
+    n = 1
+    gdef = system.global_schema.cls(global_class)
+    taken = {attr for _s, cls, attr in added if cls == global_class}
+    while gdef.has_attribute(f"z{n}") or f"z{n}" in taken:
+        n += 1
+    return site, global_class, f"z{n}"
+
+
+def _attr_candidates(system, roster, dropped):
+    """(site, global class, primitive attr) triples still droppable."""
+    triples = []
+    for global_class in sorted(system.global_schema._correspondences):
+        corr = system.global_schema.correspondence(global_class)
+        multi = corr.multi_valued_attributes
+        for ref in corr.constituents:
+            if ref.db_name not in roster or ref.db_name not in system.databases:
+                continue
+            cdef = system.db(ref.db_name).schema.cls(ref.class_name)
+            for attr in cdef.attributes:
+                if attr.domain is not None or attr.name in multi:
+                    continue
+                if attr.name == corr.key_attribute:
+                    continue
+                if (ref.db_name, global_class, attr.name) in dropped:
+                    continue
+                triples.append((ref.db_name, global_class, attr.name))
+    return triples
+
+
+def _pick_drop_target(system, rng, referenced, roster, dropped, renamed):
+    candidates = []
+    for site, global_class, attr in _attr_candidates(system, roster, dropped):
+        if (global_class, attr) in renamed:
+            continue  # an earlier rename already moved this attribute
+        if attr in referenced:
+            defining = _defining_sites(
+                system, global_class, attr, roster, dropped
+            )
+            if len(defining) < 2:
+                continue  # would un-define a referenced attribute
+        candidates.append((site, global_class, attr))
+    return rng.choice(sorted(candidates)) if candidates else None
+
+
+def _pick_rename_target(system, rng, referenced, renamed, roster, dropped):
+    candidates = []
+    for global_class in sorted(system.global_schema._correspondences):
+        corr = system.global_schema.correspondence(global_class)
+        multi = corr.multi_valued_attributes
+        gdef = system.global_schema.cls(global_class)
+        for attr in gdef.attributes:
+            if attr.domain is not None or attr.multi_valued:
+                continue
+            if attr.name in multi or attr.name == corr.key_attribute:
+                continue
+            if attr.name in referenced:
+                continue
+            if (global_class, attr.name) in renamed:
+                continue
+            # Earlier leaves/drops may have removed every definition;
+            # a rename with nothing left to rename is an error.
+            if not _defining_sites(
+                system, global_class, attr.name, roster, dropped
+            ):
+                continue
+            candidates.append((global_class, attr.name))
+    if not candidates:
+        return None
+    global_class, attr = rng.choice(sorted(candidates))
+    n = 1
+    gdef = system.global_schema.cls(global_class)
+    while gdef.has_attribute(f"{attr}x{n}") or f"{attr}x{n}" in referenced:
+        n += 1
+    return global_class, attr, f"{attr}x{n}"
+
+
+def resolve_auto(
+    plan: EvolutionPlan, system, query, extra_referenced: Iterable[str] = ()
+) -> EvolutionPlan:
+    """Fill in a spec-parsed plan's auto placeholders, keeping the rest.
+
+    Concrete entries pass through unchanged (and are validated when the
+    controller applies them); each ``?auto`` placeholder is resolved by
+    the same candidate logic as :func:`safe_plan`, seeded by the plan's
+    seed, at the placeholder's scheduled time.
+    """
+    if not plan.needs_resolution:
+        return plan
+    auto_kinds: List[str] = []
+    auto_times: List[float] = []
+    for event in plan.events:
+        if _is_auto(event):
+            auto_kinds.append(event.kind)
+            auto_times.append(event.at)
+    resolved = safe_plan(
+        system, query, auto_kinds, seed=plan.seed, times=auto_times,
+        propagation_lag_s=plan.propagation_lag_s,
+        extra_referenced=extra_referenced,
+    )
+    replacements = list(resolved.events)
+    events: List[EvolutionEvent] = []
+    for event in plan.events:
+        if not _is_auto(event):
+            events.append(event)
+            continue
+        # safe_plan may have skipped infeasible kinds; match by (kind, at).
+        match = next(
+            (
+                r for r in replacements
+                if r.kind == event.kind and r.at == event.at
+            ),
+            None,
+        )
+        if match is not None:
+            replacements.remove(match)
+            events.append(match)
+    return EvolutionPlan(
+        seed=plan.seed,
+        propagation_lag_s=plan.propagation_lag_s,
+        clone_fraction=plan.clone_fraction,
+        events=tuple(events),
+    )
+
+
+def _is_auto(event: EvolutionEvent) -> bool:
+    return (
+        event.site.startswith("?")
+        or event.global_class.startswith("?")
+        or event.attr.startswith("?")
+    )

@@ -101,6 +101,26 @@ class MappingTable:
         self._iso_memo.clear()
         self._loids_memo.clear()
 
+    def discard_db(self, db_name: str) -> int:
+        """Remove every entry of one component database (site excision).
+
+        Entities whose *only* copy lived at the departed site disappear
+        from the table entirely; entities with surviving copies keep
+        their GOid.  Returns the number of LOids removed.
+        """
+        removed = 0
+        for goid in list(self._by_goid):
+            row = self._by_goid[goid]
+            loid = row.pop(db_name, None)
+            if loid is not None:
+                self._by_loid.pop(loid, None)
+                removed += 1
+            if not row:
+                del self._by_goid[goid]
+        if removed:
+            self.invalidate()
+        return removed
+
     # --- lookups ------------------------------------------------------------
 
     def goid_of(self, loid: LOid) -> Optional[GOid]:
@@ -184,6 +204,10 @@ class MappingCatalog:
 
     def tables(self) -> Iterator[MappingTable]:
         return iter(self._tables.values())
+
+    def discard_db(self, db_name: str) -> int:
+        """Excise one site from every table; returns LOids removed."""
+        return sum(t.discard_db(db_name) for t in self._tables.values())
 
     def goid_of(self, global_class: str, loid: LOid) -> Optional[GOid]:
         return self.table(global_class).goid_of(loid)

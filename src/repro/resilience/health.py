@@ -84,6 +84,10 @@ class SiteHealth:
     cooldown_remaining: int = 0
     #: How many times this breaker has opened (seeds the cooldown).
     opened_count: int = 0
+    #: Administratively opened (formal site leave): suppressed contacts
+    #: never count down to a half-open probe — only an explicit
+    #: :meth:`SiteHealthRegistry.reset` (formal rejoin) recovers.
+    administrative: bool = False
 
 
 class SiteHealthRegistry:
@@ -116,6 +120,11 @@ class SiteHealthRegistry:
         record = self.health(site)
         if record.state != OPEN:
             return True
+        if record.administrative:
+            # Formal leave: no cooldown, no probes — the site is gone
+            # until a formal rejoin resets the breaker.
+            record.suppressed += 1
+            return False
         if record.cooldown_remaining > 0:
             record.cooldown_remaining -= 1
             record.suppressed += 1
@@ -156,6 +165,41 @@ class SiteHealthRegistry:
     def _transition(self, record: SiteHealth, to_state: str) -> None:
         self.transitions.append((record.site, record.state, to_state))
         record.state = to_state
+
+    # --- administrative hooks (formal leave / rejoin) -----------------------
+
+    def force_open(self, site: str) -> None:
+        """Open *site*'s breaker administratively (a formal leave).
+
+        Unlike a failure-driven open, an administrative open has no
+        cooldown: contacts are suppressed indefinitely (never a
+        half-open probe) until :meth:`reset` is called.  Idempotent.
+        """
+        record = self.health(site)
+        record.administrative = True
+        record.cooldown_remaining = 0
+        if record.state != OPEN:
+            record.opened_count += 1
+            self._transition(record, OPEN)
+
+    def reset(self, site: str) -> None:
+        """Restore *site* to a fresh closed breaker (a formal rejoin).
+
+        A rejoined site is contacted immediately: the open/half-open
+        state, accumulated consecutive failures, pending cooldown and
+        the administrative flag are all cleared (lifetime counters are
+        kept for observability).  Without this hook a formally rejoined
+        site would sit behind a stale open circuit until the cooldown
+        expired and a probe happened to succeed.
+        """
+        record = self._sites.get(site)
+        if record is None:
+            return
+        if record.state != CLOSED:
+            self._transition(record, CLOSED)
+        record.consecutive_failures = 0
+        record.cooldown_remaining = 0
+        record.administrative = False
 
     # --- queries ------------------------------------------------------------
 

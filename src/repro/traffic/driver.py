@@ -24,19 +24,30 @@ Correctness under interleaving is checked, not assumed:
 distinct bound query serially on a fresh engine and demands a
 byte-identical answer digest (the difftest oracle's notion of answer
 equality).  Shared caches may change *cost*, never *answers*.
+
+Live evolution: pass an :class:`~repro.evolution.plan.EvolutionPlan`
+and the engine runs a controller pump process alongside the workers —
+membership and schema changes fire on the same simulated clock the
+queries run on.  Every grant records the federation epoch it executed
+against (``QueryRecord.evo_step``); serial verification of a churned
+run rebuilds a fresh federation via *system_factory* and replays
+records in epoch order, stepping a fresh controller to each record's
+epoch before re-executing.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.engine import GlobalQueryEngine
 from repro.core.options import ExecutionOptions
 from repro.core.system import DistributedSystem
 from repro.difftest.oracle import answer_digest
 from repro.errors import WorkloadError
+from repro.evolution.controller import EvolutionController
+from repro.evolution.plan import EvolutionPlan
 from repro.integration.mapping import CacheStats
 from repro.sim.kernel import Acquire, Release, Resource, Simulator, Timeout
 from repro.traffic.mix import QueryMix
@@ -81,6 +92,11 @@ class QueryRecord:
     digest: str
     fault_seed: Optional[int] = None
     shed: bool = False
+    #: Federation evolution epoch the query executed against (the
+    #: controller's applied-transition count at the admission grant).
+    evo_step: int = 0
+    #: Whether the execution straddled an open propagation window.
+    straddled: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -134,6 +150,12 @@ class TrafficReport:
     records: List[QueryRecord] = field(repr=False, default_factory=list)
     verified: int = 0
     violations: List[str] = field(default_factory=list)
+    #: Evolution-under-load annotations (defaults = frozen federation).
+    evolution: str = ""
+    evo_transitions: int = 0
+    final_epoch: int = 0
+    queries_straddled: int = 0
+    propagation_lag_mean_s: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-stable summary (records elided, no wall clock)."""
@@ -177,10 +199,19 @@ class TrafficReport:
             ],
             "verified": self.verified,
             "violations": list(self.violations),
+            "evolution": {
+                "plan": self.evolution,
+                "transitions": self.evo_transitions,
+                "final_epoch": self.final_epoch,
+                "queries_straddled": self.queries_straddled,
+                "propagation_lag_mean_s": round(
+                    self.propagation_lag_mean_s, 9
+                ),
+            },
         }
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.completed} queries ({self.shed} shed) in "
             f"{self.makespan_s:.3f} simulated s — "
             f"{self.throughput_qps:.1f} q/s, latency p50/p95/p99 = "
@@ -188,6 +219,12 @@ class TrafficReport:
             f"{self.latency_p95_s * 1000:.1f}/"
             f"{self.latency_p99_s * 1000:.1f} ms"
         )
+        if self.evo_transitions:
+            text += (
+                f"; {self.evo_transitions} evolution transitions, "
+                f"{self.queries_straddled} queries straddled"
+            )
+        return text
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -214,6 +251,8 @@ class TrafficEngine:
         admission: Optional[AdmissionControl] = None,
         think_time_s: float = 0.0,
         total_queries: Optional[int] = None,
+        evolution: Optional[EvolutionPlan] = None,
+        system_factory: Optional[Callable[[], DistributedSystem]] = None,
     ) -> None:
         if workers < 1:
             raise WorkloadError("traffic needs at least one worker")
@@ -250,6 +289,31 @@ class TrafficEngine:
         if getattr(self.engine.default_strategy, "use_signatures", False):
             self.engine.ensure_signatures()
         self._sessions: List = []
+        #: Evolution under load: the plan runs on the traffic clock via
+        #: a controller pump process; *system_factory* rebuilds a fresh
+        #: pre-plan federation for serial verification of churned runs.
+        self.evolution = (
+            evolution if evolution is not None and evolution.active else None
+        )
+        self.system_factory = system_factory
+        self._controller: Optional[EvolutionController] = None
+
+    # --- the evolution pump -------------------------------------------------
+
+    def _evolution_pump(self, sim: Simulator, ctl: EvolutionController):
+        """Apply plan transitions at their simulated times.
+
+        Workers execute queries synchronously at the admission grant, so
+        the controller can only advance *between* executions — which is
+        exactly what pins every query to one epoch.
+        """
+        while not ctl.done:
+            next_t = ctl.next_time()
+            if next_t is None:  # pragma: no cover - done implies None
+                break
+            if next_t > sim.now:
+                yield Timeout(next_t - sim.now)
+            ctl.step()
 
     # --- the worker process -------------------------------------------------
 
@@ -288,6 +352,10 @@ class TrafficEngine:
                     service_s=0.0,
                     digest="",
                     shed=True,
+                    evo_step=(
+                        self._controller.applied
+                        if self._controller is not None else 0
+                    ),
                 ))
                 if self.admission.shed_backoff_s > 0:
                     yield Timeout(
@@ -301,6 +369,12 @@ class TrafficEngine:
             if base.faults_active:
                 fault_seed = derive_seed(self.seed, "fault", worker_id, seq)
                 opts = base.with_(fault_seed=fault_seed)
+            # The execution is synchronous at the grant instant, so the
+            # controller's applied count here *is* the query's epoch pin.
+            evo_step = (
+                self._controller.applied if self._controller is not None
+                else 0
+            )
             report = session.execute(bound.query, options=opts)
             service = report.metrics.total_time
             yield Timeout(service)
@@ -315,6 +389,8 @@ class TrafficEngine:
                 service_s=service,
                 digest=answer_digest(report.results),
                 fault_seed=fault_seed,
+                evo_step=evo_step,
+                straddled=bool(report.availability.epochs_straddled),
             ))
 
     # --- runs ---------------------------------------------------------------
@@ -333,6 +409,19 @@ class TrafficEngine:
             sim, "admission", capacity=self.admission.max_in_flight
         )
         records: List[QueryRecord] = []
+        if self.evolution is not None:
+            if self._controller is not None:
+                raise WorkloadError(
+                    "an evolved TrafficEngine is single-shot: the plan "
+                    "already mutated the federation; build a fresh engine"
+                )
+            self._controller = EvolutionController(
+                self.system, self.evolution
+            )
+            sim.process(
+                self._evolution_pump(sim, self._controller),
+                name="evolution",
+            )
         self._sessions = [
             self.engine.session(name=f"worker-{worker_id}")
             for worker_id in range(self.workers)
@@ -399,6 +488,19 @@ class TrafficEngine:
             ],
             records=records,
         )
+        if self._controller is not None:
+            ctl = self._controller
+            lags = [
+                ctl.propagation_lag(event.label)
+                for event in self.evolution.ordered_events()
+            ]
+            report.evolution = self.evolution.describe()
+            report.evo_transitions = ctl.applied
+            report.final_epoch = self.system.schema_epoch
+            report.queries_straddled = sum(1 for r in done if r.straddled)
+            report.propagation_lag_mean_s = (
+                sum(lags) / len(lags) if lags else 0.0
+            )
         if verify:
             self._verify_serial(report)
         return report
@@ -409,6 +511,9 @@ class TrafficEngine:
 
     def _verify_serial(self, report: TrafficReport) -> None:
         """Re-execute each distinct bound query serially; compare digests."""
+        if self._controller is not None:
+            self._verify_serial_evolved(report)
+            return
         serial = GlobalQueryEngine(
             self.system,
             default_strategy=self.strategy,
@@ -439,6 +544,61 @@ class TrafficEngine:
                     f"worker {record.worker} seq {record.seq} "
                     f"({record.template}): interleaved digest "
                     f"{record.digest} != serial {digest}"
+                )
+
+    def _verify_serial_evolved(self, report: TrafficReport) -> None:
+        """Serial verification of a churned run, epoch by epoch.
+
+        The live federation was mutated in place, so the serial baseline
+        is a *fresh* federation (from *system_factory*) plus a fresh
+        controller stepped to each record's pinned epoch.  Records are
+        replayed in (epoch, worker, seq) order — the controller only
+        steps forward — and the memo key includes the epoch: the same
+        bound query can legitimately answer differently across epochs.
+        """
+        if self.system_factory is None:
+            raise WorkloadError(
+                "verifying an evolved traffic run needs system_factory "
+                "(a zero-argument callable rebuilding the pre-plan "
+                "federation)"
+            )
+        system = self.system_factory()
+        controller = EvolutionController(system, self.evolution)
+        serial = GlobalQueryEngine(
+            system,
+            default_strategy=self.strategy,
+            options=self.engine.options,
+        )
+        if getattr(serial.default_strategy, "use_signatures", False):
+            serial.ensure_signatures()
+        expected: Dict[Tuple[object, Optional[int], int], str] = {}
+        regen: Dict[int, List[BoundQuery]] = {
+            worker_id: self.replay_worker(worker_id)
+            for worker_id in range(self.workers)
+        }
+        replay = sorted(
+            (r for r in report.records if not r.shed),
+            key=lambda r: (r.evo_step, r.worker, r.seq),
+        )
+        for record in replay:
+            controller.step_to(record.evo_step)
+            bound = regen[record.worker][record.seq]
+            key = (bound.query, record.fault_seed, record.evo_step)
+            digest = expected.get(key)
+            if digest is None:
+                opts = serial.options
+                if record.fault_seed is not None:
+                    opts = opts.with_(fault_seed=record.fault_seed)
+                digest = answer_digest(
+                    serial.execute(bound.query, options=opts).results
+                )
+                expected[key] = digest
+            report.verified += 1
+            if digest != record.digest:
+                report.violations.append(
+                    f"worker {record.worker} seq {record.seq} "
+                    f"epoch {record.evo_step} ({record.template}): "
+                    f"interleaved digest {record.digest} != serial {digest}"
                 )
 
     def replay_worker(self, worker_id: int) -> List[BoundQuery]:

@@ -126,14 +126,46 @@ class TestOracle:
         assert "VIOLATION" not in stream.getvalue()
 
     def test_committed_cases_catch_the_resolver_bug(self, broken_resolver):
-        """Each committed case re-finds the bug it was shrunk from."""
+        """Each committed resolver case re-finds the bug it was shrunk
+        from.  (Evolution cases guard a different, build-time bug — see
+        ``test_committed_evolution_case_catches_target_tracking_bug``.)
+        """
         oracle = StrategyOracle()
+        checked = 0
         for name in sorted(os.listdir(CASES_DIR)):
             with open(os.path.join(CASES_DIR, name)) as handle:
                 case = FuzzCase.from_json(handle.read())
+            if case.evolve:
+                continue
+            checked += 1
             violations = oracle.check(case)
             assert violations, f"{name} no longer catches the bug"
             assert any(v.invariant == "equivalence" for v in violations)
+        assert checked >= 2
+
+    def test_committed_evolution_case_catches_target_tracking_bug(
+        self, monkeypatch
+    ):
+        """The committed evolve case re-finds the seeding bug it caught:
+        ``safe_plan`` once forgot which attributes earlier renames had
+        moved, so a later drop could target a renamed-away attribute and
+        crash when the controller applied it."""
+        from repro.evolution import seeding
+        from repro.evolution.controller import EvolutionController
+
+        orig = seeding._pick_drop_target
+        monkeypatch.setattr(
+            seeding, "_pick_drop_target",
+            lambda system, rng, referenced, roster, dropped, renamed:
+                orig(system, rng, referenced, roster, dropped, set()),
+        )
+        with open(os.path.join(
+            CASES_DIR, "fuzz-1996-48-evolve-rename-drop.json"
+        )) as handle:
+            case = FuzzCase.from_json(handle.read())
+        built = case.build()
+        with pytest.raises(ReproError, match="does not define"):
+            EvolutionController(built.system, built.evolution).run_all()
 
     def test_loose_entity_check_misses_what_oracle_catches(
         self, broken_resolver
@@ -234,4 +266,4 @@ class TestCli:
 
         assert main(["fuzz", "--replay", CASES_DIR]) == 0
         out = capsys.readouterr().out
-        assert "replay: 2 case(s), 0 violation(s)" in out
+        assert "replay: 3 case(s), 0 violation(s)" in out
