@@ -1,4 +1,4 @@
-"""Hot-path bench: batched check dispatch + cache warmth, per strategy.
+"""Hot-path bench: batched check dispatch, cache warmth, columnar kernels.
 
 Sweeps generated federations over an (N_db x extent scale) grid and, per
 strategy, runs each query
@@ -6,18 +6,25 @@ strategy, runs each query
 * **batched** (the default wire protocol: one check request/reply pair
   per ``(src, dst)`` link),
 * **batched again** (same engine — measures mapping-index/decomposition
-  cache hits on a repeated query), and
+  cache hits on a repeated query),
 * **unbatched** (``batch_checks=False``: the historical
-  one-message-pair-per-request protocol),
+  one-message-pair-per-request protocol), and
+* **row path** (``columnar=False``: per-object evaluation instead of the
+  columnar extent kernels),
 
 recording network messages, bytes, simulated total/response time, cache
-traffic and wall-clock.  The bench enforces the batching contract:
+traffic and wall-clock.  The bench enforces the batching and columnar
+contracts:
 
 * answers are byte-identical between the batched and unbatched runs
-  (same ResultSet JSON, cell by cell);
+  *and* between the columnar and row paths (same ResultSet JSON, cell by
+  cell);
 * batching never sends more messages, and strictly fewer in aggregate
   for every localized strategy;
-* a repeated query hits the caches (warm hit rate > 0).
+* a repeated query hits the caches (warm hit rate > 0);
+* warm local evaluation over the columnar kernels is at least 5x faster
+  than the row path at the sweep's largest grid cell (the
+  ``local_eval`` section records the wall-clock for every cell).
 
 Runs standalone; CI runs the quick grid and diffs against the committed
 baseline::
@@ -26,8 +33,8 @@ baseline::
         --json BENCH_hotpath.json --check benchmarks/results/BENCH_hotpath.json
 
 The JSON output is fully determined by the grid: no timestamps and no
-dict-order dependence.  ``wall_s`` fields are informational only and are
-ignored by ``--check``.
+dict-order dependence.  ``wall_s`` fields and the ``local_eval`` timing
+section are informational only and are ignored by ``--check``.
 """
 
 from __future__ import annotations
@@ -50,7 +57,7 @@ from bench_common import make_workload, write_result
 from repro.bench.reporting import format_table
 from repro.core.engine import GlobalQueryEngine
 
-SCHEMA = "BENCH_hotpath/v1"
+SCHEMA = "BENCH_hotpath/v2"
 STRATEGIES = ("CA", "BL", "PL", "BL-S", "PL-S")
 LOCALIZED = ("BL", "PL", "BL-S", "PL-S")
 
@@ -68,6 +75,7 @@ QUICK_GRID = ((3, 0.03), (4, 0.03))
 #: Fields compared by --check (everything deterministic; wall_s is not).
 CHECKED_FIELDS = (
     "answer_digest",
+    "row_path_digest",
     "messages_batched",
     "messages_unbatched",
     "bytes_batched",
@@ -77,6 +85,10 @@ CHECKED_FIELDS = (
     "warm_cache_hits",
     "warm_cache_misses",
 )
+
+#: Minimum warm local-eval speedup (columnar vs row path) the sweep's
+#: largest grid cell must reach.
+MIN_COLUMNAR_SPEEDUP = 5.0
 
 
 def _digest(report) -> str:
@@ -97,6 +109,9 @@ def run_cell(n_db: int, scale: float, strategy: str) -> dict:
     unbatched = engine.execute(
         workload.query, strategy, batch_checks=False
     )
+    row_path = engine.execute(
+        workload.query, strategy, engine.options.with_(columnar=False)
+    )
 
     cold_digest = _digest(cold)
     if _digest(unbatched) != cold_digest:
@@ -108,6 +123,12 @@ def run_cell(n_db: int, scale: float, strategy: str) -> dict:
         raise AssertionError(
             f"{strategy} ndb{n_db} scale{scale:g}: repeated query changed "
             "the answer"
+        )
+    row_path_digest = _digest(row_path)
+    if row_path_digest != cold_digest:
+        raise AssertionError(
+            f"{strategy} ndb{n_db} scale{scale:g}: columnar and row-path "
+            "answers differ"
         )
     batched_msgs = cold.metrics.work.messages
     unbatched_msgs = unbatched.metrics.work.messages
@@ -123,6 +144,7 @@ def run_cell(n_db: int, scale: float, strategy: str) -> dict:
         "scale": scale,
         "strategy": strategy,
         "answer_digest": cold_digest,
+        "row_path_digest": row_path_digest,
         "certain": len(cold.results.certain),
         "maybe": len(cold.results.maybe),
         "messages_batched": batched_msgs,
@@ -140,22 +162,70 @@ def run_cell(n_db: int, scale: float, strategy: str) -> dict:
     }
 
 
+def measure_local_eval(n_db: int, scale: float, reps: int = 3) -> dict:
+    """Warm local-evaluation wall-clock: columnar kernels vs row path.
+
+    Times repeated :meth:`ComponentDatabase.execute_local` calls over
+    the workload's decomposed local queries — the loop the columnar
+    extent exists for — after one warm-up pass on each path.  Timing
+    only; answer equality is enforced per cell by :func:`run_cell` and
+    object-by-object by the test suite.
+    """
+    workload = make_workload(WORKLOAD_SEEDS[n_db], scale, n_dbs=n_db)
+    system = workload.system
+    decomp = system.decompose(workload.query)
+    pairs = [
+        (system.db(lq.db_name), lq)
+        for lq in decomp.local_queries.values()
+    ]
+    for db, lq in pairs:
+        db.execute_local(lq, columnar=True)
+        db.execute_local(lq, columnar=False)
+    start = time.perf_counter()
+    for _ in range(reps):
+        for db, lq in pairs:
+            db.execute_local(lq, columnar=True)
+    columnar_s = (time.perf_counter() - start) / reps
+    start = time.perf_counter()
+    for _ in range(reps):
+        for db, lq in pairs:
+            db.execute_local(lq, columnar=False)
+    row_s = (time.perf_counter() - start) / reps
+    return {
+        "workload": f"ndb{n_db}-scale{scale:g}",
+        "n_db": n_db,
+        "scale": scale,
+        "columnar_wall_s": round(columnar_s, 6),
+        "row_wall_s": round(row_s, 6),
+        "speedup": round(row_s / columnar_s, 2),
+    }
+
+
 def sweep(grid) -> dict:
     cells = []
     for n_db, scale in grid:
         for strategy in STRATEGIES:
             cells.append(run_cell(n_db, scale, strategy))
-    _assert_contract(cells)
+    local_eval = [measure_local_eval(n_db, scale) for n_db, scale in grid]
+    _assert_contract(cells, local_eval)
     return {
         "schema": SCHEMA,
         "seeds": {str(k): v for k, v in sorted(WORKLOAD_SEEDS.items())},
         "grid": [{"n_db": n, "scale": s} for n, s in grid],
         "cells": cells,
+        "local_eval": local_eval,
     }
 
 
-def _assert_contract(cells) -> None:
+def _assert_contract(cells, local_eval) -> None:
     """Aggregate guarantees the per-cell checks cannot express."""
+    largest = max(local_eval, key=lambda e: (e["n_db"], e["scale"]))
+    if largest["speedup"] < MIN_COLUMNAR_SPEEDUP:
+        raise AssertionError(
+            f"{largest['workload']}: columnar local eval only "
+            f"{largest['speedup']}x faster than the row path "
+            f"(contract: >= {MIN_COLUMNAR_SPEEDUP}x at the largest cell)"
+        )
     for strategy in LOCALIZED:
         batched = sum(
             c["messages_batched"] for c in cells
@@ -220,7 +290,18 @@ def render(result: dict) -> str:
          f"{c['warm_cache_hit_rate']:.2f}"]
         for c in result["cells"]
     ]
-    return format_table(headers, rows)
+    text = format_table(headers, rows)
+    eval_headers = ["workload", "columnar (s)", "row path (s)", "speedup"]
+    eval_rows = [
+        [e["workload"], f"{e['columnar_wall_s']:.4f}",
+         f"{e['row_wall_s']:.4f}", f"{e['speedup']:.1f}x"]
+        for e in result["local_eval"]
+    ]
+    return (
+        text
+        + "\n\nwarm local evaluation (columnar kernels vs row path):\n"
+        + format_table(eval_headers, eval_rows)
+    )
 
 
 def main(argv=None):

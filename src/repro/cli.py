@@ -144,6 +144,15 @@ def _add_batch_arg(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_columnar_arg(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--no-columnar", action="store_true", dest="no_columnar",
+        help="evaluate local queries, assistant checks and the outerjoin "
+             "merge on the per-object row path instead of the columnar "
+             "extent kernels (answers are identical either way)",
+    )
+
+
 def _cli_options(args: argparse.Namespace) -> ExecutionOptions:
     """One ExecutionOptions value from the fault/batching flags."""
     return ExecutionOptions(
@@ -152,6 +161,7 @@ def _cli_options(args: argparse.Namespace) -> ExecutionOptions:
         fault_seed=getattr(args, "fault_seed", 0),
         batch_checks=not getattr(args, "no_batch", False),
         failover=getattr(args, "failover", True),
+        columnar=not getattr(args, "no_columnar", False),
     )
 
 
@@ -265,12 +275,18 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     # Imported lazily: the harness pulls in the whole strategy stack.
     from repro.difftest import replay_cases, run_fuzz
+    from repro.difftest.oracle import StrategyOracle
 
+    # --no-columnar anchors every invariant run on the row path; the
+    # oracle's columnar invariant still cross-checks the opposite path.
+    oracle = (
+        StrategyOracle(columnar=False) if args.no_columnar else None
+    )
     if args.replay:
-        violations = replay_cases(args.replay)
+        violations = replay_cases(args.replay, oracle=oracle)
     else:
         violations = run_fuzz(
-            args.seed, args.cases, out_dir=args.out or None
+            args.seed, args.cases, out_dir=args.out or None, oracle=oracle
         )
     return 1 if violations else 0
 
@@ -439,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_args(query)
     _add_batch_arg(query)
+    _add_columnar_arg(query)
 
     explain = sub.add_parser(
         "explain", help="run a query once and print its execution report"
@@ -454,6 +471,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_args(explain)
     _add_batch_arg(explain)
+    _add_columnar_arg(explain)
 
     sub.add_parser("strategies", help="list registered strategies")
 
@@ -473,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_args(compare)
     _add_batch_arg(compare)
+    _add_columnar_arg(compare)
 
     sub.add_parser("tables", help="print Tables 1 and 2")
 
@@ -520,6 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_args(traffic)
     _add_batch_arg(traffic)
+    _add_columnar_arg(traffic)
 
     evolve = sub.add_parser(
         "evolve",
@@ -542,6 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_args(evolve)
     _add_batch_arg(evolve)
+    _add_columnar_arg(evolve)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential-test the strategies on random "
@@ -558,6 +579,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="",
         help="directory for shrunk JSON case files on violations",
     )
+    _add_columnar_arg(fuzz)
     return parser
 
 

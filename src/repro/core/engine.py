@@ -150,6 +150,7 @@ class GlobalQueryEngine:
         fault_seed: Optional[int] = None,
         batch_checks: Optional[bool] = None,
         failover: Optional[bool] = None,
+        columnar: Optional[bool] = None,
         options: Optional[ExecutionOptions] = None,
     ) -> None:
         self.system = system
@@ -164,6 +165,7 @@ class GlobalQueryEngine:
                 ("fault_seed", fault_seed),
                 ("batch_checks", batch_checks),
                 ("failover", failover),
+                ("columnar", columnar),
             )
             if value is not None
         }
@@ -215,6 +217,14 @@ class GlobalQueryEngine:
     @failover.setter
     def failover(self, value: bool) -> None:
         self.options = self.options.with_(failover=value)
+
+    @property
+    def columnar(self) -> bool:
+        return self.options.columnar
+
+    @columnar.setter
+    def columnar(self, value: bool) -> None:
+        self.options = self.options.with_(columnar=value)
 
     # --- sessions ----------------------------------------------------------
 
@@ -282,6 +292,7 @@ class GlobalQueryEngine:
             seed=options.fault_seed,
             failover=options.failover,
             batch_checks=options.batch_checks,
+            columnar=options.columnar,
         )
 
     def _run(
@@ -294,9 +305,9 @@ class GlobalQueryEngine:
         """One execution with fully-resolved options, on behalf of *session*.
 
         The chosen strategy instance is never mutated: a ``batch_checks``
-        override rides the :class:`ExecutionContext` when one exists and
-        a private copy of the strategy otherwise, so a Strategy shared
-        between sessions is safe under interleaving.
+        or ``columnar`` override rides the :class:`ExecutionContext` when
+        one exists and a private copy of the strategy otherwise, so a
+        Strategy shared between sessions is safe under interleaving.
         """
         query_text = query if isinstance(query, str) else str(query)
         if isinstance(query, str):
@@ -306,9 +317,13 @@ class GlobalQueryEngine:
             if strategy is None
             else self._resolve(strategy)
         )
-        if chosen.batch_checks != options.batch_checks:
+        if (
+            chosen.batch_checks != options.batch_checks
+            or chosen.columnar != options.columnar
+        ):
             chosen = copy.copy(chosen)
             chosen.batch_checks = options.batch_checks
+            chosen.columnar = options.columnar
         built_signatures = False
         if getattr(chosen, "use_signatures", False) and self.system.signatures is None:
             self.system.build_signatures()

@@ -29,7 +29,14 @@ from repro.faults.policy import ExecutionPolicy, resolve_policy
 
 #: Field names accepted by :meth:`ExecutionOptions.with_` (and by the
 #: engine's deprecated legacy kwargs).
-OPTION_FIELDS = ("fault_plan", "policy", "fault_seed", "batch_checks", "failover")
+OPTION_FIELDS = (
+    "fault_plan",
+    "policy",
+    "fault_seed",
+    "batch_checks",
+    "failover",
+    "columnar",
+)
 
 
 @dataclass(frozen=True)
@@ -50,6 +57,11 @@ class ExecutionOptions:
         failover: resilient dispatch under a fault plan — circuit
             breakers, relay rerouting and verdict-aware demotion
             (``False`` restores eager skip-and-demote).
+        columnar: evaluate local queries, assistant checks, and the
+            outerjoin merge over the columnar extent kernels
+            (``False`` forces the per-object row path everywhere; answers
+            are byte-identical either way — the transparency contract the
+            difftest oracle enforces).
     """
 
     fault_plan: Optional[FaultPlan] = None
@@ -57,6 +69,7 @@ class ExecutionOptions:
     fault_seed: int = 0
     batch_checks: bool = True
     failover: bool = True
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy", resolve_policy(self.policy))
@@ -83,6 +96,7 @@ class ExecutionOptions:
             f"fault_seed={self.fault_seed}",
             f"batch_checks={self.batch_checks}",
             f"failover={self.failover}",
+            f"columnar={self.columnar}",
         ]
         if self.fault_plan is not None:
             parts.insert(0, (

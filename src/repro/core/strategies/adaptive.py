@@ -195,6 +195,7 @@ class AdaptiveStrategy(Strategy):
         self.last_predictions = predictions
         delegate = strategy_by_name(choice)
         delegate.batch_checks = self.effective_batch_checks(ctx)
+        delegate.columnar = self.effective_columnar(ctx)
         if ctx is None:
             result = delegate.execute(system, query)
         else:

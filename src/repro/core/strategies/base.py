@@ -79,6 +79,18 @@ class Strategy(abc.ABC):
     #: False; the difftest oracle uses the flag to know which strategies
     #: owe a batched-vs-unbatched equivalence proof.
     affected_by_batching: bool = True
+    #: Evaluate local queries / assistant checks / the outerjoin merge
+    #: through the columnar extent kernels (the engine's
+    #: ``--no-columnar`` escape hatch flips this back to the per-object
+    #: row path).  A transparency contract like :attr:`batch_checks`:
+    #: answers, work counters and raised errors are byte-identical
+    #: either way.
+    columnar: bool = True
+    #: Whether flipping :attr:`columnar` changes this strategy's
+    #: execution path at all.  Every shipped strategy evaluates locally
+    #: (CA through ``materialize``), so they all owe the difftest oracle
+    #: a columnar-vs-row equivalence proof.
+    affected_by_columnar: bool = True
 
     @abc.abstractmethod
     def execute(
@@ -108,6 +120,19 @@ class Strategy(abc.ABC):
         if ctx is not None and ctx.batch_checks is not None:
             return ctx.batch_checks
         return self.batch_checks
+
+    def effective_columnar(self, ctx: Optional[ExecutionContext]) -> bool:
+        """This execution's local-evaluation path: the context override wins.
+
+        Same carrier rule as :meth:`effective_batch_checks` — the
+        per-execution ``columnar`` override travels on the
+        :class:`ExecutionContext` when faults are active and on a private
+        copy of the strategy otherwise, so a shared Strategy instance is
+        never mutated.
+        """
+        if ctx is not None and ctx.columnar is not None:
+            return ctx.columnar
+        return self.columnar
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"
@@ -309,17 +334,26 @@ def _answerable_predicates(
 
 
 def run_checks_paired(
-    requests: Sequence[CheckRequest], system: DistributedSystem
+    requests: Sequence[CheckRequest],
+    system: DistributedSystem,
+    columnar: bool = True,
 ) -> List[Tuple[CheckRequest, CheckReport]]:
     """Execute check requests at their home databases (steps BL_C3/PL_C3).
 
     Returns explicit ``(request, report)`` pairs so callers never rely on
     positional alignment between a request list and a report list — the
     seam batching rewrites, and the one a dropped or reordered report
-    would silently corrupt.
+    would silently corrupt.  *columnar* picks the home database's
+    evaluation path (kernel vs per-object rows); verdicts are identical
+    either way.
     """
     return [
-        (request, system.db(request.db_name).check_assistants(request))
+        (
+            request,
+            system.db(request.db_name).check_assistants(
+                request, columnar=columnar
+            ),
+        )
         for request in requests
     ]
 
@@ -428,6 +462,7 @@ def chase_blocked(
     max_rounds: int,
     ctx: Optional[ExecutionContext] = None,
     deferred_skips: Optional[List[Tuple[str, LOid, Predicate, int]]] = None,
+    columnar: bool = True,
 ) -> List[ChaseRound]:
     """Resolve multi-hop missing-reference chains by iterated checking.
 
@@ -528,7 +563,9 @@ def chase_blocked(
                     predicates=(predicate,),
                 )
             )
-        round_data.pairs = run_checks_paired(round_data.requests, system)
+        round_data.pairs = run_checks_paired(
+            round_data.requests, system, columnar=columnar
+        )
         round_data.reports = [report for _, report in round_data.pairs]
         rounds.append(round_data)
 

@@ -35,6 +35,10 @@ class CentralizedStrategy(Strategy):
     #: CA ships whole extents and never dispatches phase-O checks, so
     #: the batching flag cannot change its execution.
     affected_by_batching = False
+    #: The columnar flag does reach CA: it picks the outerjoin merge
+    #: path (batched per-attribute merge vs per-object), so CA owes the
+    #: oracle the columnar equivalence proof like everyone else.
+    affected_by_columnar = True
 
     def execute(
         self,
@@ -140,6 +144,7 @@ class CentralizedStrategy(Strategy):
             system.catalog,
             exports_by_class,
             stats,
+            columnar=self.effective_columnar(ctx),
         )
         work.comparisons += stats.comparisons
         integrate = fed.cpu(

@@ -84,6 +84,7 @@ class _LocalizedStrategy(Strategy):
         fed = system.simulator(ctx.plan if ctx is not None else None)
         work = WorkCounters()
         cost = system.cost_model
+        use_columnar = self.effective_columnar(ctx)
 
         local_results: Dict[str, LocalResultSet] = {}
         reports: List[CheckReport] = []
@@ -157,10 +158,12 @@ class _LocalizedStrategy(Strategy):
             )
 
             # --- run the site's work for real (logic layer) -------------
-            result = db.execute_local(local_query)
+            result = db.execute_local(local_query, columnar=use_columnar)
             local_results[db_name] = result
             if self.phase_o_first:
-                scan, scan_meter = db.collect_unsolved(local_query)
+                scan, scan_meter = db.collect_unsolved(
+                    local_query, columnar=use_columnar
+                )
                 items = scan.all_items()
             else:
                 items = [
@@ -279,8 +282,10 @@ class _LocalizedStrategy(Strategy):
                     )
                     continue
                 runnable.append(request)
-            paired = run_checks_paired(runnable, system)
-            relayed_paired = run_checks_paired(relayed, system)
+            paired = run_checks_paired(runnable, system, columnar=use_columnar)
+            relayed_paired = run_checks_paired(
+                relayed, system, columnar=use_columnar
+            )
             reports.extend(report for _, report in paired)
             reports.extend(report for _, report in relayed_paired)
             self._dispatch_checks(
@@ -296,7 +301,7 @@ class _LocalizedStrategy(Strategy):
         deferred_chase_skips: List[Tuple] = []
         chase_rounds = chase_blocked(
             reports, system, verdicts, max_rounds, ctx=ctx,
-            deferred_skips=deferred_chase_skips,
+            deferred_skips=deferred_chase_skips, columnar=use_columnar,
         )
         for round_no, chase in enumerate(chase_rounds, start=1):
             events.append(TraceEvent.of(

@@ -291,6 +291,26 @@ class DistributedSystem:
         self.bump_schema_version()
         return goid
 
+    # --- mutation hooks -------------------------------------------------
+
+    def note_mutation(self, db_name: str, obj) -> None:
+        """Propagate one in-place object mutation through every cache.
+
+        The single hook mutating code must call after changing a stored
+        object's values: it refreshes the owning database's derived
+        state (secondary indexes, columnar extents — see
+        :meth:`~repro.objectdb.database.ComponentDatabase.note_mutation`),
+        re-signs the object in the signature catalog when one is built,
+        and bumps the schema version so cached decompositions are
+        dropped.  Without it, a built index keeps serving pre-mutation
+        buckets (the stale-index bug) and signatures keep filtering on
+        stale values.
+        """
+        self.db(db_name).note_mutation(obj.class_name)
+        if self.signatures is not None:
+            self.signatures.update_object(obj)
+        self.bump_schema_version()
+
     # --- signatures ------------------------------------------------------
 
     def build_signatures(self) -> SignatureCatalog:

@@ -13,6 +13,12 @@ reproduce.  What it checks:
     For strategies whose execution batching can change at all
     (:attr:`Strategy.affected_by_batching`), the unbatched answer
     strictly equals the batched one.
+``columnar``
+    For strategies that touch a columnar kernel at all
+    (:attr:`Strategy.affected_by_columnar`), flipping the columnar
+    extent path (batch 3VL predicate kernels, batched assistant
+    checks, batched outerjoin merge) and re-running yields an answer
+    strictly equal to the other path's — the transparency contract.
 ``determinism``
     Rebuilding the case from its recipe and re-executing yields a
     byte-identical answer export.
@@ -118,8 +124,18 @@ def _first_difference(left: ResultSet, right: ResultSet) -> str:
 class StrategyOracle:
     """Runs every registered strategy on a case and checks invariants."""
 
-    def __init__(self, registry=DEFAULT_REGISTRY) -> None:
+    def __init__(
+        self,
+        registry=DEFAULT_REGISTRY,
+        columnar: Optional[bool] = None,
+    ) -> None:
         self.registry = registry
+        #: Base execution path for every invariant run: ``None`` keeps
+        #: the engine default (columnar on), ``False`` forces the row
+        #: path (the fuzz CLI's ``--no-columnar``).  The ``columnar``
+        #: invariant always compares against the *opposite* path, so
+        #: on/off equivalence is checked either way.
+        self.columnar = columnar
 
     @property
     def strategy_names(self) -> List[str]:
@@ -136,6 +152,8 @@ class StrategyOracle:
         # One session per case: every oracle execution flows through it
         # with explicit ExecutionOptions (never the deprecated kwargs).
         session = engine.session(name=f"difftest:{case.label}")
+        if self.columnar is not None:
+            session.options = session.options.with_(columnar=self.columnar)
 
         # Fault-free answers, one per strategy; CA anchors comparisons.
         answers: Dict[str, ResultSet] = {}
@@ -151,6 +169,7 @@ class StrategyOracle:
                 ))
 
         violations.extend(self._check_batching(case, session, built, answers))
+        violations.extend(self._check_columnar(case, session, built, answers))
         violations.extend(self._check_determinism(case, baseline))
         if built.fault_plan is not None:
             violations.extend(
@@ -185,6 +204,34 @@ class StrategyOracle:
                     "batching", case.label,
                     f"{name}: batched vs unbatched: "
                     f"{_first_difference(answers[name], unbatched)}",
+                    case,
+                ))
+        return violations
+
+    def _check_columnar(self, case, session, built, answers) -> List[Violation]:
+        """Flipping the columnar execution path must never change an answer.
+
+        The transparency contract of the columnar extent kernels: batch
+        3VL predicate evaluation, batched assistant checks and the
+        batched outerjoin merge must reproduce the per-object row path
+        byte for byte.  Every strategy that touches a columnar kernel
+        (:attr:`Strategy.affected_by_columnar`) is re-run on the
+        opposite path and compared strictly against its base answer.
+        """
+        violations = []
+        base = session.options.columnar
+        flipped_options = session.options.with_(columnar=not base)
+        for name in self.strategy_names:
+            if not self.registry.create(name).affected_by_columnar:
+                continue
+            other = session.execute(
+                built.query, name, options=flipped_options
+            ).results
+            if not same_answers(answers[name], other):
+                violations.append(Violation(
+                    "columnar", case.label,
+                    f"{name}: columnar={base} vs columnar={not base}: "
+                    f"{_first_difference(answers[name], other)}",
                     case,
                 ))
         return violations

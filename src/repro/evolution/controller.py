@@ -315,7 +315,14 @@ class EvolutionController:
         self._swap_class_def(db, new_def)
         for obj in db.extent(local_cls).values():
             obj.values.pop(event.attr, None)
-        db.indexes._indexes.pop((local_cls, event.attr), None)
+        db.indexes.drop(local_cls, event.attr)
+        # In-place mutation: refresh the site's derived state (remaining
+        # indexes, columnar extents) and re-sign the touched objects
+        # instead of rebuilding the whole signature catalog.
+        db.note_mutation(local_cls)
+        if self.system.signatures is not None:
+            for obj in db.extent(local_cls).values():
+                self.system.signatures.update_object(obj)
         self._reintegrate()
 
     def _apply_attr_rename(self, event: EvolutionEvent) -> None:
@@ -356,6 +363,13 @@ class EvolutionController:
                     ref.class_name, event.new_name,
                     kind=getattr(index, "kind", "hash"),
                 )
+            # The rename mutated every stored object in place; refresh
+            # the site's derived state and re-sign the class (signature
+            # codes hash the attribute *name*, so a rename changes them).
+            db.note_mutation(ref.class_name)
+            if self.system.signatures is not None:
+                for obj in db.extent(ref.class_name).values():
+                    self.system.signatures.update_object(obj)
             touched += 1
         if touched == 0:
             raise EvolutionError(
@@ -404,6 +418,8 @@ class EvolutionController:
         del self.system.databases[site]
         for table in self.system.catalog.tables():
             table.discard_db(site)
+        if self.system.signatures is not None:
+            self.system.signatures.drop_site(site)
         self._reintegrate(replacements)
 
     def _apply_site_join(self, event: EvolutionEvent) -> None:
@@ -493,6 +509,7 @@ class EvolutionController:
                 table.add(goid, loid)
                 cloned.append((name, goid, obj, cdef))
         # Second pass: point complex attributes at local copies.
+        mutated_classes: Dict[str, None] = {}
         for name, goid, obj, cdef in cloned:
             for attr in cdef.attributes:
                 if attr.domain is None:
@@ -505,6 +522,13 @@ class EvolutionController:
                 ).loid_in(ref_goid, site)
                 if local is not None:
                     obj.values[attr.name] = local
+                    mutated_classes.setdefault(obj.class_name)
+        # The reference wiring mutated freshly-inserted objects in place.
+        for class_name in mutated_classes:
+            new_db.note_mutation(class_name)
+        if self.system.signatures is not None:
+            for _name, _goid, obj, _cdef in cloned:
+                self.system.signatures.index_object(obj)
 
     def _referenced_goid(self, global_class, goid, attr_name):
         """The GOid some existing copy's *attr_name* reference points at."""
@@ -557,8 +581,9 @@ class EvolutionController:
         self.system.global_schema = integrate_schemas(
             schemas, list(corrs.values())
         )
-        if self.system.signatures is not None:
-            self.system.build_signatures()
+        # Signatures are maintained incrementally at each mutation site
+        # (update_object / index_object / drop_site), so re-integration
+        # no longer rebuilds the whole catalog per transition.
 
     def _swap_class_def(self, db: ComponentDatabase, new_def: ClassDef) -> None:
         defs = [

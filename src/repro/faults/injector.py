@@ -162,6 +162,7 @@ class ExecutionContext:
         failover: bool = False,
         health: Optional["SiteHealthRegistry"] = None,
         batch_checks: Optional[bool] = None,
+        columnar: Optional[bool] = None,
     ) -> None:
         self.plan = plan
         self.policy = policy
@@ -172,6 +173,11 @@ class ExecutionContext:
         #: strategy's own default — see
         #: :meth:`Strategy.effective_batch_checks`.
         self.batch_checks = batch_checks
+        #: This execution's local-evaluation path (columnar extent
+        #: kernels vs per-object rows).  Same carrier pattern as
+        #: ``batch_checks``; ``None`` defers to the strategy's own
+        #: default — see :meth:`Strategy.effective_columnar`.
+        self.columnar = columnar
         self.contacted: List[str] = []
         self.skipped: List[str] = []
         self.retried: Dict[str, int] = {}

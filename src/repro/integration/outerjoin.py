@@ -42,6 +42,53 @@ class IntegrationStats:
         self.translations += other.translations
 
 
+class SiteExports(Mapping[str, Tuple[LocalObject, ...]]):
+    """Typed per-site export sets of one global class.
+
+    The integration layer used to take a plain ``Mapping[str, Iterable]``
+    and paper over the missing-site case with
+    ``exports.get(db_name, ())  # type: ignore[call-overload]`` — an
+    untyped hole where a ``None`` or a consumed iterator could slip
+    through.  This wrapper makes the contract real: values are
+    materialized to tuples at construction (re-iterable, never mutated by
+    the join), and :meth:`for_db` returns an empty typed tuple for a site
+    that shipped nothing.
+    """
+
+    __slots__ = ("_by_db",)
+
+    def __init__(
+        self,
+        exports: Optional[Mapping[str, Iterable[LocalObject]]] = None,
+    ) -> None:
+        self._by_db: Dict[str, Tuple[LocalObject, ...]] = {}
+        if exports is not None:
+            for db_name, objs in exports.items():
+                self._by_db[db_name] = tuple(objs)
+
+    @classmethod
+    def coerce(
+        cls, exports: Mapping[str, Iterable[LocalObject]]
+    ) -> "SiteExports":
+        """Wrap a plain mapping (identity when already wrapped)."""
+        if isinstance(exports, cls):
+            return exports
+        return cls(exports)
+
+    def for_db(self, db_name: str) -> Tuple[LocalObject, ...]:
+        """The objects *db_name* shipped — an empty tuple for absent sites."""
+        return self._by_db.get(db_name, ())
+
+    def __getitem__(self, db_name: str) -> Tuple[LocalObject, ...]:
+        return self._by_db[db_name]
+
+    def __iter__(self):
+        return iter(self._by_db)
+
+    def __len__(self) -> int:
+        return len(self._by_db)
+
+
 class GlobalExtent:
     """Materialized global classes at the processing site."""
 
@@ -75,13 +122,20 @@ def integrate_class(
     catalog: MappingCatalog,
     exports: Mapping[str, Iterable[LocalObject]],
     stats: Optional[IntegrationStats] = None,
+    columnar: bool = True,
 ) -> Dict[GOid, IntegratedObject]:
     """Outerjoin the exported constituent extents of *global_class*.
 
     Args:
         exports: db name -> the local objects of the constituent class
-            shipped from that site (already projected on query attributes).
+            shipped from that site (already projected on query
+            attributes); accepts a plain mapping or a
+            :class:`SiteExports`.
         stats: optional accumulator for integration work.
+        columnar: use the batched merge (per-class attribute metadata
+            and mapping tables hoisted out of the per-object loop).
+            Output objects, stats charges, and raised errors are
+            identical either way.
 
     Merge policy per attribute (matching Figure 6):
         * multi-valued attributes collect all distinct non-null values;
@@ -95,10 +149,11 @@ def integrate_class(
     table = catalog.table(global_class)
     cdef = global_schema.cls(global_class)
     ordered_dbs = global_schema.databases_of(global_class)
+    site_exports = SiteExports.coerce(exports)
 
     grouped: Dict[GOid, List[LocalObject]] = {}
     for db_name in ordered_dbs:
-        for obj in exports.get(db_name, ()):  # type: ignore[call-overload]
+        for obj in site_exports.for_db(db_name):
             stats.objects_in += 1
             stats.comparisons += 1  # hash probe on the join attribute
             goid = table.goid_of(obj.loid)
@@ -108,6 +163,11 @@ def integrate_class(
                     "has no GOid in the mapping catalog"
                 )
             grouped.setdefault(goid, []).append(obj)
+
+    if columnar:
+        return _merge_groups_batched(
+            global_class, cdef, catalog, grouped, stats
+        )
 
     integrated: Dict[GOid, IntegratedObject] = {}
     for goid, contributors in grouped.items():
@@ -124,6 +184,90 @@ def integrate_class(
             )
             if not is_null(merged):
                 values[attr.name] = merged
+        integrated[goid] = IntegratedObject(
+            goid=goid,
+            class_name=global_class,
+            values=values,
+            sources=tuple(obj.loid for obj in contributors),
+        )
+        stats.objects_out += 1
+    return integrated
+
+
+def _merge_groups_batched(
+    global_class: str,
+    cdef,
+    catalog: MappingCatalog,
+    grouped: Dict[GOid, List[LocalObject]],
+    stats: IntegrationStats,
+) -> Dict[GOid, IntegratedObject]:
+    """Batched merge: one pass per attribute column over all groups.
+
+    The per-object path re-reads attribute metadata (name, flags,
+    domain) from the schema and re-resolves the domain's mapping table
+    through the catalog for every ``(group, attribute)`` pair; here both
+    are hoisted once per class into a flat descriptor list the group
+    loop runs over.  Transparency contract: integrated objects, stats
+    charges, and :class:`MappingError`\\ s are identical to the
+    per-object merge — the (group, attribute, contributor) visit order
+    is unchanged, so first-non-null selection, translation charges, and
+    the first error raised all coincide.
+    """
+    # Hoisted per-attribute metadata: (name, multi_valued, is_complex,
+    # domain mapping table or None).  catalog.table() is resolved once
+    # per complex attribute instead of once per (group, member).
+    attr_meta = [
+        (
+            attr.name,
+            attr.multi_valued,
+            attr.is_complex,
+            catalog.table(attr.domain)
+            if attr.is_complex and attr.domain is not None
+            else None,
+        )
+        for attr in cdef.attributes
+    ]
+    integrated: Dict[GOid, IntegratedObject] = {}
+    for goid, contributors in grouped.items():
+        values: Dict[str, Value] = {}
+        for name, multi_valued, is_complex, domain_table in attr_meta:
+            collected: List[Value] = []
+            for obj in contributors:
+                raw = obj.get(name)
+                if is_null(raw):
+                    continue
+                members = (
+                    list(raw) if isinstance(raw, MultiValue) else [raw]
+                )
+                for member in members:
+                    if is_complex:
+                        if isinstance(member, GOid):
+                            collected.append(member)
+                            continue
+                        if not isinstance(member, LOid):
+                            raise MappingError(
+                                "complex attribute holds non-reference "
+                                f"value {member!r}"
+                            )
+                        if domain_table is None:
+                            raise MappingError(
+                                "complex attribute without a domain class"
+                            )
+                        stats.translations += 1
+                        stats.comparisons += 1  # mapping-table probe
+                        translated = domain_table.goid_of(member)
+                        if translated is None:
+                            # Dangling local reference -> missing data.
+                            continue
+                        collected.append(translated)
+                    else:
+                        collected.append(member)
+                if collected and not multi_valued:
+                    break  # first non-null contributor wins
+            if collected:
+                values[name] = (
+                    MultiValue(collected) if multi_valued else collected[0]
+                )
         integrated[goid] = IntegratedObject(
             goid=goid,
             class_name=global_class,
@@ -197,8 +341,14 @@ def materialize(
     catalog: MappingCatalog,
     exports_by_class: Mapping[str, Mapping[str, Iterable[LocalObject]]],
     stats: Optional[IntegrationStats] = None,
+    columnar: bool = True,
 ) -> GlobalExtent:
-    """Integrate several global classes into one :class:`GlobalExtent`."""
+    """Integrate several global classes into one :class:`GlobalExtent`.
+
+    *columnar* picks the batched per-class merge (the default) or the
+    historical per-object merge; the materialized extent is identical
+    either way.
+    """
     extent = GlobalExtent()
     for class_name in global_classes:
         integrated = integrate_class(
@@ -207,6 +357,7 @@ def materialize(
             catalog,
             exports_by_class.get(class_name, {}),
             stats,
+            columnar=columnar,
         )
         extent.install(class_name, integrated)
     return extent

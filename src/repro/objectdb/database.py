@@ -28,9 +28,17 @@ from repro.core.predicates import (
 from repro.core.query import Path, Predicate
 from repro.core.tvl import TV
 from repro.errors import ObjectStoreError, UnknownClassError
+from repro.objectdb.columnar import (
+    ColumnarExtent,
+    FALSE_CODE,
+    TV_OF_CODE,
+    UNKNOWN_CODE,
+    UnsolvedEntry,
+)
 from repro.objectdb.ids import GOid, LOid
 from repro.objectdb.indexes import IndexManager, IndexProbe
 from repro.objectdb.local_query import (
+    BatchPredicateSets,
     BlockedAt,
     CheckReport,
     CheckRequest,
@@ -41,6 +49,7 @@ from repro.objectdb.local_query import (
     RowKind,
     UnsolvedItem,
     UnsolvedPredicateOnObject,
+    partition_codes,
 )
 from repro.objectdb.objects import LocalObject
 from repro.objectdb.schema import ComponentSchema
@@ -75,6 +84,13 @@ class ComponentDatabase:
             name: {} for name in schema.class_names
         }
         self.indexes = IndexManager()
+        #: O(1) LOid lookup across all extents (mirrors :meth:`get`'s
+        #: schema-order scan semantics for cross-class duplicates).
+        self._by_loid: Dict[LOid, LocalObject] = {}
+        #: Bumped on every insert and every :meth:`note_mutation`; keys
+        #: the columnar extent views so a stale column can never be read.
+        self.data_version = 0
+        self._columnar: Dict[str, ColumnarExtent] = {}
 
     @property
     def name(self) -> str:
@@ -97,7 +113,18 @@ class ComponentDatabase:
         if validate:
             obj.validate_against(self.schema.cls(obj.class_name))
         extent[obj.loid] = obj
+        if obj.loid not in self._by_loid:
+            self._by_loid[obj.loid] = obj
+        else:
+            # Cross-class duplicate LOids: keep the schema-order winner
+            # the linear scan used to return.
+            for other in self._extents.values():
+                found = other.get(obj.loid)
+                if found is not None:
+                    self._by_loid[obj.loid] = found
+                    break
         self.indexes.maintain(obj)
+        self.data_version += 1
 
     def bulk_insert(self, objects: Iterable[LocalObject], validate: bool = False) -> int:
         """Insert many objects (validation off by default for generators)."""
@@ -109,11 +136,40 @@ class ComponentDatabase:
 
     def get(self, loid: LOid) -> Optional[LocalObject]:
         """Fetch an object by LOid (any class), or None."""
-        for extent in self._extents.values():
-            obj = extent.get(loid)
-            if obj is not None:
-                return obj
-        return None
+        return self._by_loid.get(loid)
+
+    def note_mutation(self, class_name: Optional[str] = None) -> None:
+        """Record an in-place mutation of stored objects' attributes.
+
+        A built secondary index snapshots attribute values and a columnar
+        view snapshots whole extents, so mutating ``obj.values`` without
+        this hook would leave both stale.  Bumps :attr:`data_version`
+        (invalidating every columnar view lazily) and rebuilds the
+        mutated class's indexes from the live extent.  Call with no
+        *class_name* when the mutated class is unknown; then every
+        class's indexes are rebuilt.
+
+        :meth:`DistributedSystem.note_mutation
+        <repro.core.system.DistributedSystem.note_mutation>` wraps this
+        with signature-catalog and decomposition-cache invalidation.
+        """
+        self.data_version += 1
+        self._columnar.clear()
+        if class_name is None:
+            for name, extent in self._extents.items():
+                self.indexes.refresh(name, extent.values())
+        else:
+            self.indexes.refresh(
+                class_name, self.extent(class_name).values()
+            )
+
+    def columnar_extent(self, class_name: str) -> ColumnarExtent:
+        """The versioned columnar view of one class extent (cached)."""
+        cached = self._columnar.get(class_name)
+        if cached is None or cached.version != self.data_version:
+            cached = ColumnarExtent(self, class_name)
+            self._columnar[class_name] = cached
+        return cached
 
     def extent(self, class_name: str) -> Dict[LOid, LocalObject]:
         """The stored objects of one class (live mapping; do not mutate)."""
@@ -172,7 +228,9 @@ class ComponentDatabase:
 
     # --- local query execution (steps BL_C1 / PL_C2) -------------------------
 
-    def execute_local(self, query: LocalQuery) -> LocalResultSet:
+    def execute_local(
+        self, query: LocalQuery, *, columnar: bool = True
+    ) -> LocalResultSet:
         """Evaluate *query* against the local root class extent.
 
         Objects whose local predicates are FALSE are eliminated.  For the
@@ -180,11 +238,21 @@ class ComponentDatabase:
         target paths, the unsolved predicates sitting on the root object,
         and the unsolved items (branch objects with missing data) together
         with their relative unsolved predicates.
+
+        With ``columnar`` (the default) evaluation runs over the cached
+        :class:`~repro.objectdb.columnar.ColumnarExtent` batch kernels —
+        byte-identical rows and meter totals; the row path runs instead
+        whenever the columnar attempt would hit an evaluation error or an
+        uncacheable operand (see docs/PERFORMANCE.md).
         """
         if query.db_name != self.name:
             raise ObjectStoreError(
                 f"query for db {query.db_name!r} executed at {self.name!r}"
             )
+        if columnar:
+            result = self._execute_local_columnar(query)
+            if result is not None:
+                return result
         result = LocalResultSet(db_name=self.name, range_class=query.range_class)
         meter = EvalMeter()
         candidates, probe = self._select_candidates(query)
@@ -198,6 +266,140 @@ class ComponentDatabase:
                 result.rows.append(row)
         result.comparisons = meter.comparisons
         result.derefs = meter.derefs
+        return result
+
+    def _execute_local_columnar(
+        self, query: LocalQuery
+    ) -> Optional[LocalResultSet]:
+        """One-pass columnar evaluation; ``None`` means "use the row path".
+
+        The transparency contract: rows, bookkeeping, and meter totals
+        are byte-identical to the row path.  The columnar attempt is
+        abandoned (returning ``None``, with no observable side effects)
+        whenever a *candidate* row carries an error marker — the row path
+        then raises the canonical exception in canonical order — or when
+        an operand is unhashable, which defeats column caching.
+        """
+        col = self.columnar_extent(query.range_class)
+        summary = col.dnf_summary(query.where)
+        if summary is None:
+            return None
+        candidates, probe = self._select_candidates(query)
+        if probe is None:
+            cand_objs: List[LocalObject] = col.objects
+            rows: Iterable[int] = range(len(cand_objs))
+            if summary.error_rows:
+                return None
+        else:
+            cand_objs = list(candidates)
+            row_of = col.row_of
+            rows = [row_of[obj.loid] for obj in cand_objs]
+            err = summary.error_rows
+            if err and any(r in err for r in rows):
+                return None
+        target_walks = [col.walk(target) for target in query.targets]
+        for walk in target_walks:
+            if walk.errors and (
+                probe is None or any(r in walk.errors for r in rows)
+            ):
+                return None
+        # First-occurrence predicate order across conjuncts — the order
+        # the row path populates each row's status dict in.
+        ordered_preds = []
+        seen = set()
+        for conjunct in query.where:
+            for predicate in conjunct:
+                if predicate not in seen:
+                    seen.add(predicate)
+                    pcol = col.predicate_column(predicate)
+                    if pcol is None:
+                        return None
+                    ordered_preds.append(
+                        (predicate, pcol, col.unsolved_column(predicate))
+                    )
+        removed_cols = [
+            (rem, col.unsolved_column(rem.predicate, rem.missing_depth))
+            for rem in query.removed
+        ]
+        result = LocalResultSet(
+            db_name=self.name, range_class=query.range_class
+        )
+        result.index_probe = probe
+        meter = EvalMeter()
+        if probe is not None:
+            meter.comparisons += probe.comparisons
+        codes = summary.codes
+        row_comp = summary.comparisons
+        row_deref = summary.derefs
+        targets = query.targets
+        rows_out = result.rows
+        comp_acc = 0
+        deref_acc = 0
+        scanned = 0
+        # Per-row bookkeeping (status, kind, unsolved tuples, holder-walk
+        # deref charge) is deterministic for one query shape on one
+        # extent version: memoize it so a repeated query only re-reads.
+        memo = col.row_bookkeeping(
+            (query.where, query.removed, query.removed_by_conjunct)
+        )
+        for r, obj in zip(rows, cand_objs):
+            scanned += 1
+            comp_acc += row_comp[r]
+            deref_acc += row_deref[r]
+            if codes[r] == FALSE_CODE:
+                continue
+            cached = None if memo is None else memo.get(r)
+            if cached is None:
+                status: Dict[Predicate, TV] = {}
+                root_unsolved: List[UnsolvedPredicateOnObject] = []
+                items: Dict[LOid, UnsolvedItem] = {}
+                unsolved_derefs = 0
+                for predicate, pcol, ucol in ordered_preds:
+                    code = pcol.codes[r]
+                    status[predicate] = TV_OF_CODE[code]
+                    if code == UNKNOWN_CODE:
+                        entry = ucol[r]
+                        if entry is not None:
+                            unsolved_derefs += entry.derefs
+                            self._apply_unsolved(entry, root_unsolved, items)
+                for rem, rcol in removed_cols:
+                    if rem.predicate not in status:
+                        status[rem.predicate] = TV.UNKNOWN
+                    entry = rcol[r]
+                    unsolved_derefs += entry.derefs
+                    self._apply_unsolved(entry, root_unsolved, items)
+                maybe = not self._locally_certain(query, status)
+                cached = (
+                    RowKind.MAYBE if maybe else RowKind.CERTAIN,
+                    status,
+                    tuple(root_unsolved) if maybe else (),
+                    tuple(items.values()) if maybe else (),
+                    unsolved_derefs,
+                )
+                if memo is not None:
+                    memo[r] = cached
+            kind, status, unsolved_t, items_t, unsolved_derefs = cached
+            deref_acc += unsolved_derefs
+            bindings: Dict[Path, Value] = {}
+            for target, walk in zip(targets, target_walks):
+                deref_acc += walk.derefs[r]
+                bindings[target] = (
+                    NULL if walk.miss[r] is not None else walk.values[r]
+                )
+            rows_out.append(
+                LocalResultRow(
+                    loid=obj.loid,
+                    class_name=obj.class_name,
+                    kind=kind,
+                    bindings=bindings,
+                    unsolved=unsolved_t,
+                    unsolved_items=items_t,
+                    predicate_status=status,
+                )
+            )
+        result.objects_scanned = scanned
+        result.comparisons = meter.comparisons + comp_acc
+        result.derefs = meter.derefs + deref_acc
         return result
 
     def _select_candidates(
@@ -371,6 +573,39 @@ class ComponentDatabase:
                 unsolved=item.unsolved + (relative,),
             )
 
+    @staticmethod
+    def _apply_unsolved(
+        entry: "UnsolvedEntry",
+        root_unsolved: List[UnsolvedPredicateOnObject],
+        items: Dict[LOid, UnsolvedItem],
+    ) -> None:
+        """:meth:`_record_unsolved` from a precomputed columnar entry.
+
+        Same bookkeeping, but the holder walk and the relative-predicate
+        construction were done once per extent version by
+        :meth:`~repro.objectdb.columnar.ColumnarExtent.unsolved_column`.
+        """
+        relative = entry.relative
+        if entry.is_root:
+            if relative not in root_unsolved:
+                root_unsolved.append(relative)
+            return
+        item = items.get(entry.holder_loid)
+        if item is None:
+            items[entry.holder_loid] = UnsolvedItem(
+                loid=entry.holder_loid,
+                class_name=entry.holder_class,
+                reached_via=entry.reached_via,
+                unsolved=(relative,),
+            )
+        elif relative not in item.unsolved:
+            items[entry.holder_loid] = UnsolvedItem(
+                loid=item.loid,
+                class_name=item.class_name,
+                reached_via=item.reached_via,
+                unsolved=item.unsolved + (relative,),
+            )
+
     def _holder_at_depth(
         self, root: LocalObject, path: Path, depth: int, meter: EvalMeter
     ) -> Tuple[LocalObject, int]:
@@ -401,7 +636,7 @@ class ComponentDatabase:
     # --- phase-O-first scan (step PL_C1) --------------------------------------
 
     def collect_unsolved(
-        self, query: LocalQuery
+        self, query: LocalQuery, *, columnar: bool = True
     ) -> Tuple["UnsolvedScan", EvalMeter]:
         """Locate unsolved predicates/items for *every* root object.
 
@@ -413,12 +648,18 @@ class ComponentDatabase:
         overhead.
 
         One comparison per (object, predicate) probe is charged to the
-        meter for the missing-data test; path walks charge derefs.
+        meter for the missing-data test; path walks charge derefs.  With
+        ``columnar`` the probe reads cached walk columns (byte-identical
+        scan and meter totals; the row path runs when a walk would raise).
         """
         if query.db_name != self.name:
             raise ObjectStoreError(
                 f"query for db {query.db_name!r} executed at {self.name!r}"
             )
+        if columnar:
+            out = self._collect_unsolved_columnar(query)
+            if out is not None:
+                return out
         meter = EvalMeter()
         scan = UnsolvedScan(db_name=self.name, range_class=query.range_class)
         local_predicates = query.local_predicates
@@ -455,15 +696,89 @@ class ComponentDatabase:
                 )
         return scan, meter
 
+    def _collect_unsolved_columnar(
+        self, query: LocalQuery
+    ) -> Optional[Tuple["UnsolvedScan", EvalMeter]]:
+        """Columnar PL_C1 probe; ``None`` means "use the row path".
+
+        The missing-data probes read cached walk columns; only objects
+        with actual misses (or statically removed predicates) take the
+        per-object bookkeeping path.  Comparison charges aggregate to
+        exactly ``objects x probes``, matching the row path's per-probe
+        metering.
+        """
+        local_predicates = query.local_predicates
+        col = self.columnar_extent(query.range_class)
+        walks = []
+        for predicate in local_predicates:
+            walk = col.walk(predicate.path)
+            if walk.errors:
+                # The row path scans every object, so it raises here.
+                return None
+            walks.append(walk)
+        n = len(col.objects)
+        meter = EvalMeter()
+        scan = UnsolvedScan(db_name=self.name, range_class=query.range_class)
+        scan.objects_scanned = n
+        meter.comparisons = n * (len(local_predicates) + len(query.removed))
+        miss_rows: set = set()
+        deref_acc = 0
+        for walk in walks:
+            deref_acc += sum(walk.derefs)
+            miss = walk.miss
+            miss_rows.update(
+                r for r in range(n) if miss[r] is not None
+            )
+        meter.derefs = deref_acc
+        objects = col.objects
+        rows = range(n) if query.removed else sorted(miss_rows)
+        ucols = [
+            col.unsolved_column(predicate) for predicate in local_predicates
+        ]
+        removed_cols = [
+            (rem, col.unsolved_column(rem.predicate, rem.missing_depth))
+            for rem in query.removed
+        ]
+        for r in rows:
+            obj = objects[r]
+            root_unsolved: List[UnsolvedPredicateOnObject] = []
+            items: Dict[LOid, UnsolvedItem] = {}
+            for ucol in ucols:
+                entry = ucol[r]
+                if entry is not None:
+                    meter.derefs += entry.derefs
+                    self._apply_unsolved(entry, root_unsolved, items)
+            for _rem, rcol in removed_cols:
+                entry = rcol[r]
+                meter.derefs += entry.derefs
+                self._apply_unsolved(entry, root_unsolved, items)
+            if root_unsolved or items:
+                scan.per_root[obj.loid] = (
+                    tuple(root_unsolved),
+                    tuple(items.values()),
+                )
+        return scan, meter
+
     # --- assistant checking (steps BL_C3 / PL_C3) -----------------------------
 
-    def check_assistants(self, request: CheckRequest) -> CheckReport:
-        """Evaluate the appended unsolved predicates on listed objects."""
+    def check_assistants(
+        self, request: CheckRequest, *, columnar: bool = True
+    ) -> CheckReport:
+        """Evaluate the appended unsolved predicates on listed objects.
+
+        With ``columnar`` verdicts come from cached predicate columns
+        (byte-identical reports and meter totals; the row path runs when
+        a checked row would raise or an operand defeats caching).
+        """
         if request.db_name != self.name:
             raise ObjectStoreError(
                 f"check request for db {request.db_name!r} executed at "
                 f"{self.name!r}"
             )
+        if columnar:
+            report = self._check_assistants_columnar(request)
+            if report is not None:
+                return report
         report = CheckReport(db_name=self.name, class_name=request.class_name)
         meter = EvalMeter()
         satisfied: Dict[Predicate, List[LOid]] = {p: [] for p in request.predicates}
@@ -510,3 +825,165 @@ class ComponentDatabase:
         report.comparisons = meter.comparisons
         report.derefs = meter.derefs
         return report
+
+    def _check_assistants_columnar(
+        self, request: CheckRequest
+    ) -> Optional[CheckReport]:
+        """Columnar assistant check; ``None`` means "use the row path".
+
+        Verdicts for listed objects come straight from the class's cached
+        predicate columns.  LOids outside the request class's extent fall
+        back to per-object row evaluation inline (preserving the row
+        path's loid-major report order); a checked row with an error
+        marker abandons the whole attempt so the row path raises
+        canonically.
+        """
+        try:
+            col = self.columnar_extent(request.class_name)
+        except UnknownClassError:
+            # The row path resolves LOids via get() and never needs the
+            # class extent; stay on it for classes this site lacks.
+            return None
+        pcols = []
+        for predicate in request.predicates:
+            pcol = col.predicate_column(predicate)
+            if pcol is None:
+                return None
+            pcols.append(pcol)
+        row_of = col.row_of
+        for loid in request.loids:
+            r = row_of.get(loid)
+            if r is not None and any(r in pcol.error_rows for pcol in pcols):
+                return None
+        report = CheckReport(db_name=self.name, class_name=request.class_name)
+        meter = EvalMeter()
+        satisfied: Dict[Predicate, List[LOid]] = {
+            p: [] for p in request.predicates
+        }
+        violated: Dict[Predicate, List[LOid]] = {
+            p: [] for p in request.predicates
+        }
+        unknown: Dict[Predicate, List[LOid]] = {
+            p: [] for p in request.predicates
+        }
+        blocked: List[BlockedAt] = []
+        comp_acc = 0
+        deref_acc = 0
+        predicates = request.predicates
+        for loid in request.loids:
+            report.objects_checked += 1
+            r = row_of.get(loid)
+            if r is None:
+                # Not in this class's extent: replicate the row path's
+                # get()-based check for this loid (it may live in another
+                # extent, or be absent entirely).
+                obj = self.get(loid)
+                for predicate in predicates:
+                    if obj is None:
+                        unknown[predicate].append(loid)
+                        continue
+                    outcome = evaluate_predicate(
+                        obj, predicate, self.deref, meter
+                    )
+                    if outcome.tv is TV.TRUE:
+                        satisfied[predicate].append(loid)
+                    elif outcome.tv is TV.FALSE:
+                        violated[predicate].append(loid)
+                    else:
+                        unknown[predicate].append(loid)
+                        missing = outcome.missing
+                        if missing is not None and missing.holder_id != loid:
+                            blocked.append(
+                                BlockedAt(
+                                    checked=loid,
+                                    predicate=predicate,
+                                    holder=missing.holder_id,  # type: ignore[arg-type]
+                                    holder_class=missing.holder_class,
+                                    remaining=Predicate(
+                                        path=Path(
+                                            predicate.path.steps[
+                                                missing.depth:
+                                            ]
+                                        ),
+                                        op=predicate.op,
+                                        operand=predicate.operand,
+                                    ),
+                                )
+                            )
+                continue
+            for predicate, pcol in zip(predicates, pcols):
+                code = pcol.codes[r]
+                comp_acc += pcol.comparisons[r]
+                deref_acc += pcol.derefs[r]
+                if code == FALSE_CODE:
+                    violated[predicate].append(loid)
+                elif code == UNKNOWN_CODE:
+                    unknown[predicate].append(loid)
+                    miss = pcol.miss[r]
+                    if miss is not None and miss[1] != loid:
+                        blocked.append(
+                            BlockedAt(
+                                checked=loid,
+                                predicate=predicate,
+                                holder=miss[1],
+                                holder_class=miss[2],
+                                remaining=Predicate(
+                                    path=Path(
+                                        predicate.path.steps[miss[0]:]
+                                    ),
+                                    op=predicate.op,
+                                    operand=predicate.operand,
+                                ),
+                            )
+                        )
+                else:
+                    satisfied[predicate].append(loid)
+        report.satisfied = {p: tuple(v) for p, v in satisfied.items()}
+        report.violated = {p: tuple(v) for p, v in violated.items()}
+        report.unknown = {p: tuple(v) for p, v in unknown.items()}
+        report.blocked = tuple(blocked)
+        report.comparisons = meter.comparisons + comp_acc
+        report.derefs = meter.derefs + deref_acc
+        return report
+
+    # --- batch predicate kernel (public, id-set form) --------------------------
+
+    def batch_evaluate_predicate(
+        self, class_name: str, predicate: Predicate, *, columnar: bool = True
+    ) -> BatchPredicateSets:
+        """Evaluate one predicate over a whole extent in one pass.
+
+        Returns true/maybe/false LOid-sets (extent order) instead of
+        per-object ``TV`` values — the kernel form the paper's phase-L
+        check reduces to.  With ``columnar`` off, or when a row's
+        evaluation would raise, objects are evaluated in extent order via
+        :func:`~repro.core.predicates.evaluate_predicate` so exceptions
+        surface canonically.
+        """
+        if columnar:
+            col = self.columnar_extent(class_name)
+            pcol = col.predicate_column(predicate)
+            if pcol is not None and not pcol.error_rows:
+                true, maybe, false = partition_codes(
+                    tuple(col.loids), pcol.codes
+                )
+                return BatchPredicateSets(
+                    predicate=predicate, true=true, maybe=maybe, false=false
+                )
+        true_l: List[LOid] = []
+        maybe_l: List[LOid] = []
+        false_l: List[LOid] = []
+        for obj in self.extent(class_name).values():
+            outcome = evaluate_predicate(obj, predicate, self.deref)
+            if outcome.tv is TV.TRUE:
+                true_l.append(obj.loid)
+            elif outcome.tv is TV.FALSE:
+                false_l.append(obj.loid)
+            else:
+                maybe_l.append(obj.loid)
+        return BatchPredicateSets(
+            predicate=predicate,
+            true=tuple(true_l),
+            maybe=tuple(maybe_l),
+            false=tuple(false_l),
+        )

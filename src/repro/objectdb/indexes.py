@@ -185,6 +185,37 @@ class IndexManager:
             if class_name == obj.class_name:
                 index.add(obj)  # type: ignore[attr-defined]
 
+    def refresh(self, class_name: str, objects: Iterable[LocalObject]) -> int:
+        """Rebuild every index on *class_name* from the live extent.
+
+        :meth:`maintain` only covers inserts; an in-place attribute
+        mutation leaves a built index stale (it snapshots values at build
+        time).  The mutation hooks
+        (:meth:`~repro.objectdb.database.ComponentDatabase.note_mutation`)
+        call this so probes never serve pre-mutation buckets.  Returns
+        the number of indexes rebuilt.
+        """
+        targets = [
+            (attribute, index)
+            for (cls, attribute), index in self._indexes.items()
+            if cls == class_name
+        ]
+        if not targets:
+            return 0
+        snapshot = list(objects)
+        for attribute, index in targets:
+            self.create(
+                class_name,
+                attribute,
+                snapshot,
+                getattr(index, "kind", "hash"),
+            )
+        return len(targets)
+
+    def drop(self, class_name: str, attribute: str) -> bool:
+        """Remove one index; True when it existed (no-op when absent)."""
+        return self._indexes.pop((class_name, attribute), None) is not None
+
     def get(self, class_name: str, attribute: str):
         return self._indexes.get((class_name, attribute))
 

@@ -118,6 +118,22 @@ class SignatureCatalog:
     k: int = DEFAULT_BITS_PER_CODE
     _tables: Dict[str, Dict[LOid, Signature]] = field(default_factory=dict)
     _encoded: Dict[LOid, frozenset] = field(default_factory=dict)
+    #: Memoized predicate masks keyed by (attribute, operand): the
+    #: blake2b code of an operand is recomputed for every probe
+    #: otherwise.  Unhashable operands skip the cache.
+    _mask_cache: Dict[Tuple[str, object], int] = field(default_factory=dict)
+
+    def _predicate_mask(self, attribute: str, operand: object) -> int:
+        """The operand's code, memoized per (attribute, operand)."""
+        try:
+            key = (attribute, operand)
+            cached = self._mask_cache.get(key)
+        except TypeError:
+            return predicate_mask(attribute, operand, self.width, self.k)
+        if cached is None:
+            cached = predicate_mask(attribute, operand, self.width, self.k)
+            self._mask_cache[key] = cached
+        return cached
 
     def index_object(
         self, obj: LocalObject, attributes: Optional[Iterable[str]] = None
@@ -167,7 +183,7 @@ class SignatureCatalog:
         attribute = predicate.path.first
         if attribute not in self._encoded.get(loid, frozenset()):
             return True
-        mask = predicate_mask(attribute, predicate.operand, self.width, self.k)
+        mask = self._predicate_mask(attribute, predicate.operand)
         return signature.superset_of(mask)
 
     def precheck_assistants(
@@ -184,16 +200,50 @@ class SignatureCatalog:
         rule can eliminate without any remote check.  Assistants passing
         (or inconclusive for) every predicate still need remote checking
         because signature matches may be false positives.
+
+        Vectorized probe: each predicate's applicability and operand
+        mask are resolved once up front, then every assistant tests a
+        precomputed mask against its signature.  Verdicts and the
+        comparison charge (one per (assistant, predicate), conclusive or
+        not) are identical to probing :meth:`may_satisfy` pairwise.
         """
         predicates = tuple(predicates)
+        # Hoisted per-predicate probe state: None marks a predicate the
+        # signature test can never settle (non-equality op or nested
+        # path); otherwise (attribute, operand mask).
+        probes = []
+        for predicate in predicates:
+            if (
+                predicate.op not in (Op.EQ, Op.CONTAINS)
+                or len(predicate.path.steps) != 1
+            ):
+                probes.append((predicate, None, 0))
+                continue
+            attribute = predicate.path.first
+            probes.append((
+                predicate,
+                attribute,
+                self._predicate_mask(attribute, predicate.operand),
+            ))
+        table = self._tables.get(class_name, {})
+        encoded_of = self._encoded
         to_check = []
         violated: Dict[Predicate, list] = {p: [] for p in predicates}
         comparisons = 0
+        empty = frozenset()
         for loid in loids:
+            comparisons += len(probes)
+            signature = table.get(loid)
+            if signature is None:
+                to_check.append(loid)
+                continue
             keep = True
-            for predicate in predicates:
-                comparisons += 1
-                if not self.may_satisfy(class_name, loid, predicate):
+            encoded = encoded_of.get(loid, empty)
+            bits = signature.bits
+            for predicate, attribute, mask in probes:
+                if attribute is None or attribute not in encoded:
+                    continue  # inconclusive: must not filter
+                if (bits & mask) != mask:
                     violated[predicate].append(loid)
                     keep = False
             if keep:
@@ -203,6 +253,50 @@ class SignatureCatalog:
             violated={p: tuple(v) for p, v in violated.items() if v},
             comparisons=comparisons,
         )
+
+    # --- incremental maintenance (mutation hooks) -----------------------
+
+    def update_object(
+        self, obj: LocalObject, attributes: Optional[Iterable[str]] = None
+    ) -> Signature:
+        """Re-sign one mutated object in place.
+
+        :meth:`index_object` already overwrites, so this is the same
+        operation under the name the mutation hooks
+        (:meth:`~repro.core.system.DistributedSystem.note_mutation`)
+        call — signatures are maintained incrementally instead of
+        rebuilding the whole catalog per change.
+        """
+        return self.index_object(obj, attributes)
+
+    def remove_object(self, class_name: str, loid: LOid) -> bool:
+        """Drop one object's signature (True when it was present)."""
+        table = self._tables.get(class_name)
+        removed = False
+        if table is not None and table.pop(loid, None) is not None:
+            removed = True
+            if not table:
+                del self._tables[class_name]
+        self._encoded.pop(loid, None)
+        return removed
+
+    def drop_site(self, db_name: str) -> int:
+        """Drop every signature of objects homed at *db_name*.
+
+        Called when a site is excised from the federation; returns the
+        number of signatures dropped.
+        """
+        dropped = 0
+        for class_name in list(self._tables):
+            table = self._tables[class_name]
+            victims = [loid for loid in table if loid.db == db_name]
+            for loid in victims:
+                del table[loid]
+                self._encoded.pop(loid, None)
+                dropped += 1
+            if not table:
+                del self._tables[class_name]
+        return dropped
 
 
 @dataclass(frozen=True)

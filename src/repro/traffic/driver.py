@@ -37,6 +37,7 @@ epoch before re-executing.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -228,12 +229,22 @@ class TrafficReport:
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    """Nearest-rank percentile of an ascending list (0 when empty).
+
+    ``rank = ceil(q * n)`` clamped to ``[1, n]``.  The old
+    scale-by-100-then-truncate formulation dropped fractional ranks
+    below a hundredth (``q=0.501, n=2`` picked the first sample instead
+    of the second) — truncating *before* the ceiling floors any rank
+    whose fractional part is under 0.01.  ``round(..., 9)`` keeps exact
+    products like ``0.95 * 20`` from drifting one rank up through float
+    error; the clamp makes the single-sample and ``q == 1.0`` boundary
+    cases explicit.
+    """
     if not sorted_values:
         return 0.0
-    rank = max(1, -(-int(q * len(sorted_values) * 100) // 100))
-    index = min(len(sorted_values) - 1, rank - 1)
-    return sorted_values[index]
+    n = len(sorted_values)
+    rank = max(1, math.ceil(round(q * n, 9)))
+    return sorted_values[min(n, rank) - 1]
 
 
 class TrafficEngine:

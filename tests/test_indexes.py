@@ -204,6 +204,81 @@ class TestIndexedExecution:
         assert LOid("DB", "new") in {r.loid for r in result.rows}
 
 
+class TestStaleIndexRegression:
+    """In-place mutation must never leave a built index serving stale
+    buckets — the bug :meth:`ComponentDatabase.note_mutation` fixes."""
+
+    def test_mutation_without_hook_serves_stale_bucket(self):
+        # Pin the bug's mechanics: a bare values mutation leaves the old
+        # bucket in place (this is why the hook has to exist).
+        db = make_db("hash")
+        target = db.extent("C")[LOid("DB", "o3")]  # a == 3
+        target.values["a"] = 4
+        index = db.indexes.get("C", "a")
+        assert LOid("DB", "o3") in index.probe(Op.EQ, 3)[0]  # stale!
+
+    def test_note_mutation_refreshes_index(self):
+        db = make_db("hash")
+        target = db.extent("C")[LOid("DB", "o3")]
+        target.values["a"] = 4
+        db.note_mutation("C")
+        index = db.indexes.get("C", "a")
+        assert LOid("DB", "o3") not in index.probe(Op.EQ, 3)[0]
+        assert LOid("DB", "o3") in index.probe(Op.EQ, 4)[0]
+
+    def test_note_mutation_keeps_indexed_answers_correct(self):
+        mutated = make_db("hash")
+        obj = mutated.extent("C")[LOid("DB", "o3")]
+        obj.values["a"] = 4
+        mutated.note_mutation("C")
+        # Reference: a fresh unindexed db holding the post-mutation data.
+        reference = make_db()
+        reference.extent("C")[LOid("DB", "o3")].values["a"] = 4
+        reference.note_mutation("C")
+        for operand in (3, 4):
+            a = mutated.execute_local(query(Op.EQ, operand))
+            b = reference.execute_local(query(Op.EQ, operand))
+            assert {r.loid for r in a.rows} == {r.loid for r in b.rows}
+
+    def test_note_mutation_without_class_refreshes_everything(self):
+        db = make_db("hash")
+        db.extent("C")[LOid("DB", "o3")].values["a"] = 4
+        db.note_mutation()  # class unknown: rebuild all
+        index = db.indexes.get("C", "a")
+        assert LOid("DB", "o3") not in index.probe(Op.EQ, 3)[0]
+
+    def test_note_mutation_invalidates_columnar_view(self):
+        db = make_db()
+        before = db.columnar_extent("C")
+        db.extent("C")[LOid("DB", "o3")].values["a"] = 4
+        db.note_mutation("C")
+        after = db.columnar_extent("C")
+        assert after is not before
+        assert after.objects[3].values["a"] == 4
+
+    def test_system_note_mutation_resigns_and_bumps(self):
+        from repro.workload.paper_example import build_school_federation
+
+        system = build_school_federation()
+        system.build_signatures()
+        db1 = system.db("DB1")
+        student = next(iter(db1.extent("Student").values()))
+        old_signature = system.signatures.lookup("Student", student.loid)
+        version = system.schema_version
+        student.values["age"] = 99
+        system.note_mutation("DB1", student)
+        assert system.schema_version > version
+        new_signature = system.signatures.lookup("Student", student.loid)
+        assert new_signature != old_signature
+
+    def test_index_manager_drop(self):
+        manager = IndexManager()
+        manager.create("C", "a", [obj("x", a=1)], kind="hash")
+        assert manager.drop("C", "a")
+        assert manager.get("C", "a") is None
+        assert not manager.drop("C", "a")  # already gone
+
+
 class TestIndexedStrategies:
     def test_equivalence_with_indexes_everywhere(self):
         """Indexing every site must not change any strategy's answer."""

@@ -178,3 +178,108 @@ class TestMultiValuedMerge:
             {n: list(db.extent("P").values()) for n, db in dbs.items()},
         )
         assert integrated[GOid("g1")].get("phone") == MultiValue(["111", "222"])
+
+
+class TestSiteExports:
+    """The typed per-site accessor replacing the old untyped .get hole."""
+
+    def test_missing_site_yields_empty_tuple(self):
+        from repro.integration.outerjoin import SiteExports
+
+        exports = SiteExports({"DB1": []})
+        assert exports.for_db("DB1") == ()
+        assert exports.for_db("DB9") == ()  # absent site, typed empty
+
+    def test_values_materialized_and_reiterable(self):
+        from repro.integration.outerjoin import SiteExports
+        from repro.objectdb.objects import LocalObject
+
+        obj = LocalObject(LOid("DB1", "s1"), "Student", {"s-no": 1})
+        exports = SiteExports({"DB1": iter([obj])})  # consumed-once input
+        assert exports.for_db("DB1") == (obj,)
+        assert exports.for_db("DB1") == (obj,)  # re-iterable
+
+    def test_mapping_protocol(self):
+        from repro.integration.outerjoin import SiteExports
+
+        exports = SiteExports({"DB1": [], "DB2": []})
+        assert set(exports) == {"DB1", "DB2"}
+        assert len(exports) == 2
+        assert exports["DB1"] == ()
+        with pytest.raises(KeyError):
+            exports["DB9"]
+
+    def test_coerce_is_identity_on_wrapped(self):
+        from repro.integration.outerjoin import SiteExports
+
+        wrapped = SiteExports({"DB1": []})
+        assert SiteExports.coerce(wrapped) is wrapped
+        assert isinstance(SiteExports.coerce({"DB1": []}), SiteExports)
+
+
+class TestBatchedMergeParity:
+    """columnar=True picks the batched group-major merge; its objects,
+    stats and errors must be identical to the per-object path."""
+
+    def integrate_both(self, school, exports, stats_pair=None):
+        results = []
+        for columnar in (True, False):
+            stats = IntegrationStats()
+            integrated = integrate_class(
+                "Student", school.global_schema, school.catalog,
+                exports, stats, columnar=columnar,
+            )
+            results.append((integrated, stats))
+        if stats_pair is not None:
+            stats_pair.extend(s for _, s in results)
+        return results[0][0], results[1][0]
+
+    def test_school_objects_identical(self, school):
+        exports = full_exports(school, ("Student",))["Student"]
+        stats_pair = []
+        batched, rowwise = self.integrate_both(school, exports, stats_pair)
+        assert set(batched) == set(rowwise)
+        for goid in batched:
+            left, right = batched[goid], rowwise[goid]
+            assert left.values == right.values
+            assert left.sources == right.sources
+            assert left.class_name == right.class_name
+        on, off = stats_pair
+        assert (on.objects_in, on.objects_out, on.comparisons,
+                on.translations) == (
+            off.objects_in, off.objects_out, off.comparisons,
+            off.translations,
+        )
+
+    def test_non_reference_value_raises_identically(self, school):
+        from repro.objectdb.objects import LocalObject
+
+        bad = LocalObject(
+            LOid("DB1", "s1"), "Student", {"s-no": 1, "advisor": 42}
+        )
+        messages = []
+        for columnar in (True, False):
+            with pytest.raises(MappingError) as err:
+                integrate_class(
+                    "Student", school.global_schema, school.catalog,
+                    {"DB1": [bad]}, columnar=columnar,
+                )
+            messages.append(str(err.value))
+        assert messages[0] == messages[1]
+
+    def test_materialize_columnar_flag(self, school):
+        classes = ("Student", "Teacher", "Department", "Address")
+        exports = full_exports(school, classes)
+        on = materialize(
+            classes, school.global_schema, school.catalog, exports,
+            columnar=True,
+        )
+        off = materialize(
+            classes, school.global_schema, school.catalog, exports,
+            columnar=False,
+        )
+        for class_name in classes:
+            left, right = on.extent(class_name), off.extent(class_name)
+            assert set(left) == set(right)
+            for goid in left:
+                assert left[goid].values == right[goid].values

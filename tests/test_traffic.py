@@ -293,3 +293,49 @@ class TestAdmissionControl:
         assert system.signatures is not None
         report = engine.run(verify=True)
         assert report.violations == []
+
+
+class TestPercentile:
+    """Nearest-rank percentile: the 0/1/2-sample edge cases.
+
+    The old scale-by-100-then-truncate formulation floored any rank
+    whose fractional part was under a hundredth: q=0.501 over two
+    samples picked the *first* sample (rank ceil(1.002)=2 collapsed
+    to 1).
+    """
+
+    def test_empty(self):
+        from repro.traffic.driver import _percentile
+
+        assert _percentile([], 0.5) == 0.0
+        assert _percentile([], 0.99) == 0.0
+
+    def test_single_sample_every_quantile(self):
+        from repro.traffic.driver import _percentile
+
+        for q in (0.0, 0.01, 0.5, 0.95, 0.99, 1.0):
+            assert _percentile([7.5], q) == 7.5
+
+    def test_two_samples(self):
+        from repro.traffic.driver import _percentile
+
+        values = [1.0, 2.0]
+        assert _percentile(values, 0.5) == 1.0    # rank ceil(1.0) = 1
+        assert _percentile(values, 0.501) == 2.0  # the old bug: returned 1.0
+        assert _percentile(values, 0.51) == 2.0
+        assert _percentile(values, 0.99) == 2.0
+        assert _percentile(values, 1.0) == 2.0
+
+    def test_exact_products_do_not_drift(self):
+        from repro.traffic.driver import _percentile
+
+        # 0.95 * 20 is 19.000000000000004 in floats; the rank must stay
+        # 19, not ceil up to 20.
+        values = [float(i) for i in range(1, 21)]
+        assert _percentile(values, 0.95) == 19.0
+        assert _percentile(values, 0.5) == 10.0
+
+    def test_q_zero_clamps_to_first(self):
+        from repro.traffic.driver import _percentile
+
+        assert _percentile([3.0, 4.0, 5.0], 0.0) == 3.0
