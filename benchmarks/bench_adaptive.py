@@ -1,0 +1,409 @@
+"""Adaptive-planner bench: static vs trace-fed AUTO, plus prune savings.
+
+Two sweeps over the school federation's Q1:
+
+* **pick-accuracy A/B** — for the fault-free reference and a ladder of
+  peer-link storms (DB1->DB3 and DB2->DB3 degraded: the localized
+  strategies pay the stalls on their assistant-check exchanges, CA never
+  touches those links), run AUTO under ``planner=static`` and
+  ``planner=feedback`` (three warm-up executions feed the trace store)
+  and score each pick against the ground truth — the argmin of the
+  *concretely executed* CA/BL/PL response times under the same plan.
+  The contract: trace-fed AUTO is at least as accurate as static AUTO,
+  flips its pick somewhere in the storm ladder, never changes an
+  answer, and matches static's fault-free response exactly (no warm-path
+  regression).
+* **constraint-prune savings** — the two sound prunes A/B'd against
+  ``planner=static``: a range-pruned site (``s-no >= 810000`` proves
+  DB1's whole block empty) and a provably-UNKNOWN assistant check
+  (DB2's ``speciality`` column nulled).  The contract per cell: the
+  answer digest is identical, the prune counters fire, and the pruned
+  run is never slower.
+
+Runs standalone (CI calls it twice, diffs the JSON for determinism, and
+checks it against the committed baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive.py --quick \
+        --json out.json --check benchmarks/results/BENCH_adaptive.json
+
+The JSON output is fully determined by ``(--seed, --storms, --quick)``:
+no timestamps, no dict-order dependence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import sys
+
+if __package__ in (None, ""):  # runnable as a plain script from anywhere
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+    _SRC = pathlib.Path(__file__).parent.parent / "src"
+    if _SRC.is_dir():
+        sys.path.insert(0, str(_SRC))
+
+from bench_common import write_result
+
+from repro.bench.reporting import format_table
+from repro.core.engine import GlobalQueryEngine
+from repro.core.query import Predicate, Query
+from repro.faults.plan import FaultPlan, LinkFault
+from repro.objectdb.values import NULL
+from repro.workload.paper_example import Q1_TEXT, build_school_federation
+
+SCHEMA = "BENCH_adaptive/v1"
+
+#: Strategies executed concretely per scenario to establish ground truth.
+GROUND = ("CA", "BL", "PL")
+
+#: Peer-link loss ladder (with an 8x latency multiplier on survivors).
+FULL_STORMS = (0.3, 0.6, 0.8)
+QUICK_STORMS = (0.6,)
+PEER_MULTIPLIER = 8.0
+
+#: Executions that feed the trace store before the measured pick.
+WARMUPS = 3
+
+
+def _storm_plan(seed, loss):
+    """Degrade only the peer links into DB3 — the check-exchange paths."""
+    return FaultPlan(seed=seed, links=(
+        LinkFault(src="DB1", dst="DB3",
+                  latency_multiplier=PEER_MULTIPLIER, loss=loss),
+        LinkFault(src="DB2", dst="DB3",
+                  latency_multiplier=PEER_MULTIPLIER, loss=loss),
+    ))
+
+
+def _scenarios(storms, seed):
+    yield "none", None
+    for loss in storms:
+        yield f"peer:{loss:g}", _storm_plan(seed, loss)
+
+
+def _digest(report):
+    """Stable fingerprint of the answer (certain + maybe rows)."""
+    payload = json.dumps(report.results.to_json(), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _event_attrs(report, name):
+    for event in report.metrics.events:
+        if event.name == name:
+            return dict(event.attrs)
+    raise AssertionError(f"missing {name} event")
+
+
+def ground_truth(plan):
+    """Concrete response time per strategy under *plan* (fresh engines)."""
+    concrete = {}
+    for strategy in GROUND:
+        engine = GlobalQueryEngine(build_school_federation())
+        options = engine.options
+        if plan is not None:
+            options = options.with_(fault_plan=plan)
+        report = engine.execute(Q1_TEXT, strategy, options=options)
+        concrete[strategy] = round(report.response_time, 6)
+    return concrete
+
+
+def auto_cell(mode, plan, concrete):
+    """One measured AUTO pick after WARMUPS trace-feeding executions.
+
+    A fresh engine per cell: the static cell must not benefit from the
+    feedback cell's observations or vice versa.  The warm-ups run under
+    the same plan/mode, so by the measured run the feedback store has
+    seen the storm (and the static cell has seen nothing it can use).
+    """
+    engine = GlobalQueryEngine(build_school_federation())
+    options = engine.options.with_(planner=mode)
+    if plan is not None:
+        options = options.with_(fault_plan=plan)
+    for _ in range(WARMUPS):
+        engine.execute(Q1_TEXT, "AUTO", options=options)
+    report = engine.execute(Q1_TEXT, "AUTO", options=options)
+    predict = _event_attrs(report, "auto.predict")
+    outcome = _event_attrs(report, "auto.outcome")
+    choice = predict["choice"]
+    best = min(concrete.values())
+    return {
+        "mode": mode,
+        "choice": choice,
+        "accurate": concrete[choice] <= best + 1e-9,
+        "used_feedback": predict["used_feedback"] == "true",
+        "rank_of_actual": int(outcome["rank_of_actual"]),
+        "mispredicted": outcome["mispredicted"] == "true",
+        "certain": len(report.results.certain),
+        "maybe": len(report.results.maybe),
+        "answer_digest": _digest(report),
+        "response_s": round(report.response_time, 6),
+    }
+
+
+def accuracy_sweep(storms, seed):
+    rows = []
+    for label, plan in _scenarios(storms, seed):
+        concrete = ground_truth(plan)
+        best = min(concrete, key=concrete.get)
+        for mode in ("static", "feedback"):
+            cell = auto_cell(mode, plan, concrete)
+            rows.append({
+                "scenario": label,
+                "ground_truth": best,
+                "concrete": concrete,
+                **cell,
+            })
+    _assert_accuracy_contract(rows)
+    return rows
+
+
+def _assert_accuracy_contract(rows):
+    by_key = {(r["scenario"], r["mode"]): r for r in rows}
+    scenarios = sorted({r["scenario"] for r in rows})
+    static_hits = sum(by_key[(s, "static")]["accurate"] for s in scenarios)
+    feedback_hits = sum(by_key[(s, "feedback")]["accurate"]
+                        for s in scenarios)
+    if feedback_hits < static_hits:
+        raise AssertionError(
+            f"trace-fed AUTO picked worse than static: "
+            f"{feedback_hits}/{len(scenarios)} vs "
+            f"{static_hits}/{len(scenarios)}"
+        )
+    # No warm-path regression: with nothing observed (fault-free runs
+    # feed no trace), feedback mode is byte-identical to static on the
+    # fault-free reference — same pick, same response.
+    clean_static = by_key[("none", "static")]
+    clean_feedback = by_key[("none", "feedback")]
+    if clean_feedback["choice"] != clean_static["choice"]:
+        raise AssertionError(
+            f"fault-free pick moved under feedback mode: "
+            f"{clean_static['choice']} -> {clean_feedback['choice']}"
+        )
+    if clean_feedback["response_s"] != clean_static["response_s"]:
+        raise AssertionError(
+            f"fault-free response moved under feedback mode: "
+            f"{clean_static['response_s']} -> "
+            f"{clean_feedback['response_s']}"
+        )
+    flipped = [s for s in scenarios
+               if by_key[(s, "feedback")]["choice"]
+               != by_key[(s, "static")]["choice"]]
+    if not flipped:
+        raise AssertionError("no scenario flipped the trace-fed pick — "
+                             "the sweep exercises nothing")
+    for scenario in scenarios:
+        left = by_key[(scenario, "static")]
+        right = by_key[(scenario, "feedback")]
+        if left["answer_digest"] != right["answer_digest"]:
+            raise AssertionError(
+                f"{scenario}: planner mode changed the answer"
+            )
+
+
+# --- constraint-prune savings ------------------------------------------------
+
+
+def _site_prune_setup():
+    system = build_school_federation()
+    query = Query.conjunctive(
+        "Student", ["name"], [Predicate.of("s-no", ">=", 810000)]
+    )
+    return system, query
+
+
+def _check_prune_setup():
+    system = build_school_federation()
+    db2 = system.db("DB2")
+    for obj in db2.extent("Teacher").values():
+        obj.values["speciality"] = NULL
+    db2.note_mutation("Teacher")
+    return system, Q1_TEXT
+
+
+PRUNE_CASES = (
+    ("site-prune", _site_prune_setup),
+    ("check-prune", _check_prune_setup),
+)
+
+
+def prune_sweep():
+    rows = []
+    for label, setup in PRUNE_CASES:
+        cells = {}
+        for mode in ("static", "constraints"):
+            system, query = setup()
+            engine = GlobalQueryEngine(system)
+            report = engine.execute(
+                query, "BL", options=engine.options.with_(planner=mode)
+            )
+            cells[mode] = {
+                "case": label,
+                "mode": mode,
+                "certain": len(report.results.certain),
+                "maybe": len(report.results.maybe),
+                "answer_digest": _digest(report),
+                "sites_pruned": report.metrics.work.sites_pruned,
+                "checks_pruned": report.metrics.work.checks_pruned,
+                "assistants_checked":
+                    report.metrics.work.assistants_checked,
+                "objects_scanned": report.metrics.work.objects_scanned,
+                "response_s": round(report.response_time, 6),
+                "total_s": round(report.total_time, 6),
+            }
+        static, pruned = cells["static"], cells["constraints"]
+        if pruned["answer_digest"] != static["answer_digest"]:
+            raise AssertionError(f"{label}: pruning changed the answer")
+        if pruned["sites_pruned"] + pruned["checks_pruned"] == 0:
+            raise AssertionError(f"{label}: no prune fired")
+        if pruned["total_s"] > static["total_s"]:
+            raise AssertionError(
+                f"{label}: pruned run slower ({pruned['total_s']} > "
+                f"{static['total_s']})"
+            )
+        rows.extend([static, pruned])
+    return rows
+
+
+def sweep(storms, seed):
+    return {
+        "schema": SCHEMA,
+        "query": Q1_TEXT,
+        "seed": seed,
+        "storms": list(storms),
+        "warmups": WARMUPS,
+        "accuracy": accuracy_sweep(storms, seed),
+        "prunes": prune_sweep(),
+    }
+
+
+def render(result):
+    headers = ["scenario", "mode", "pick", "truth", "accurate", "fed",
+               "rank", "response (s)", "answer"]
+    table_rows = [
+        [row["scenario"], row["mode"], row["choice"], row["ground_truth"],
+         "yes" if row["accurate"] else "NO",
+         "yes" if row["used_feedback"] else "no",
+         str(row["rank_of_actual"]), f"{row['response_s']:.3f}",
+         f"{row['certain']}+{row['maybe']}m"]
+        for row in result["accuracy"]
+    ]
+    text = format_table(headers, table_rows)
+    headers = ["case", "mode", "sites pruned", "checks pruned",
+               "assistants", "scanned", "total (s)", "answer"]
+    table_rows = [
+        [row["case"], row["mode"], str(row["sites_pruned"]),
+         str(row["checks_pruned"]), str(row["assistants_checked"]),
+         str(row["objects_scanned"]), f"{row['total_s']:.3f}",
+         f"{row['certain']}+{row['maybe']}m"]
+        for row in result["prunes"]
+    ]
+    return text + "\n\nconstraint-prune savings:\n" + \
+        format_table(headers, table_rows)
+
+
+#: Per-row fields compared by --check (all deterministic).
+ACCURACY_CHECKED = ("choice", "ground_truth", "accurate", "used_feedback",
+                    "rank_of_actual", "certain", "maybe", "answer_digest",
+                    "response_s")
+PRUNE_CHECKED = ("certain", "maybe", "answer_digest", "sites_pruned",
+                 "checks_pruned", "assistants_checked", "objects_scanned",
+                 "response_s", "total_s")
+
+
+def check_against(result, baseline_path):
+    """Deterministic-field diffs vs the committed baseline.
+
+    Compares rows present in both runs (the CI quick sweep is a subset
+    of the committed full sweep).
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    diffs = []
+
+    def compare(kind, rows, base_rows, key_fields, checked):
+        base_by_key = {
+            tuple(r[k] for k in key_fields): r for r in base_rows
+        }
+        for row in rows:
+            key = tuple(row[k] for k in key_fields)
+            base = base_by_key.get(key)
+            if base is None:
+                continue
+            for fname in checked:
+                if row[fname] != base[fname]:
+                    diffs.append(
+                        f"{kind} {'/'.join(str(k) for k in key)}."
+                        f"{fname}: {base[fname]} -> {row[fname]}"
+                    )
+
+    compare("accuracy", result["accuracy"], baseline["accuracy"],
+            ("scenario", "mode"), ACCURACY_CHECKED)
+    compare("prune", result["prunes"], baseline["prunes"],
+            ("case", "mode"), PRUNE_CHECKED)
+    return diffs
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer storm rates (CI smoke)")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--storms", default="",
+                        help="comma-separated peer-loss rates, e.g. 0.3,0.6")
+    parser.add_argument("--json", default="", dest="json_path",
+                        help="also write the machine-readable result here")
+    parser.add_argument("--check", default="", dest="check_path",
+                        help="fail when deterministic fields differ from "
+                             "this committed baseline JSON")
+    args = parser.parse_args(argv)
+
+    if args.storms:
+        storms = tuple(float(r) for r in args.storms.split(","))
+    else:
+        storms = QUICK_STORMS if args.quick else FULL_STORMS
+
+    result = sweep(storms, args.seed)
+    text = render(result)
+    print(text)
+    write_result("adaptive", text)
+
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\njson written to {args.json_path}")
+
+    if args.check_path:
+        diffs = check_against(result, args.check_path)
+        if diffs:
+            print(f"\nBASELINE REGRESSION vs {args.check_path}:")
+            for diff in diffs:
+                print(f"  {diff}")
+            return 1
+        print(f"\nbaseline check OK vs {args.check_path}")
+    return 0
+
+
+def test_adaptive_sweep(benchmark):
+    """pytest-benchmark entry point (quick storms)."""
+    from bench_common import run_once
+
+    result = run_once(benchmark, lambda: sweep(QUICK_STORMS, seed=3))
+    write_result("adaptive", render(result))
+    by_key = {(r["scenario"], r["mode"]): r for r in result["accuracy"]}
+    # The differentiator: somewhere in the ladder the trace-fed pick is
+    # accurate where the static pick is not.
+    gains = [
+        s for s in {r["scenario"] for r in result["accuracy"]}
+        if by_key[(s, "feedback")]["accurate"]
+        and not by_key[(s, "static")]["accurate"]
+    ]
+    assert gains
+    assert all(r["sites_pruned"] or r["checks_pruned"]
+               for r in result["prunes"] if r["mode"] == "constraints")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

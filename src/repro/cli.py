@@ -45,7 +45,7 @@ import dataclasses
 from repro.bench.experiments import figure9, figure10, figure11
 from repro.bench.reporting import dump_traces, format_table, series_table
 from repro.core.engine import GlobalQueryEngine
-from repro.core.options import ExecutionOptions
+from repro.core.options import PLANNER_MODES, ExecutionOptions
 from repro.core.strategies import DEFAULT_REGISTRY
 from repro.errors import EvolutionError, FaultPlanError
 from repro.faults import POLICIES, FaultPlan, resolve_policy
@@ -153,6 +153,16 @@ def _add_columnar_arg(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_planner_arg(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--planner", default="static", choices=PLANNER_MODES,
+        help="adaptive-planning mode: feedback (AUTO consults observed "
+             "stalls/breakers/queue delays), constraints (prune sites "
+             "and checks via the per-site constraint catalog), full "
+             "(both); answers are identical in every mode",
+    )
+
+
 def _cli_options(args: argparse.Namespace) -> ExecutionOptions:
     """One ExecutionOptions value from the fault/batching flags."""
     return ExecutionOptions(
@@ -162,6 +172,7 @@ def _cli_options(args: argparse.Namespace) -> ExecutionOptions:
         batch_checks=not getattr(args, "no_batch", False),
         failover=getattr(args, "failover", True),
         columnar=not getattr(args, "no_columnar", False),
+        planner=getattr(args, "planner", "static"),
     )
 
 
@@ -277,11 +288,18 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.difftest import replay_cases, run_fuzz
     from repro.difftest.oracle import StrategyOracle
 
-    # --no-columnar anchors every invariant run on the row path; the
-    # oracle's columnar invariant still cross-checks the opposite path.
-    oracle = (
-        StrategyOracle(columnar=False) if args.no_columnar else None
-    )
+    # --no-columnar anchors every invariant run on the row path (the
+    # oracle's columnar invariant still cross-checks the opposite path);
+    # --planner pins every invariant run to an adaptive mode (the
+    # planner invariant still cross-checks against static).
+    planner = getattr(args, "planner", "static")
+    if args.no_columnar or planner != "static":
+        oracle = StrategyOracle(
+            columnar=False if args.no_columnar else None,
+            planner=planner if planner != "static" else None,
+        )
+    else:
+        oracle = None
     if args.replay:
         violations = replay_cases(args.replay, oracle=oracle)
     else:
@@ -456,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(query)
     _add_batch_arg(query)
     _add_columnar_arg(query)
+    _add_planner_arg(query)
 
     explain = sub.add_parser(
         "explain", help="run a query once and print its execution report"
@@ -472,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(explain)
     _add_batch_arg(explain)
     _add_columnar_arg(explain)
+    _add_planner_arg(explain)
 
     sub.add_parser("strategies", help="list registered strategies")
 
@@ -492,6 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(compare)
     _add_batch_arg(compare)
     _add_columnar_arg(compare)
+    _add_planner_arg(compare)
 
     sub.add_parser("tables", help="print Tables 1 and 2")
 
@@ -540,6 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(traffic)
     _add_batch_arg(traffic)
     _add_columnar_arg(traffic)
+    _add_planner_arg(traffic)
 
     evolve = sub.add_parser(
         "evolve",
@@ -563,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(evolve)
     _add_batch_arg(evolve)
     _add_columnar_arg(evolve)
+    _add_planner_arg(evolve)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential-test the strategies on random "
@@ -580,6 +603,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for shrunk JSON case files on violations",
     )
     _add_columnar_arg(fuzz)
+    _add_planner_arg(fuzz)
     return parser
 
 

@@ -151,6 +151,7 @@ class GlobalQueryEngine:
         batch_checks: Optional[bool] = None,
         failover: Optional[bool] = None,
         columnar: Optional[bool] = None,
+        planner: Optional[str] = None,
         options: Optional[ExecutionOptions] = None,
     ) -> None:
         self.system = system
@@ -166,6 +167,7 @@ class GlobalQueryEngine:
                 ("batch_checks", batch_checks),
                 ("failover", failover),
                 ("columnar", columnar),
+                ("planner", planner),
             )
             if value is not None
         }
@@ -225,6 +227,14 @@ class GlobalQueryEngine:
     @columnar.setter
     def columnar(self, value: bool) -> None:
         self.options = self.options.with_(columnar=value)
+
+    @property
+    def planner(self) -> str:
+        return self.options.planner
+
+    @planner.setter
+    def planner(self, value: str) -> None:
+        self.options = self.options.with_(planner=value)
 
     # --- sessions ----------------------------------------------------------
 
@@ -293,6 +303,7 @@ class GlobalQueryEngine:
             failover=options.failover,
             batch_checks=options.batch_checks,
             columnar=options.columnar,
+            planner=options.planner,
         )
 
     def _run(
@@ -320,10 +331,12 @@ class GlobalQueryEngine:
         if (
             chosen.batch_checks != options.batch_checks
             or chosen.columnar != options.columnar
+            or chosen.planner != options.planner
         ):
             chosen = copy.copy(chosen)
             chosen.batch_checks = options.batch_checks
             chosen.columnar = options.columnar
+            chosen.planner = options.planner
         built_signatures = False
         if getattr(chosen, "use_signatures", False) and self.system.signatures is None:
             self.system.build_signatures()
@@ -368,6 +381,15 @@ class GlobalQueryEngine:
         result.metrics.work.cache_hits = cache_delta.hits
         result.metrics.work.cache_misses = cache_delta.misses
         session.note_execution(cache_delta)
+        if ctx is not None:
+            # Trace-fed planning: fold this execution's observed stalls,
+            # breaker transitions and span queue delays into the shared
+            # feedback store.  Collected regardless of planner mode (so
+            # a later feedback-mode AUTO pick benefits from every prior
+            # execution); consumed only under feedback/full.
+            self.system.planner_feedback.observe_execution(
+                ctx, result.metrics, self.system.global_site
+            )
         report = ExecutionReport.from_result(result, query_text=query_text)
         if built_signatures:
             report.record_event(TraceEvent.of(

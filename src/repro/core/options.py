@@ -36,7 +36,13 @@ OPTION_FIELDS = (
     "batch_checks",
     "failover",
     "columnar",
+    "planner",
 )
+
+#: Valid values of :attr:`ExecutionOptions.planner` (mirrored by
+#: :data:`repro.planner.PLANNER_MODES`; duplicated here to keep this
+#: module import-light).
+PLANNER_MODES = ("static", "feedback", "constraints", "full")
 
 
 @dataclass(frozen=True)
@@ -62,6 +68,14 @@ class ExecutionOptions:
             (``False`` forces the per-object row path everywhere; answers
             are byte-identical either way — the transparency contract the
             difftest oracle enforces).
+        planner: adaptive-planning mode — ``"static"`` (default; the
+            analytic model's unmodified predictions, no pruning),
+            ``"feedback"`` (AUTO's pick consults observed stalls,
+            breaker history and span queue delays), ``"constraints"``
+            (localized strategies prune sites/checks via the per-site
+            constraint catalog), or ``"full"`` (both).  Every mode is
+            answer-identical to ``static`` — the soundness contract the
+            difftest oracle's ``planner`` invariant enforces.
     """
 
     fault_plan: Optional[FaultPlan] = None
@@ -70,9 +84,15 @@ class ExecutionOptions:
     batch_checks: bool = True
     failover: bool = True
     columnar: bool = True
+    planner: str = "static"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy", resolve_policy(self.policy))
+        if self.planner not in PLANNER_MODES:
+            raise TypeError(
+                f"unknown planner mode {self.planner!r}; "
+                f"choose from {list(PLANNER_MODES)}"
+            )
 
     def with_(self, **overrides: object) -> "ExecutionOptions":
         """A copy with *overrides* applied; unknown names raise."""
@@ -97,6 +117,7 @@ class ExecutionOptions:
             f"batch_checks={self.batch_checks}",
             f"failover={self.failover}",
             f"columnar={self.columnar}",
+            f"planner={self.planner}",
         ]
         if self.fault_plan is not None:
             parts.insert(0, (

@@ -9,7 +9,12 @@
   extension).
 """
 
-from repro.core.strategies.adaptive import AdaptiveStrategy, extract_params
+from repro.core.strategies.adaptive import (
+    AdaptiveStrategy,
+    NullRatioSample,
+    extract_params,
+    extract_params_ex,
+)
 from repro.core.strategies.base import (
     DispatchPlan,
     Strategy,
@@ -62,6 +67,7 @@ __all__ = [
     "BasicLocalizedStrategy",
     "CentralizedStrategy",
     "DispatchPlan",
+    "NullRatioSample",
     "PAPER_STRATEGIES",
     "ParallelLocalizedStrategy",
     "SignatureBasicLocalizedStrategy",
@@ -72,6 +78,7 @@ __all__ = [
     "StrategyResult",
     "collect_verdicts",
     "extract_params",
+    "extract_params_ex",
     "plan_dispatch",
     "resolve",
     "run_checks",

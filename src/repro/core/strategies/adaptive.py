@@ -11,14 +11,19 @@ one per query.  :class:`AdaptiveStrategy` does exactly that:
 3. delegate execution to the predicted winner (objective: response time
    by default, or total execution time).
 
-The prediction is a heuristic — the model works on expectations — but the
-ablation bench shows it ranks CA vs BL correctly on a clear majority of
-generated federations, and it can never return a wrong *answer* (all
-strategies are answer-equivalent).
+Under ``planner="feedback"`` (or ``"full"``) the model additionally
+consumes the federation's :class:`~repro.planner.feedback.PlannerFeedback`
+store: observed entry/peer negotiation stalls become scheduled gate
+delays, span queue-delay ratios become per-site device multipliers, and
+sites that have only ever failed join the CA unreachability penalty.
+The prediction stays a heuristic — the model works on expectations — but
+it can never return a wrong *answer* (all strategies, in every planner
+mode, are answer-equivalent).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analytic.model import AnalyticModel
@@ -28,19 +33,55 @@ from repro.core.system import DistributedSystem
 from repro.errors import QueryError
 from repro.faults.injector import ExecutionContext
 from repro.objectdb.values import is_null
+from repro.planner import uses_feedback
 from repro.workload.params import ClassParams, DbClassParams, WorkloadParams
 
 #: Objects sampled per extent when estimating null ratios.
 NULL_SAMPLE_SIZE = 50
 
+#: Upper bound the analytic model accepts for a missing-value ratio.
+#: Ratios above it are clamped — and the clamp is *surfaced* via
+#: :class:`NullRatioSample.clamped` / ``extract_params_ex`` notes rather
+#: than applied silently.
+NULL_RATIO_CAP = 0.95
+
+
+@dataclass(frozen=True)
+class NullRatioSample:
+    """Outcome of one null-ratio estimation over an extent.
+
+    Attributes:
+        ratio: the clamped ratio the analytic model consumes.
+        raw_ratio: the measured ratio before the
+            :data:`NULL_RATIO_CAP` clamp.
+        clamped: whether ``raw_ratio`` exceeded the cap.
+        objects_sampled: how many distinct objects the stride visited.
+    """
+
+    ratio: float
+    raw_ratio: float
+    clamped: bool
+    objects_sampled: int
+
 
 def extract_params(system: DistributedSystem, query: Query) -> WorkloadParams:
-    """Derive a parameter set describing *query* over *system*.
+    """Derive a parameter set describing *query* over *system*."""
+    params, _notes = extract_params_ex(system, query)
+    return params
+
+
+def extract_params_ex(
+    system: DistributedSystem, query: Query
+) -> Tuple[WorkloadParams, Tuple[str, ...]]:
+    """Like :func:`extract_params`, plus estimation notes.
 
     The analytic model thinks in class chains; the extraction walks the
     query's visited classes in order (root first) and measures, per
     site: extent size, how many of the class's predicate attributes the
     constituent defines, and a sampled null ratio on those attributes.
+    The second return value lists anything the estimator had to fudge —
+    currently one note per extent whose measured null ratio exceeded
+    :data:`NULL_RATIO_CAP` and was clamped.
     """
     schema = system.global_schema
     query.validate(schema.schema)
@@ -61,6 +102,7 @@ def extract_params(system: DistributedSystem, query: Query) -> WorkloadParams:
 
     db_names = tuple(system.databases)
     classes: List[ClassParams] = []
+    notes: List[str] = []
     for class_name in chain:
         pred_attrs = preds_by_class[class_name]
         per_db: Dict[str, DbClassParams] = {}
@@ -75,11 +117,17 @@ def extract_params(system: DistributedSystem, query: Query) -> WorkloadParams:
             db = system.db(db_name)
             cdef = db.schema.cls(local_cls)
             defined = [a for a in pred_attrs if cdef.has_attribute(a)]
+            sample = _sampled_null_ratio(db, local_cls, defined)
+            if sample.clamped:
+                notes.append(
+                    f"null-ratio clamp: {db_name}.{local_cls} "
+                    f"raw={sample.raw_ratio:.3f} -> {NULL_RATIO_CAP}"
+                )
             per_db[db_name] = DbClassParams(
                 n_objects=db.count(local_cls),
                 n_local_pred_attrs=len(defined),
                 n_target_attrs=1,
-                r_missing=_sampled_null_ratio(db, local_cls, defined),
+                r_missing=sample.ratio,
             )
         classes.append(
             ClassParams(
@@ -88,26 +136,41 @@ def extract_params(system: DistributedSystem, query: Query) -> WorkloadParams:
                 per_db=per_db,
             )
         )
-    return WorkloadParams(db_names=db_names, classes=classes)
+    return WorkloadParams(db_names=db_names, classes=classes), tuple(notes)
 
 
-def _sampled_null_ratio(db, class_name: str, attributes: List[str]) -> float:
-    """Fraction of null values among *attributes* over a small sample."""
+def _sampled_null_ratio(
+    db, class_name: str, attributes: List[str]
+) -> NullRatioSample:
+    """Estimate the null fraction among *attributes* over an extent.
+
+    Samples a deterministic stride across the *whole* extent — index
+    ``(i * n) // sample_n`` for ``i`` in ``range(sample_n)`` — instead
+    of the first ``NULL_SAMPLE_SIZE`` objects.  First-N sampling read
+    the extent in insertion order, so a null-skewed tail (e.g. a bulk
+    import of partially-populated objects appended after a clean seed)
+    was invisible and AUTO picked strategies against a phantom
+    fully-populated federation.
+    """
     if not attributes:
-        return 0.0
+        return NullRatioSample(0.0, 0.0, False, 0)
+    objects = list(db.extent(class_name).values())
+    n = len(objects)
+    if n == 0:
+        return NullRatioSample(0.0, 0.0, False, 0)
+    sample_n = min(n, NULL_SAMPLE_SIZE)
     seen = 0
     nulls = 0
-    for obj in db.extent(class_name).values():
+    sampled = 0
+    for i in range(sample_n):
+        obj = objects[(i * n) // sample_n]
+        sampled += 1
         for attr in attributes:
             seen += 1
             if is_null(obj.get(attr)):
                 nulls += 1
-        if seen >= NULL_SAMPLE_SIZE * len(attributes):
-            break
-    if seen == 0:
-        return 0.0
-    # Clamp: the analytic model treats this as a probability in [0, 0.95].
-    return min(nulls / seen, 0.95)
+    raw = nulls / seen
+    return NullRatioSample(min(raw, NULL_RATIO_CAP), raw, raw > NULL_RATIO_CAP, sampled)
 
 
 class AdaptiveStrategy(Strategy):
@@ -127,6 +190,14 @@ class AdaptiveStrategy(Strategy):
         self.last_predictions: Dict[str, float] = {}
         #: Sites the most recent prediction considered unreachable.
         self.last_unreachable: Tuple[str, ...] = ()
+        #: Sites whose CA penalty came from observed feedback (subset of
+        #: the penalized set that plan-peeking alone would have missed).
+        self.last_observed_unreliable: Tuple[str, ...] = ()
+        #: Estimation notes (e.g. null-ratio clamps) from the most
+        #: recent prediction.
+        self.last_notes: Tuple[str, ...] = ()
+        #: Whether the most recent prediction consumed trace feedback.
+        self.last_used_feedback: bool = False
 
     @staticmethod
     def _unreachable_sites(
@@ -166,13 +237,36 @@ class AdaptiveStrategy(Strategy):
         unreachable site: centralized collection stalls on the retry
         ladder of every dead export, while the localized strategies
         degrade that site to a partial answer and move on.
+
+        When the effective planner mode consumes feedback and the
+        federation's :class:`PlannerFeedback` store has observations,
+        the model is built with observed entry/peer stall gates and
+        per-site slowdown multipliers, and observed-unreliable sites
+        (entry failures, zero successes) extend the CA penalty set —
+        so partial link degradation the plan-peek cannot see still
+        steers the pick.
         """
-        params = extract_params(system, query)
-        model = AnalyticModel(
-            params,
-            cost_model=system.cost_model,
-            shared_network=system.shared_network,
-        )
+        params, self.last_notes = extract_params_ex(system, query)
+        mode = self.effective_planner(ctx)
+        feedback = system.planner_feedback
+        self.last_used_feedback = uses_feedback(mode) and feedback.has_data
+        if self.last_used_feedback:
+            model = AnalyticModel(
+                params,
+                cost_model=system.cost_model,
+                shared_network=system.shared_network,
+                site_entry_stall_s=feedback.entry_stalls(),
+                site_peer_stall_s=feedback.peer_stalls(),
+                site_multipliers=feedback.site_multipliers(),
+            )
+            observed = tuple(sorted(feedback.unreliable_sites()))
+        else:
+            model = AnalyticModel(
+                params,
+                cost_model=system.cost_model,
+                shared_network=system.shared_network,
+            )
+            observed = ()
         outcomes = model.evaluate_all(
             include_signatures=system.signatures is not None
         )
@@ -181,8 +275,14 @@ class AdaptiveStrategy(Strategy):
         else:
             predictions = {n: o.total_time for n, o in outcomes.items()}
         self.last_unreachable = self._unreachable_sites(system, ctx)
-        if self.last_unreachable and "CA" in predictions:
-            predictions["CA"] *= 1e3 * len(self.last_unreachable)
+        self.last_observed_unreliable = tuple(
+            s for s in observed if s not in self.last_unreachable
+        )
+        penalized = tuple(sorted(
+            set(self.last_unreachable) | set(self.last_observed_unreliable)
+        ))
+        if penalized and "CA" in predictions:
+            predictions["CA"] *= 1e3 * len(penalized)
         return predictions
 
     def execute(self, system: DistributedSystem, query: Query, ctx=None) -> StrategyResult:
@@ -196,6 +296,7 @@ class AdaptiveStrategy(Strategy):
         delegate = strategy_by_name(choice)
         delegate.batch_checks = self.effective_batch_checks(ctx)
         delegate.columnar = self.effective_columnar(ctx)
+        delegate.planner = self.effective_planner(ctx)
         if ctx is None:
             result = delegate.execute(system, query)
         else:
@@ -205,8 +306,34 @@ class AdaptiveStrategy(Strategy):
             "auto.predict",
             choice=choice,
             objective=self.objective,
+            planner=self.effective_planner(ctx),
+            used_feedback=str(self.last_used_feedback).lower(),
             unreachable=",".join(self.last_unreachable) or "none",
+            observed_unreliable=(
+                ",".join(self.last_observed_unreliable) or "none"
+            ),
+            notes="; ".join(self.last_notes) or "none",
             **{f"predicted_{name}_s": f"{value:.6f}"
                for name, value in sorted(predictions.items())},
+        ))
+        # Misprediction accounting: compare the chosen strategy's actual
+        # cost against every prediction.  rank_of_actual == 1 means the
+        # measured outcome still beat all rival *predictions*; anything
+        # higher flags a pick the model would regret in hindsight.
+        if self.objective == "response":
+            actual = result.metrics.response_time
+        else:
+            actual = result.metrics.total_time
+        rank_of_actual = 1 + sum(
+            1 for name, value in predictions.items()
+            if name != choice and value < actual
+        )
+        result.metrics.add_event(TraceEvent.of(
+            "auto.outcome",
+            choice=choice,
+            predicted_s=f"{predictions[choice]:.6f}",
+            actual_s=f"{actual:.6f}",
+            rank_of_actual=str(rank_of_actual),
+            mispredicted=str(rank_of_actual > 1).lower(),
         ))
         return result

@@ -91,6 +91,18 @@ class Strategy(abc.ABC):
     #: (CA through ``materialize``), so they all owe the difftest oracle
     #: a columnar-vs-row equivalence proof.
     affected_by_columnar: bool = True
+    #: Adaptive-planning mode of this execution (see
+    #: :data:`repro.planner.PLANNER_MODES`): ``constraints``/``full``
+    #: let the localized strategies prune provably-irrelevant sites and
+    #: assistant checks via the constraint catalog; ``feedback``/``full``
+    #: let AUTO rank CA/BL/PL from observed conditions.  Same carrier
+    #: contract as :attr:`columnar`: answers are identical in every mode.
+    planner: str = "static"
+    #: Whether the planner mode changes this strategy's execution at
+    #: all.  CA neither prunes nor predicts, so it opts out; the
+    #: difftest oracle uses the flag to know which strategies owe a
+    #: planner answer-identity proof.
+    affected_by_planner: bool = True
 
     @abc.abstractmethod
     def execute(
@@ -133,6 +145,19 @@ class Strategy(abc.ABC):
         if ctx is not None and ctx.columnar is not None:
             return ctx.columnar
         return self.columnar
+
+    def effective_planner(self, ctx: Optional[ExecutionContext]) -> str:
+        """This execution's planner mode: the context override wins.
+
+        Same carrier rule as :meth:`effective_batch_checks` — the
+        per-execution ``planner`` override travels on the
+        :class:`ExecutionContext` when faults are active and on a
+        private copy of the strategy otherwise, so a shared Strategy
+        instance is never mutated.
+        """
+        if ctx is not None and ctx.planner is not None:
+            return ctx.planner
+        return self.planner
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"
@@ -200,6 +225,9 @@ class DispatchPlan:
     assistants_found: int = 0
     assistants_dispatched: int = 0
     signature_comparisons: int = 0
+    #: (assistant, predicate) checks dropped because the constraint
+    #: catalog proved their verdict UNKNOWN (planner constraints/full).
+    checks_pruned: int = 0
     # Definitive verdicts derived locally from signatures (BL-S / PL-S).
     signature_verdicts: List[Tuple[LOid, Predicate, str]] = field(
         default_factory=list
@@ -211,6 +239,7 @@ def plan_dispatch(
     items: Iterable[UnsolvedItem],
     system: DistributedSystem,
     use_signatures: bool = False,
+    constraints=None,
 ) -> DispatchPlan:
     """Plan the assistant checks for the unsolved items found at *site*.
 
@@ -222,6 +251,13 @@ def plan_dispatch(
     With ``use_signatures`` the site first tests each assistant against
     the replicated signature catalog: assistants that provably violate a
     predicate yield a local VIOLATED verdict and are not shipped.
+
+    With a *constraints* catalog (planner ``constraints``/``full``),
+    checks whose verdict is provably UNKNOWN — a single-step relative
+    predicate on an attribute that is null for every object of the
+    assistant's class at its site — are dropped before dispatch.
+    Certification treats UNKNOWN exactly like an unasked check, so the
+    answer is identical; only the wire traffic shrinks.
     """
     plan = DispatchPlan()
     signatures = system.signatures if use_signatures else None
@@ -248,6 +284,24 @@ def plan_dispatch(
             )
             if not answerable:
                 continue
+            if constraints is not None:
+                home_class = system.global_schema.constituent_class(
+                    assistant.db, global_class
+                )
+                if home_class is not None:
+                    kept = []
+                    for up in answerable:
+                        if constraints.check_provably_unknown(
+                            system.db(assistant.db),
+                            home_class,
+                            up.relative_predicate,
+                        ):
+                            plan.checks_pruned += 1
+                        else:
+                            kept.append(up)
+                    answerable = kept
+                if not answerable:
+                    continue
             if signatures is not None:
                 target_class = system.global_schema.constituent_class(
                     assistant.db, global_class

@@ -39,6 +39,11 @@ class CentralizedStrategy(Strategy):
     #: path (batched per-attribute merge vs per-object), so CA owes the
     #: oracle the columnar equivalence proof like everyone else.
     affected_by_columnar = True
+    #: CA ships whole extents unconditionally — it never consults the
+    #: constraint catalog (nothing to prune: no per-site evaluation, no
+    #: assistant checks) and has no strategy pick for feedback to steer,
+    #: so the planner mode cannot change its execution.
+    affected_by_planner = False
 
     def execute(
         self,

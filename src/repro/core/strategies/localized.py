@@ -55,6 +55,7 @@ from repro.faults.injector import ExecutionContext
 from repro.objectdb.ids import GOid
 from repro.objectdb.local_query import CheckReport, LocalResultSet
 from repro.obs.spans import TraceEvent
+from repro.planner import uses_constraints
 from repro.resilience.failover import (
     PendingSkip,
     covered_by_verdicts,
@@ -85,6 +86,16 @@ class _LocalizedStrategy(Strategy):
         work = WorkCounters()
         cost = system.cost_model
         use_columnar = self.effective_columnar(ctx)
+        # Constraint catalog, consulted only under planner=constraints/full.
+        # Soundness contract: a prune fires only when the static path
+        # would provably produce the identical answer (empty local result
+        # set; UNKNOWN check verdict, which certification treats exactly
+        # like an unasked check).
+        constraints = (
+            system.constraints
+            if uses_constraints(self.effective_planner(ctx))
+            else None
+        )
 
         local_results: Dict[str, LocalResultSet] = {}
         reports: List[CheckReport] = []
@@ -125,6 +136,27 @@ class _LocalizedStrategy(Strategy):
         avg_branch_bytes = self._avg_branch_bytes(system, query, surviving)
 
         for db_name, local_query in decomposed.local_queries.items():
+            if constraints is not None:
+                prune_reason = constraints.site_prune_reason(
+                    system.db(db_name), local_query
+                )
+                if prune_reason is not None:
+                    # The catalog proves this site block answers with
+                    # zero rows; synthesize the empty result set the
+                    # static path would have computed and skip the
+                    # site's scan/evaluate/dispatch work entirely.
+                    local_results[db_name] = LocalResultSet(
+                        db_name=db_name,
+                        range_class=local_query.range_class,
+                    )
+                    work.sites_pruned += 1
+                    events.append(TraceEvent.of(
+                        "planner.prune",
+                        kind="site",
+                        site=db_name,
+                        reason=prune_reason,
+                    ))
+                    continue
             entry_deps: List[Node] = []
             if ctx is not None:
                 negotiation = ctx.contact(system.global_site, db_name)
@@ -172,9 +204,19 @@ class _LocalizedStrategy(Strategy):
                     for item in row.unsolved_items
                 ]
             plan = plan_dispatch(
-                db_name, items, system, use_signatures=self.use_signatures
+                db_name, items, system,
+                use_signatures=self.use_signatures,
+                constraints=constraints,
             )
             signature_verdicts.extend(plan.signature_verdicts)
+            work.checks_pruned += plan.checks_pruned
+            if plan.checks_pruned:
+                events.append(TraceEvent.of(
+                    "planner.prune",
+                    kind="check",
+                    site=db_name,
+                    checks_pruned=plan.checks_pruned,
+                ))
             events.append(TraceEvent.of(
                 "dispatch.plan",
                 site=db_name,

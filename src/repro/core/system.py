@@ -78,6 +78,13 @@ class DistributedSystem:
     #: federation's contention/benefit signal — work one session paid
     #: for and another reused.
     _shared_hits: Dict[str, int] = field(default_factory=dict, repr=False)
+    #: Lazily created planner state (see :mod:`repro.planner`): the
+    #: per-site constraint catalog and the cross-execution feedback
+    #: store.  Both are derived/observational — they never change
+    #: answers, only how much work a planner-enabled execution schedules
+    #: and which strategy AUTO picks.
+    _constraints: Optional[object] = field(default=None, repr=False)
+    _planner_feedback: Optional[object] = field(default=None, repr=False)
 
     @classmethod
     def build(
@@ -207,6 +214,31 @@ class DistributedSystem:
     def shared_hits_total(self) -> int:
         """All cross-scope decomposition hits on this federation."""
         return sum(self._shared_hits.values())
+
+    # --- planner state -------------------------------------------------------
+
+    @property
+    def constraints(self):
+        """The per-site constraint catalog (created on first use).
+
+        Entries memoize on each database's ``data_version``, so the
+        catalog itself never goes stale — mutations are picked up on the
+        next consult.
+        """
+        if self._constraints is None:
+            from repro.planner.constraints import ConstraintCatalog
+
+            self._constraints = ConstraintCatalog()
+        return self._constraints
+
+    @property
+    def planner_feedback(self):
+        """The cross-execution feedback store (created on first use)."""
+        if self._planner_feedback is None:
+            from repro.planner.feedback import PlannerFeedback
+
+            self._planner_feedback = PlannerFeedback()
+        return self._planner_feedback
 
     # --- dynamic registration -----------------------------------------------
 

@@ -19,6 +19,11 @@ reproduce.  What it checks:
     extent path (batch 3VL predicate kernels, batched assistant
     checks, batched outerjoin merge) and re-running yields an answer
     strictly equal to the other path's — the transparency contract.
+``planner``
+    For the :attr:`StrategyOracle.PLANNER_MATRIX` pairs, running with
+    an adaptive planner mode (constraint pruning, trace feedback, or
+    both) yields an answer strictly equal to ``static``'s — the
+    soundness contract of ``repro.planner``.
 ``determinism``
     Rebuilding the case from its recipe and re-executing yields a
     byte-identical answer export.
@@ -128,6 +133,7 @@ class StrategyOracle:
         self,
         registry=DEFAULT_REGISTRY,
         columnar: Optional[bool] = None,
+        planner: Optional[str] = None,
     ) -> None:
         self.registry = registry
         #: Base execution path for every invariant run: ``None`` keeps
@@ -136,6 +142,13 @@ class StrategyOracle:
         #: invariant always compares against the *opposite* path, so
         #: on/off equivalence is checked either way.
         self.columnar = columnar
+        #: Base planner mode for every invariant run: ``None`` keeps the
+        #: engine default (``static``); the fuzz CLI's ``--planner``
+        #: flag pins another mode, so the whole invariant suite also
+        #: runs with pruning/feedback live.  The ``planner`` invariant
+        #: below always compares ``static`` against the adaptive modes
+        #: regardless of this base.
+        self.planner = planner
 
     @property
     def strategy_names(self) -> List[str]:
@@ -154,6 +167,8 @@ class StrategyOracle:
         session = engine.session(name=f"difftest:{case.label}")
         if self.columnar is not None:
             session.options = session.options.with_(columnar=self.columnar)
+        if self.planner is not None:
+            session.options = session.options.with_(planner=self.planner)
 
         # Fault-free answers, one per strategy; CA anchors comparisons.
         answers: Dict[str, ResultSet] = {}
@@ -170,6 +185,7 @@ class StrategyOracle:
 
         violations.extend(self._check_batching(case, session, built, answers))
         violations.extend(self._check_columnar(case, session, built, answers))
+        violations.extend(self._check_planner(case, session, built, answers))
         violations.extend(self._check_determinism(case, baseline))
         if built.fault_plan is not None:
             violations.extend(
@@ -232,6 +248,56 @@ class StrategyOracle:
                     "columnar", case.label,
                     f"{name}: columnar={base} vs columnar={not base}: "
                     f"{_first_difference(answers[name], other)}",
+                    case,
+                ))
+        return violations
+
+    #: (strategy, planner mode) pairs exercised by the planner invariant.
+    #: BL and PL cover both localized phase orders under constraint
+    #: pruning; AUTO covers the trace-fed pick; ``full`` composes both.
+    #: CA opts out via ``affected_by_planner = False`` (nothing to
+    #: prune, no pick to steer), and the signature variants share BL/PL's
+    #: pruning seam, so the matrix stays at six extra executions a case.
+    PLANNER_MATRIX = (
+        ("BL", "constraints"),
+        ("BL", "full"),
+        ("PL", "constraints"),
+        ("PL", "full"),
+        ("AUTO", "feedback"),
+        ("AUTO", "full"),
+    )
+
+    def _check_planner(self, case, session, built, answers) -> List[Violation]:
+        """Every planner mode must be answer-identical to ``static``.
+
+        The soundness contract of the constraint catalog (a prune fires
+        only when the static path provably produces the same answer) and
+        of trace feedback (it only reorders AUTO's prediction ranking,
+        never touches evaluation).  Each matrix entry re-runs the
+        strategy with the mode pinned and compares strictly against the
+        strategy's base (static) answer.
+        """
+        violations = []
+        static_options = session.options.with_(planner="static")
+        for name, mode in self.PLANNER_MATRIX:
+            if name not in self.strategy_names:
+                continue
+            if not self.registry.create(name).affected_by_planner:
+                continue
+            base = answers[name]
+            if session.options.planner != "static":
+                base = session.execute(
+                    built.query, name, options=static_options
+                ).results
+            adaptive = session.execute(
+                built.query, name,
+                options=session.options.with_(planner=mode),
+            ).results
+            if not same_answers(base, adaptive):
+                violations.append(Violation(
+                    "planner", case.label,
+                    f"{name}: planner=static vs planner={mode}: "
+                    f"{_first_difference(base, adaptive)}",
                     case,
                 ))
         return violations

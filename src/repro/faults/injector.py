@@ -163,6 +163,7 @@ class ExecutionContext:
         health: Optional["SiteHealthRegistry"] = None,
         batch_checks: Optional[bool] = None,
         columnar: Optional[bool] = None,
+        planner: Optional[str] = None,
     ) -> None:
         self.plan = plan
         self.policy = policy
@@ -178,6 +179,11 @@ class ExecutionContext:
         #: ``batch_checks``; ``None`` defers to the strategy's own
         #: default — see :meth:`Strategy.effective_columnar`.
         self.columnar = columnar
+        #: This execution's adaptive-planning mode ("static" /
+        #: "feedback" / "constraints" / "full").  Same carrier pattern
+        #: as ``batch_checks``; ``None`` defers to the strategy's own
+        #: default — see :meth:`Strategy.effective_planner`.
+        self.planner = planner
         self.contacted: List[str] = []
         self.skipped: List[str] = []
         self.retried: Dict[str, int] = {}

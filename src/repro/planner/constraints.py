@@ -1,0 +1,293 @@
+"""Per-site constraint catalog: class presence, coverage, value ranges.
+
+Following Malik et al.'s constraint-based query distribution, each site
+advertises cheap integrity summaries of its extents — how many objects a
+class holds, how completely each attribute is populated, and the value
+range of homogeneous scalar columns.  Decomposition-time planning uses
+them for two *sound* prunes:
+
+* **site prune** — skip a site's whole local-query block when the
+  catalog proves every root object would be eliminated locally (empty
+  extent, or some fully-populated local predicate whose value range is
+  disjoint from the accept region, in every disjunct);
+* **check prune** — skip an assistant check when the catalog proves the
+  verdict is UNKNOWN (the checked attribute is null for every object of
+  the assistant's class at that site), which certification ignores.
+
+Soundness contract: pruning never demotes a certain row and never drops
+a maybe row.  Both prunes only remove work whose outcome is *provable*
+from the catalog under the exact 3VL semantics of
+:func:`repro.core.predicates.compare_values`:
+
+* a row is eliminated only when a conjunct predicate is FALSE for every
+  object — nulls yield UNKNOWN (keeps the row maybe), so a column with
+  any null is never range-pruned; multi-values satisfy existentially,
+  so a column with any multi-value is never range-pruned; order
+  comparisons raise on mixed types, so ranges only apply to columns
+  whose scalar kind matches the operand's (equality, which never
+  raises, may additionally prune on a kind mismatch);
+* a check verdict is UNKNOWN only when the stored value is null, and an
+  UNKNOWN verdict is certification-equivalent to no verdict at all
+  (only SATISFIED/VIOLATED change an entity's status), so an all-null
+  column makes the check unable to change the answer.
+
+The catalog is derived state: per-(site, class) statistics are memoized
+on the component database's ``data_version`` and rebuilt lazily after
+mutations, so a stale range can never mask a fresh value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.query import Op, Predicate
+from repro.objectdb.values import MultiValue, is_null
+
+#: Scalar kind labels of a homogeneous column.
+KIND_NUMBER = "number"
+KIND_STRING = "string"
+
+
+@dataclass(frozen=True)
+class AttributeStats:
+    """Constraint summary of one attribute column at one site."""
+
+    #: Objects carrying the attribute slot (the class extent size).
+    values: int
+    #: How many of those values are null.
+    nulls: int
+    #: How many are multi-values (existential comparison semantics).
+    multi: int
+    #: ``"number"`` / ``"string"`` when every non-null value is a scalar
+    #: of that one orderable kind (bool counts as number, NaN excluded);
+    #: ``None`` for mixed, reference-valued, or multi-valued columns.
+    kind: Optional[str] = None
+    #: Range of the non-null values when :attr:`kind` is set.
+    lo: object = None
+    hi: object = None
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of objects with a non-null value."""
+        if self.values == 0:
+            return 0.0
+        return (self.values - self.nulls) / self.values
+
+    @property
+    def all_null(self) -> bool:
+        return self.values > 0 and self.nulls == self.values
+
+    @property
+    def range_usable(self) -> bool:
+        """Whether [lo, hi] soundly bounds every comparison outcome."""
+        return (
+            self.kind is not None
+            and self.nulls == 0
+            and self.multi == 0
+            and self.values > 0
+        )
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Constraint summary of one class extent at one site."""
+
+    db_name: str
+    class_name: str
+    count: int
+    attributes: Dict[str, AttributeStats] = field(default_factory=dict)
+
+
+def _operand_kind(operand: object) -> Optional[str]:
+    if isinstance(operand, bool) or isinstance(operand, (int, float)):
+        return KIND_NUMBER
+    if isinstance(operand, str):
+        return KIND_STRING
+    return None
+
+
+class ConstraintCatalog:
+    """Lazily built, version-invalidated constraint summaries per site.
+
+    The catalog holds no database references of its own; callers pass
+    the live :class:`~repro.objectdb.database.ComponentDatabase` and the
+    catalog keys its memo on ``(db.name, class_name)`` with the entry
+    invalidated whenever ``db.data_version`` moves.
+    """
+
+    def __init__(self) -> None:
+        self._memo: Dict[Tuple[str, str], Tuple[int, ClassStats]] = {}
+        #: Build/consult accounting (observability; never answers).
+        self.builds = 0
+        self.hits = 0
+
+    # --- statistics ---------------------------------------------------------
+
+    def class_stats(self, db, class_name: str) -> ClassStats:
+        """Summarize *class_name*'s extent at *db* (memoized)."""
+        key = (db.name, class_name)
+        cached = self._memo.get(key)
+        if cached is not None and cached[0] == db.data_version:
+            self.hits += 1
+            return cached[1]
+        stats = self._build(db, class_name)
+        self._memo[key] = (db.data_version, stats)
+        self.builds += 1
+        return stats
+
+    def _build(self, db, class_name: str) -> ClassStats:
+        extent = db.extent(class_name)
+        cdef = db.schema.cls(class_name)
+        attr_names = tuple(a.name for a in cdef.attributes)
+        per_attr: Dict[str, dict] = {
+            name: {"nulls": 0, "multi": 0, "kind": None,
+                   "mixed": False, "lo": None, "hi": None}
+            for name in attr_names
+        }
+        count = 0
+        for obj in extent.values():
+            count += 1
+            for name in attr_names:
+                value = obj.get(name)
+                acc = per_attr[name]
+                if is_null(value):
+                    acc["nulls"] += 1
+                    continue
+                if isinstance(value, MultiValue):
+                    acc["multi"] += 1
+                    acc["mixed"] = True
+                    continue
+                if isinstance(value, bool) or isinstance(value, (int, float)):
+                    kind = KIND_NUMBER
+                    if value != value:  # NaN defeats range reasoning
+                        acc["mixed"] = True
+                        continue
+                elif isinstance(value, str):
+                    kind = KIND_STRING
+                else:
+                    acc["mixed"] = True
+                    continue
+                if acc["kind"] is None:
+                    acc["kind"] = kind
+                elif acc["kind"] != kind:
+                    acc["mixed"] = True
+                    continue
+                if acc["lo"] is None or value < acc["lo"]:
+                    acc["lo"] = value
+                if acc["hi"] is None or value > acc["hi"]:
+                    acc["hi"] = value
+        attributes = {}
+        for name, acc in per_attr.items():
+            mixed = acc["mixed"] or acc["kind"] is None
+            attributes[name] = AttributeStats(
+                values=count,
+                nulls=acc["nulls"],
+                multi=acc["multi"],
+                kind=None if mixed else acc["kind"],
+                lo=None if mixed else acc["lo"],
+                hi=None if mixed else acc["hi"],
+            )
+        return ClassStats(
+            db_name=db.name,
+            class_name=class_name,
+            count=count,
+            attributes=attributes,
+        )
+
+    # --- the two sound prunes ----------------------------------------------
+
+    def predicate_all_false(
+        self, db, class_name: str, predicate: Predicate
+    ) -> bool:
+        """Prove ``predicate`` FALSE for *every* object of the extent.
+
+        Only single-step paths qualify (the attribute lives on the class
+        itself).  Requires full coverage (a null makes the predicate
+        UNKNOWN, not FALSE), no multi-values, and — for order operators,
+        which raise on mixed types — an operand of the column's own
+        scalar kind.
+        """
+        if len(predicate.path) != 1:
+            return False
+        stats = self.class_stats(db, class_name)
+        if stats.count == 0:
+            return False  # vacuous; the empty-extent prune handles it
+        attr = stats.attributes.get(predicate.path.last)
+        if attr is None or not attr.range_usable:
+            return False
+        op = predicate.op
+        operand = predicate.operand
+        okind = _operand_kind(operand)
+        if op is Op.EQ:
+            if okind != attr.kind:
+                # Equality never raises; across kinds it is plain False.
+                return okind is not None
+            return bool(operand < attr.lo or operand > attr.hi)
+        if op is Op.NE:
+            # All-false iff every value equals the operand.
+            return (
+                okind == attr.kind
+                and attr.lo == attr.hi
+                and attr.lo == operand
+            )
+        if okind != attr.kind or okind is None:
+            return False  # order comparison could raise; never prune
+        if op is Op.LT:
+            return bool(attr.lo >= operand)
+        if op is Op.LE:
+            return bool(attr.lo > operand)
+        if op is Op.GT:
+            return bool(attr.hi <= operand)
+        if op is Op.GE:
+            return bool(attr.hi < operand)
+        return False  # CONTAINS/NOT_CONTAINS: no range semantics
+
+    def check_provably_unknown(
+        self, db, class_name: str, predicate: Predicate
+    ) -> bool:
+        """Prove an assistant check of ``predicate`` returns UNKNOWN.
+
+        Sound for single-step relative paths only: the checked attribute
+        sits on the assistant object itself, so an all-null column makes
+        every verdict UNKNOWN — which certification treats exactly like
+        an unasked check.  Nested paths may block-and-chase; never prune
+        those.
+        """
+        if len(predicate.path) != 1:
+            return False
+        stats = self.class_stats(db, class_name)
+        if stats.count == 0:
+            return False
+        attr = stats.attributes.get(predicate.path.last)
+        return attr is not None and attr.all_null
+
+    def site_prune_reason(self, db, local_query) -> Optional[str]:
+        """Why *db*'s local block provably contributes nothing, or None.
+
+        A site block may be skipped when the root extent is empty, or
+        when **every** disjunct of the local query contains a local
+        root-class predicate that is FALSE for every object (a FALSE
+        conjunct member makes the conjunct FALSE regardless of the
+        predicates removed as unsolvable, so every row is eliminated
+        locally).  The pruned site still serves incoming assistant
+        checks — only its own local query is skipped.
+        """
+        stats = self.class_stats(db, local_query.range_class)
+        if stats.count == 0:
+            return "empty-extent"
+        if not local_query.where:
+            return None
+        pruned_by: list = []
+        for conjunct in local_query.where:
+            witness = None
+            for predicate in conjunct:
+                if self.predicate_all_false(
+                    db, local_query.range_class, predicate
+                ):
+                    witness = predicate
+                    break
+            if witness is None:
+                return None
+            pruned_by.append(witness)
+        return "all-false:" + ";".join(str(p) for p in pruned_by)

@@ -78,8 +78,15 @@ class SiteHealth:
     failures: int = 0
     #: Contacts suppressed while the circuit was open.
     suppressed: int = 0
-    #: EWMA of the fault wait paid per fresh negotiation (seconds).
+    #: EWMA of the fault wait paid per *successful* fresh negotiation
+    #: (seconds).  Failures never fold their (often defaulted-to-zero)
+    #: latency into the EWMA — a flaky site must not drift toward a
+    #: lower EWMA and win the latency tiebreak in :meth:`rank`.
     latency_ewma_s: float = 0.0
+    #: Number of latency observations folded into the EWMA.  The first
+    #: observation seeds the EWMA outright instead of blending against
+    #: the 0.0 initial value.
+    ewma_samples: int = 0
     #: Suppressed attempts left before the next half-open probe.
     cooldown_remaining: int = 0
     #: How many times this breaker has opened (seeds the cooldown).
@@ -135,9 +142,19 @@ class SiteHealthRegistry:
     def record(self, site: str, ok: bool, latency_s: float = 0.0) -> None:
         """Fold one fresh negotiation outcome into *site*'s health."""
         record = self.health(site)
-        alpha = self.policy.ewma_alpha
-        record.latency_ewma_s += alpha * (latency_s - record.latency_ewma_s)
         if ok:
+            # Fold latency on successes only: failure records carry a
+            # defaulted latency of 0.0 (the wait is accounted elsewhere)
+            # and must not drag the EWMA down.  Seed with the first
+            # observation instead of blending against the 0.0 initial.
+            if record.ewma_samples == 0:
+                record.latency_ewma_s = latency_s
+            else:
+                alpha = self.policy.ewma_alpha
+                record.latency_ewma_s += alpha * (
+                    latency_s - record.latency_ewma_s
+                )
+            record.ewma_samples += 1
             record.successes += 1
             record.consecutive_failures = 0
             if record.state != CLOSED:

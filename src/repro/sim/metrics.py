@@ -41,6 +41,10 @@ class WorkCounters:
     # Resilience work: relay-rerouted check requests and hedge races.
     checks_failed_over: int = 0
     hedges: int = 0
+    # Constraint-planner savings: site blocks proven empty and assistant
+    # checks proven UNKNOWN at decomposition (planner=constraints/full).
+    sites_pruned: int = 0
+    checks_pruned: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -65,6 +69,8 @@ class WorkCounters:
         self.messages_lost += other.messages_lost
         self.checks_failed_over += other.checks_failed_over
         self.hedges += other.hedges
+        self.sites_pruned += other.sites_pruned
+        self.checks_pruned += other.checks_pruned
 
 
 @dataclass

@@ -108,10 +108,10 @@ class TestBreakerStateMachine:
     def test_latency_ewma_moves_toward_samples(self):
         reg = SiteHealthRegistry()
         reg.record("DB2", ok=True, latency_s=1.0)
-        first = reg.health("DB2").latency_ewma_s
-        reg.record("DB2", ok=True, latency_s=1.0)
-        assert first == pytest.approx(0.3)
-        assert reg.health("DB2").latency_ewma_s > first
+        # The first sample seeds the EWMA outright (no blend with 0.0).
+        assert reg.health("DB2").latency_ewma_s == pytest.approx(1.0)
+        reg.record("DB2", ok=True, latency_s=2.0)
+        assert reg.health("DB2").latency_ewma_s == pytest.approx(1.3)
 
     def test_policy_validation(self):
         with pytest.raises(FaultPlanError):
