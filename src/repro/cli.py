@@ -23,7 +23,10 @@ Commands:
   runs membership/schema churn on the same simulated clock;
 * ``evolve``     — step an evolution plan through a synthetic
   federation transition by transition, re-executing the workload query
-  at every epoch to show the consistency contract in action.
+  at every epoch to show the consistency contract in action;
+* ``recertify``  — run a query degraded under a fault plan, print the
+  discharge conditions its maybe rows carry, then repair the answer
+  incrementally against the healed federation (no re-execution).
 
 Every query-running command executes through an
 :class:`~repro.core.session.EngineSession` configured with one
@@ -163,6 +166,15 @@ def _add_planner_arg(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_conditions_arg(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--no-conditions", action="store_true", dest="no_conditions",
+        help="do not attach discharge conditions to degraded rows "
+             "(notes-only degradation; such reports cannot be repaired "
+             "with 'recertify')",
+    )
+
+
 def _cli_options(args: argparse.Namespace) -> ExecutionOptions:
     """One ExecutionOptions value from the fault/batching flags."""
     return ExecutionOptions(
@@ -173,6 +185,7 @@ def _cli_options(args: argparse.Namespace) -> ExecutionOptions:
         failover=getattr(args, "failover", True),
         columnar=not getattr(args, "no_columnar", False),
         planner=getattr(args, "planner", "static"),
+        conditions=not getattr(args, "no_conditions", False),
     )
 
 
@@ -293,10 +306,11 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     # --planner pins every invariant run to an adaptive mode (the
     # planner invariant still cross-checks against static).
     planner = getattr(args, "planner", "static")
-    if args.no_columnar or planner != "static":
+    if args.no_columnar or planner != "static" or args.recertify:
         oracle = StrategyOracle(
             columnar=False if args.no_columnar else None,
             planner=planner if planner != "static" else None,
+            recertify=args.recertify,
         )
     else:
         oracle = None
@@ -441,6 +455,42 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recertify(args: argparse.Namespace) -> int:
+    """Degrade a query under a fault plan, then repair it in place."""
+    session = _cli_session(build_school_federation(), args)
+    if not session.options.faults_active:
+        print(
+            "error: recertify needs --faults (something must degrade "
+            "before it can be repaired)",
+            file=sys.stderr,
+        )
+        return 2
+    report = session.execute(args.sql, strategy=args.strategy)
+    print(f"degraded: {report.summary()}")
+    conditional = report.conditions_summary()
+    if conditional:
+        print(f"          {conditional}")
+    for row in report.results.maybe:
+        if row.conditions:
+            atoms = " AND ".join(str(c) for c in row.conditions)
+            print(f"  {row.goid}: {atoms}")
+    from repro.conditions import RepairError
+
+    try:
+        repaired = session.recertify(report)
+    except RepairError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"repaired: {repaired.summary()}")
+    if repaired.repair_summary is not None:
+        print(f"          {repaired.repair_summary.describe()}")
+    residual = [row for row in repaired.results.maybe if row.conditions]
+    for row in residual:
+        atoms = " AND ".join(str(c) for c in row.conditions)
+        print(f"  {row.goid}: {atoms}")
+    return 0
+
+
 def _cmd_tables(_args: argparse.Namespace) -> int:
     print("Table 1 — system parameters")
     print(format_table(["parameter", "description", "setting"], table1_rows()))
@@ -475,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_arg(query)
     _add_columnar_arg(query)
     _add_planner_arg(query)
+    _add_conditions_arg(query)
 
     explain = sub.add_parser(
         "explain", help="run a query once and print its execution report"
@@ -492,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_arg(explain)
     _add_columnar_arg(explain)
     _add_planner_arg(explain)
+    _add_conditions_arg(explain)
 
     sub.add_parser("strategies", help="list registered strategies")
 
@@ -513,6 +565,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_arg(compare)
     _add_columnar_arg(compare)
     _add_planner_arg(compare)
+    _add_conditions_arg(compare)
 
     sub.add_parser("tables", help="print Tables 1 and 2")
 
@@ -562,6 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_arg(traffic)
     _add_columnar_arg(traffic)
     _add_planner_arg(traffic)
+    _add_conditions_arg(traffic)
 
     evolve = sub.add_parser(
         "evolve",
@@ -586,6 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_arg(evolve)
     _add_columnar_arg(evolve)
     _add_planner_arg(evolve)
+    _add_conditions_arg(evolve)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential-test the strategies on random "
@@ -602,8 +657,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="",
         help="directory for shrunk JSON case files on violations",
     )
+    fuzz.add_argument(
+        "--recertify", action="store_true",
+        help="also check the repair invariants: every degraded fault "
+             "execution must repair to the fault-free baseline via "
+             "engine.recertify on the healed federation",
+    )
     _add_columnar_arg(fuzz)
     _add_planner_arg(fuzz)
+
+    recert = sub.add_parser(
+        "recertify",
+        help="run a query degraded under a fault plan, then repair the "
+             "answer incrementally against the healed federation",
+    )
+    recert.add_argument("sql", nargs="?", default=Q1_TEXT,
+                        help="SQL/X query text (default: the paper's Q1)")
+    recert.add_argument(
+        "--strategy", default="BL", choices=QUERY_STRATEGIES
+    )
+    _add_fault_args(recert)
+    _add_batch_arg(recert)
+    _add_columnar_arg(recert)
+    _add_planner_arg(recert)
+    _add_conditions_arg(recert)
     return parser
 
 
@@ -620,6 +697,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fuzz": _cmd_fuzz,
         "traffic": _cmd_traffic,
         "evolve": _cmd_evolve,
+        "recertify": _cmd_recertify,
     }
     try:
         return handlers[args.command](args)

@@ -81,6 +81,18 @@ class VerdictIndex:
     def get(self, loid: LOid, predicate: Predicate) -> Optional[str]:
         return self._verdicts.get((loid, predicate))
 
+    def clone(self) -> "VerdictIndex":
+        """An independent snapshot new evidence can merge into.
+
+        Repair keeps the original execution's index untouched and folds
+        recovered verdicts into the clone; because merges are
+        order-independent (VIOLATED is sticky), the clone ends up
+        identical to what one fault-free collection would have built.
+        """
+        other = VerdictIndex()
+        other._verdicts = dict(self._verdicts)
+        return other
+
     def __len__(self) -> int:
         return len(self._verdicts)
 
@@ -104,6 +116,7 @@ def certify(
     local_results: Mapping[str, LocalResultSet],
     verdicts: VerdictIndex,
     stats: Optional[CertificationStats] = None,
+    conditions: bool = True,
 ) -> ResultSet:
     """Merge per-site local results into the final global answer.
 
@@ -113,6 +126,10 @@ def certify(
             site that received a local query must appear (even with zero
             rows) — absence detection depends on it.
         verdicts: assistant-check verdicts collected by the strategy.
+        conditions: attach :class:`~repro.conditions.algebra.NullAttr`
+            atoms to maybe rows, one per (observing site, unsolved
+            predicate) — the residual genuine-null provenance that makes
+            a fault-free maybe rank as *sampling* missingness.
     """
     stats = stats if stats is not None else CertificationStats()
     root_table = catalog.table(query.range_class)
@@ -154,15 +171,49 @@ def certify(
             )
         else:
             stats.remained_maybe += 1
-            answer.add(
-                GlobalResult(
-                    goid=goid,
-                    kind=ResultKind.MAYBE,
-                    bindings=bindings,
-                    unsolved=_still_unsolved(query, status),
-                )
+            unsolved = _still_unsolved(query, status)
+            result = GlobalResult(
+                goid=goid,
+                kind=ResultKind.MAYBE,
+                bindings=bindings,
+                unsolved=unsolved,
             )
+            if conditions:
+                _attach_null_atoms(result, goid, rows, unsolved)
+            answer.add(result)
     return answer
+
+
+def _attach_null_atoms(
+    result: GlobalResult,
+    goid: GOid,
+    rows: Mapping[str, LocalResultRow],
+    unsolved: Tuple[Predicate, ...],
+) -> None:
+    """Record which sites observed each still-unsolved predicate UNKNOWN.
+
+    These atoms are never dischargeable (the null is in the data, not in
+    the topology): they mark the row as sampling missingness unless a
+    site/copy/flux atom is attached on top by a degradation path.
+    """
+    from repro.conditions.algebra import NullAttr, attach
+
+    atoms = []
+    for predicate in unsolved:
+        sources = [
+            db_name
+            for db_name in sorted(rows)
+            if rows[db_name].predicate_status.get(predicate, TV.UNKNOWN)
+            is TV.UNKNOWN
+        ]
+        if not sources:
+            atoms.append(NullAttr(site="", goid=goid, attr=str(predicate)))
+        atoms.extend(
+            NullAttr(site=db_name, goid=goid, attr=str(predicate))
+            for db_name in sources
+        )
+    if atoms:
+        attach(result, *atoms)
 
 
 def _eliminated_by_absence(

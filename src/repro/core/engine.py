@@ -75,7 +75,7 @@ def _with_departed_outages(
 
 
 def _demote_uncertified(
-    results, query: Query, flux
+    results, query: Query, flux, epoch: int = 0, conditions: bool = True
 ) -> Tuple[int, List[str]]:
     """Apply the flux consistency contract to one straddling answer.
 
@@ -88,6 +88,13 @@ def _demote_uncertified(
     answer equals one baseline exactly, and leaves are handled by the
     fault machinery's own degradation.)  Returns (rows demoted, labels
     of the windows that forced it).
+
+    With *conditions*, every demoted row carries a ``FluxEpoch`` atom
+    per forcing window, and rows *already* maybe for a site-loss reason
+    (``SiteDown`` / ``UncheckedCopy`` atoms) pick up the same atoms —
+    their answer is blocked by the outage AND the open window, and the
+    conjunction discharges only when both clear.  Atoms never alter
+    notes, so rendered degradation text is unchanged.
     """
     from repro.evolution.seeding import referenced_attributes
 
@@ -99,7 +106,27 @@ def _demote_uncertified(
         for label, event in flux.open_events
         if any(a in referenced for a in event.touched_attrs)
     ]
-    if not hit or not results.certain:
+    if not hit:
+        return 0, hit
+    flux_atoms = ()
+    if conditions:
+        from repro.conditions.algebra import (
+            FluxEpoch,
+            SiteDown,
+            UncheckedCopy,
+            attach,
+        )
+
+        flux_atoms = tuple(
+            FluxEpoch(epoch=epoch, event=label) for label in hit
+        )
+        for row in results.maybe:
+            leaves = [a for c in row.conditions for a in c.atoms()]
+            if any(
+                isinstance(a, (SiteDown, UncheckedCopy)) for a in leaves
+            ):
+                attach(row, *flux_atoms)
+    if not results.certain:
         return 0, hit
     notes = tuple(f"uncertified: schema in flux ({label})" for label in hit)
     demoted = list(results.certain)
@@ -107,6 +134,10 @@ def _demote_uncertified(
     for row in demoted:
         row.kind = ResultKind.MAYBE
         row.notes = row.notes + notes
+        if flux_atoms:
+            from repro.conditions.algebra import attach
+
+            attach(row, *flux_atoms)
         results.maybe.append(row)
     return len(demoted), hit
 
@@ -236,6 +267,14 @@ class GlobalQueryEngine:
     def planner(self, value: str) -> None:
         self.options = self.options.with_(planner=value)
 
+    @property
+    def conditions(self) -> bool:
+        return self.options.conditions
+
+    @conditions.setter
+    def conditions(self, value: bool) -> None:
+        self.options = self.options.with_(conditions=value)
+
     # --- sessions ----------------------------------------------------------
 
     def session(
@@ -304,6 +343,7 @@ class GlobalQueryEngine:
             batch_checks=options.batch_checks,
             columnar=options.columnar,
             planner=options.planner,
+            conditions=options.conditions,
         )
 
     def _run(
@@ -332,11 +372,13 @@ class GlobalQueryEngine:
             chosen.batch_checks != options.batch_checks
             or chosen.columnar != options.columnar
             or chosen.planner != options.planner
+            or chosen.conditions != options.conditions
         ):
             chosen = copy.copy(chosen)
             chosen.batch_checks = options.batch_checks
             chosen.columnar = options.columnar
             chosen.planner = options.planner
+            chosen.conditions = options.conditions
         built_signatures = False
         if getattr(chosen, "use_signatures", False) and self.system.signatures is None:
             self.system.build_signatures()
@@ -364,7 +406,11 @@ class GlobalQueryEngine:
         if evo is not None:
             if flux is not None and flux.active:
                 demoted, flux_labels = _demote_uncertified(
-                    result.results, query, flux
+                    result.results,
+                    query,
+                    flux,
+                    epoch=self.system.schema_epoch,
+                    conditions=options.conditions,
                 )
                 if demoted:
                     result.metrics.certain_results = len(result.results.certain)
@@ -374,6 +420,21 @@ class GlobalQueryEngine:
                 schema_epoch=self.system.schema_epoch,
                 epochs_straddled=flux.labels if flux is not None else (),
             )
+        if options.conditions:
+            # Mechanism ranking of whatever stayed maybe: genuinely
+            # missing data (sampling-like) vs systematic loss (outages,
+            # skipped checks, open schema windows).  Data only — the
+            # counts surface through conditions_summary()/explain(), so
+            # availability.summary() text stays byte-stable.
+            from repro.conditions.algebra import rank_mechanisms
+
+            sampling, systematic = rank_mechanisms(result.results)
+            if sampling or systematic:
+                result.availability = dataclasses.replace(
+                    result.availability,
+                    maybe_sampling=sampling,
+                    maybe_systematic=systematic,
+                )
         # Strategies do not see the cache layer; attribute the traffic
         # this execution generated (mapping-index + decomposition) to its
         # metrics before the lazy registry snapshot is built.
@@ -472,6 +533,40 @@ class GlobalQueryEngine:
             },
         )
         return self._run(query, strategy, effective, self._root_session)
+
+    def recertify(
+        self,
+        report: ExecutionReport,
+        options: Optional[ExecutionOptions] = None,
+    ) -> ExecutionReport:
+        """Incrementally repair a degraded *report* against the
+        federation as it stands now.
+
+        Only the sites named in the report's outstanding conditions and
+        repair state are re-contacted; everything the original execution
+        already collected (local results, check verdicts) is reused, and
+        re-certification runs over the merged evidence.  Promotion is
+        monotone — a repaired answer never demotes a row the original
+        certified — and a fully healed federation repairs the answer to
+        the fault-free baseline byte for byte, at a fraction of a
+        re-execution's message cost.
+
+        *options* describes the federation's health *during the repair*
+        (default: no fault plan, i.e. fully healed).  Pass a narrower
+        fault plan to model a partial recovery: atoms naming still-down
+        sites stay outstanding and the returned report remains
+        repairable — call :meth:`recertify` again as more sites return.
+
+        Raises:
+            RepairError: the report carries no repair state (it was
+                produced with ``conditions=False``), or repair would
+                demote a certified row.
+        """
+        from repro.conditions.recertify import ReCertifier
+
+        effective = options if options is not None else ExecutionOptions()
+        ctx = self._fault_context(effective)
+        return ReCertifier(self.system, ctx=ctx).repair(report)
 
     def explain(
         self,

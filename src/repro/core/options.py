@@ -37,6 +37,7 @@ OPTION_FIELDS = (
     "failover",
     "columnar",
     "planner",
+    "conditions",
 )
 
 #: Valid values of :attr:`ExecutionOptions.planner` (mirrored by
@@ -76,6 +77,13 @@ class ExecutionOptions:
             constraint catalog), or ``"full"`` (both).  Every mode is
             answer-identical to ``static`` — the soundness contract the
             difftest oracle's ``planner`` invariant enforces.
+        conditions: attach discharge conditions (``repro.conditions``
+            atoms) to maybe/uncertified rows and capture the repair
+            state that makes a degraded report incrementally
+            re-certifiable via ``engine.recertify`` (``False`` restores
+            bare notes-only degradation; such reports cannot be
+            repaired).  Conditions never appear in exported answers, so
+            the flag cannot change bytes on the wire.
     """
 
     fault_plan: Optional[FaultPlan] = None
@@ -85,6 +93,7 @@ class ExecutionOptions:
     failover: bool = True
     columnar: bool = True
     planner: str = "static"
+    conditions: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy", resolve_policy(self.policy))
@@ -118,6 +127,7 @@ class ExecutionOptions:
             f"failover={self.failover}",
             f"columnar={self.columnar}",
             f"planner={self.planner}",
+            f"conditions={self.conditions}",
         ]
         if self.fault_plan is not None:
             parts.insert(0, (

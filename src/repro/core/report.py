@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.strategies.base import StrategyResult
 from repro.obs.registry import MetricsRegistry, registry_from_metrics
@@ -33,6 +33,10 @@ class ExecutionReport(StrategyResult):
     """Answer, metrics, trace and utilization of one engine execution."""
 
     query_text: str = ""
+    #: Set by ``engine.recertify``: what the repair pass did (a
+    #: :class:`~repro.conditions.recertify.RepairSummary`).  ``None`` on
+    #: reports produced by a plain execution.
+    repair_summary: Optional[object] = None
 
     @classmethod
     def from_result(
@@ -44,6 +48,7 @@ class ExecutionReport(StrategyResult):
             results=result.results,
             metrics=result.metrics,
             availability=result.availability,
+            repair=result.repair,
             query_text=query_text,
         )
 
@@ -88,6 +93,26 @@ class ExecutionReport(StrategyResult):
             text += f" [{availability}]"
         return text
 
+    def conditions_summary(self) -> str:
+        """Mechanism ranking and repair status of the maybe rows.
+
+        Empty when nothing is conditional (keeps ``summary()`` and the
+        committed bench baselines byte-stable: this line only ever
+        appears through :meth:`explain` or the ``recertify`` CLI).
+        """
+        parts = []
+        sampling = self.availability.maybe_sampling
+        systematic = self.availability.maybe_systematic
+        if sampling or systematic:
+            parts.append(
+                f"maybe rows: sampling={sampling} systematic={systematic}"
+            )
+        if self.repair_summary is not None:
+            parts.append(self.repair_summary.describe())
+        elif self.repair is not None:
+            parts.append("repairable: run engine.recertify(report)")
+        return "; ".join(parts)
+
     def phase_table(self) -> str:
         """Per-phase busy seconds, widest first."""
         items = sorted(
@@ -108,17 +133,19 @@ class ExecutionReport(StrategyResult):
         Rendered entirely from this report — the query is *not*
         executed again.
         """
-        return "\n".join(
-            [
-                self.summary(),
-                "",
-                self.phase_table(),
-                "",
-                self.utilization.table(),
-                "",
-                self.trace.gantt(width=width),
-            ]
-        )
+        parts = [self.summary()]
+        conditional = self.conditions_summary()
+        if conditional:
+            parts.append(conditional)
+        parts += [
+            "",
+            self.phase_table(),
+            "",
+            self.utilization.table(),
+            "",
+            self.trace.gantt(width=width),
+        ]
+        return "\n".join(parts)
 
     # --- round-trip -------------------------------------------------------
 

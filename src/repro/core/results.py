@@ -67,6 +67,11 @@ class GlobalResult:
     #: Degradation annotations ("uncertified: site DB2 unavailable") —
     #: why this row is weaker than a fault-free execution would make it.
     notes: Tuple[str, ...] = ()
+    #: Discharge conditions (repro.conditions atoms, implicit
+    #: conjunction): what must clear before this row can be promoted.
+    #: Provenance only — excluded from equality and from every export,
+    #: so answers compare and serialize exactly as before.
+    conditions: Tuple[object, ...] = field(default=(), compare=False)
 
     @property
     def is_certain(self) -> bool:
@@ -203,6 +208,14 @@ class Availability:
     #: non-empty means the answer straddled schema/membership
     #: propagation and is covered by the flux consistency contract.
     epochs_straddled: Tuple[str, ...] = ()
+    #: Missingness-mechanism ranking of the maybe rows (Bertossi,
+    #: arXiv:2604.06520): rows blocked only by genuine nulls (sampling —
+    #: no recovery certifies them) vs rows a heal can discharge
+    #: (systematic: site down, unchecked copy, open flux window).
+    #: Surfaced via ``explain``; deliberately absent from to_dict() and
+    #: summary() so committed baselines stay byte-stable.
+    maybe_sampling: int = 0
+    maybe_systematic: int = 0
 
     @property
     def certification_intact(self) -> bool:

@@ -122,6 +122,17 @@ class EngineSession:
             chosen = strategy
         return self.engine._run(query, chosen, effective, self)
 
+    def recertify(
+        self,
+        report: ExecutionReport,
+        options: Optional[ExecutionOptions] = None,
+    ) -> ExecutionReport:
+        """Incrementally repair a degraded *report* (see
+        :meth:`GlobalQueryEngine.recertify`).  *options* describes the
+        federation's health during the repair; the default (no fault
+        plan) models a fully healed federation."""
+        return self.engine.recertify(report, options=options)
+
     def explain(
         self,
         query: Union[Query, str, ExecutionReport],

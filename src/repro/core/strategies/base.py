@@ -54,6 +54,13 @@ class StrategyResult:
     #: How much of the federation this execution reached (complete on
     #: fault-free runs; degraded runs list skipped sites and retries).
     availability: Availability = field(default_factory=Availability)
+    #: Repair state captured by a degraded execution (a
+    #: ``repro.conditions.recertify`` state object): the evidence this
+    #: run certified over plus the exact work it skipped, enough for
+    #: ``engine.recertify`` to repair the answer without re-running the
+    #: query.  ``None`` when nothing repairable was skipped (or
+    #: conditions were disabled).
+    repair: Optional[object] = None
 
     @property
     def total_time(self) -> float:
@@ -103,6 +110,12 @@ class Strategy(abc.ABC):
     #: difftest oracle uses the flag to know which strategies owe a
     #: planner answer-identity proof.
     affected_by_planner: bool = True
+    #: Attach discharge conditions to maybe/uncertified rows and capture
+    #: the repair state that makes a degraded answer incrementally
+    #: re-certifiable (the engine's ``--no-conditions`` escape hatch
+    #: flips this off).  Conditions never reach exported answers, so the
+    #: flag cannot change answer bytes.
+    conditions: bool = True
 
     @abc.abstractmethod
     def execute(
@@ -158,6 +171,19 @@ class Strategy(abc.ABC):
         if ctx is not None and ctx.planner is not None:
             return ctx.planner
         return self.planner
+
+    def effective_conditions(self, ctx: Optional[ExecutionContext]) -> bool:
+        """This execution's condition capture: the context override wins.
+
+        Same carrier rule as :meth:`effective_batch_checks` — the
+        per-execution ``conditions`` override travels on the
+        :class:`ExecutionContext` when faults are active and on a
+        private copy of the strategy otherwise, so a shared Strategy
+        instance is never mutated.
+        """
+        if ctx is not None and ctx.conditions is not None:
+            return ctx.conditions
+        return self.conditions
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"
@@ -515,8 +541,9 @@ def chase_blocked(
     verdicts: VerdictIndex,
     max_rounds: int,
     ctx: Optional[ExecutionContext] = None,
-    deferred_skips: Optional[List[Tuple[str, LOid, Predicate, int]]] = None,
+    deferred_skips: Optional[List[Tuple]] = None,
     columnar: bool = True,
+    skip_log: Optional[List[Tuple]] = None,
 ) -> List[ChaseRound]:
     """Resolve multi-hop missing-reference chains by iterated checking.
 
@@ -534,10 +561,14 @@ def chase_blocked(
 
     With failover enabled (``ctx.failover`` and a *deferred_skips* list),
     an unreachable follow-up site does not demote the chain immediately:
-    the ``(site, original assistant, original predicate, round)`` tuple
-    is recorded and the caller decides *after* all verdicts are in —
-    another copy of the blocking object may settle the original pair
-    anyway, in which case nothing was lost.
+    the ``(site, original assistant, original predicate, round, holder,
+    holder class, remaining predicate)`` tuple is recorded and the
+    caller decides *after* all verdicts are in — another copy of the
+    blocking object may settle the original pair anyway, in which case
+    nothing was lost.  A *skip_log* list receives the same tuple for
+    *every* skip (eager or deferred, even when the whole round dies) so
+    a later repair can re-enter the chase from the exact block it
+    stalled at.
     """
     # Each entry tracks the original pair a chain must report back to:
     # (original assistant, original relative predicate, blocker loid,
@@ -577,15 +608,19 @@ def chase_blocked(
                     # The follow-up check cannot be issued; the chain
                     # stays UNKNOWN and the row remains maybe — unless
                     # failover defers the verdict to a live copy.
+                    skip_entry = (
+                        assistant.db,
+                        orig_loid,
+                        orig_pred,
+                        len(rounds) + 1,
+                        holder,
+                        holder_class,
+                        remaining,
+                    )
+                    if skip_log is not None:
+                        skip_log.append(skip_entry)
                     if ctx.failover and deferred_skips is not None:
-                        deferred_skips.append(
-                            (
-                                assistant.db,
-                                orig_loid,
-                                orig_pred,
-                                len(rounds) + 1,
-                            )
-                        )
+                        deferred_skips.append(skip_entry)
                     else:
                         if assistant.db not in round_data.skipped_sites:
                             round_data.skipped_sites.append(assistant.db)

@@ -10,8 +10,10 @@ step CA_G3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.conditions.algebra import NullAttr, SiteDown, attach
+from repro.conditions.reasons import DegradationReason
 from repro.core.decompose import attributes_needed
 from repro.core.predicates import EvalMeter, evaluate_dnf, walk_path
 from repro.core.query import Query
@@ -26,6 +28,87 @@ from repro.objectdb.values import NULL
 from repro.obs.spans import TraceEvent
 from repro.sim.metrics import ExecutionMetrics, WorkCounters
 from repro.sim.taskgraph import PHASE_I, PHASE_P, PHASE_SCAN
+
+
+def evaluate_global_extent(
+    query: Query,
+    extent,
+    meter: Optional[EvalMeter] = None,
+    conditions: bool = True,
+) -> ResultSet:
+    """Step CA_G3: evaluate the query over a materialized global extent.
+
+    Pure over its inputs, which is what makes CA repair cheap: the
+    re-certifier re-materializes with the recovered exports merged in
+    and calls this again — no site re-evaluates anything.  With
+    *conditions*, maybe rows carry ``NullAttr`` atoms (site ``""``: the
+    null was observed on the fused global object, not at one site).
+    """
+    meter = meter if meter is not None else EvalMeter()
+    results = ResultSet(targets=query.targets)
+    for goid in sorted(
+        extent.extent(query.range_class), key=lambda g: g.value
+    ):
+        obj = extent.extent(query.range_class)[goid]
+        outcome = evaluate_dnf(obj, query.where, extent.deref, meter)
+        if outcome.tv is TV.FALSE:
+            continue
+        bindings = {}
+        for target in query.targets:
+            walk = walk_path(obj, target, extent.deref, meter)
+            bindings[target] = NULL if walk.is_missing else walk.value
+        if outcome.tv is TV.TRUE:
+            results.add(
+                GlobalResult(
+                    goid=goid, kind=ResultKind.CERTAIN, bindings=bindings
+                )
+            )
+        else:
+            unsolved = tuple(o.predicate for o in outcome.unsolved)
+            result = GlobalResult(
+                goid=goid,
+                kind=ResultKind.MAYBE,
+                bindings=bindings,
+                unsolved=unsolved,
+            )
+            if conditions:
+                attach(result, *(
+                    NullAttr(site="", goid=goid, attr=str(p))
+                    for p in unsolved
+                ))
+            results.add(result)
+    return results
+
+
+def demote_outerjoin_incomplete(
+    results: ResultSet,
+    skipped_sites: Iterable[str],
+    conditions: bool = True,
+) -> int:
+    """Degraded-answer semantics of a partial CA materialization.
+
+    CA fuses every shipped extent into one outerjoin, erasing per-site
+    provenance: with any extent missing, a TRUE predicate can rest on an
+    incomplete materialization, so no row can be soundly *certified* —
+    every certain result demotes to maybe.  With *conditions*, a
+    ``SiteDown`` atom per skipped site lands on **all** rows (existing
+    maybes included: their missing values may equally stem from the
+    unshipped extent), which is what lets repair later re-materialize
+    from exactly the named sites.  Returns the number of demoted rows.
+    """
+    skipped = sorted(skipped_sites)
+    note = str(DegradationReason.outerjoin_incomplete(skipped))
+    demoted = results.certain
+    results.certain = []
+    for result in demoted:
+        result.kind = ResultKind.MAYBE
+        result.notes = result.notes + (note,)
+        results.maybe.append(result)
+    if conditions:
+        atoms = [SiteDown(site=site) for site in skipped]
+        for result in results.maybe:
+            attach(result, *atoms)
+    return len(demoted)
 
 
 class CentralizedStrategy(Strategy):
@@ -161,34 +244,11 @@ class CentralizedStrategy(Strategy):
         )
 
         # --- step CA_G3: evaluate predicates on materialized classes (P) ---
+        use_conditions = self.effective_conditions(ctx)
         meter = EvalMeter()
-        results = ResultSet(targets=query.targets)
-        for goid in sorted(extent.extent(query.range_class), key=lambda g: g.value):
-            obj = extent.extent(query.range_class)[goid]
-            outcome = evaluate_dnf(obj, query.where, extent.deref, meter)
-            if outcome.tv is TV.FALSE:
-                continue
-            bindings = {}
-            for target in query.targets:
-                walk = walk_path(obj, target, extent.deref, meter)
-                bindings[target] = NULL if walk.is_missing else walk.value
-            if outcome.tv is TV.TRUE:
-                results.add(
-                    GlobalResult(
-                        goid=goid, kind=ResultKind.CERTAIN, bindings=bindings
-                    )
-                )
-            else:
-                results.add(
-                    GlobalResult(
-                        goid=goid,
-                        kind=ResultKind.MAYBE,
-                        bindings=bindings,
-                        unsolved=tuple(
-                            o.predicate for o in outcome.unsolved
-                        ),
-                    )
-                )
+        results = evaluate_global_extent(
+            query, extent, meter, conditions=use_conditions
+        )
         work.comparisons += meter.comparisons
         fed.cpu(
             system.global_site,
@@ -199,30 +259,39 @@ class CentralizedStrategy(Strategy):
         )
 
         # --- degraded-answer semantics under site loss ---------------------
-        # CA fuses every shipped extent into one outerjoin, erasing
-        # per-site provenance: with any extent missing, a TRUE predicate
-        # can rest on an incomplete materialization, so no row can be
-        # soundly *certified*.  All certain results demote to maybe.
+        repair_state = None
         if ctx is not None and skipped_sites:
-            note = (
-                "uncertified: outerjoin incomplete (site "
-                + ", ".join(sorted(skipped_sites))
-                + " unavailable)"
+            demoted = demote_outerjoin_incomplete(
+                results, skipped_sites, conditions=use_conditions
             )
-            demoted = results.certain
-            results.certain = []
-            for result in demoted:
-                result.kind = ResultKind.MAYBE
-                result.notes = result.notes + (note,)
-                results.maybe.append(result)
             fault_events.append(
                 TraceEvent.of(
                     "fault.degraded",
                     strategy=self.name,
-                    demoted=len(demoted),
+                    demoted=demoted,
                     sites_skipped=",".join(sorted(skipped_sites)),
                 )
             )
+            if use_conditions:
+                from repro.conditions.recertify import (
+                    CentralizedRepairState,
+                )
+
+                repair_state = CentralizedRepairState(
+                    query=query,
+                    columnar=self.effective_columnar(ctx),
+                    involved_classes=involved_classes,
+                    exports_by_class=exports_by_class,
+                    skipped_sites=tuple(sorted(skipped_sites)),
+                )
+                fault_events.append(
+                    TraceEvent.of(
+                        "conditions.attached",
+                        strategy=self.name,
+                        sites=",".join(sorted(skipped_sites)),
+                        rows=len(results.maybe),
+                    )
+                )
 
         fault_windows = ()
         if ctx is not None:
@@ -252,4 +321,5 @@ class CentralizedStrategy(Strategy):
             availability=(
                 ctx.availability() if ctx is not None else Availability()
             ),
+            repair=repair_state,
         )

@@ -24,8 +24,10 @@ comparisons.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.conditions.algebra import SiteDown, UncheckedCopy, attach
+from repro.conditions.reasons import DegradationReason
 from repro.core.binding_resolution import (
     ResolutionStats,
     resolve_missing_bindings,
@@ -38,7 +40,7 @@ from repro.core.certification import (
 )
 from repro.core.decompose import attributes_needed
 from repro.core.query import Query
-from repro.core.results import Availability
+from repro.core.results import Availability, ResultSet
 from repro.core.strategies.base import (
     DispatchPlan,
     Strategy,
@@ -67,6 +69,93 @@ from repro.sim.metrics import ExecutionMetrics, WorkCounters
 from repro.sim.taskgraph import FederationSim, Node, PHASE_I, PHASE_O, PHASE_P, PHASE_SCAN
 
 
+def annotate_site_loss(
+    system: DistributedSystem,
+    query: Query,
+    local_results: Dict[str, LocalResultSet],
+    results: ResultSet,
+    down: Set[str],
+    skipped_goids: Dict[GOid, Set[str]],
+    conditions: bool = True,
+    queried_down: Iterable[str] = (),
+) -> None:
+    """Annotate the maybe rows whose certification an unreachable site
+    blocked — the localized strategies' degraded-answer semantics.
+
+    Per-site provenance survives a partial execution, so only the rows
+    whose assistant checks were skipped (*skipped_goids*, entity -> the
+    down check sites), whose unsolved items' checks were skipped, or
+    whose entity has a copy at a *down* site are affected: they stay
+    maybe, annotated with why.  With *conditions*, each such row also
+    carries machine-dischargeable atoms — :class:`UncheckedCopy` for the
+    exact skipped check pairs and :class:`SiteDown` for unreachable copy
+    holders.  *queried_down* names sites whose whole local block dropped;
+    they contribute ``SiteDown`` atoms but never notes, so degraded notes
+    stay byte-identical to the historical rendering.
+
+    The re-certifier calls this same function after a partial repair, so
+    a still-degraded repaired answer is annotated exactly like a fresh
+    degraded execution would annotate it.
+    """
+    down = set(down)
+    atom_down = down | set(queried_down)
+    table = system.catalog.table(query.range_class)
+    # root goid -> goids of its unsolved items: the (possibly
+    # branch-class) entities whose assistant checks this row's
+    # certification depended on.
+    item_goids: Dict[GOid, Set[GOid]] = {}
+    for site_result in local_results.values():
+        for row in site_result.maybe_rows:
+            root = system.catalog.goid_of(query.range_class, row.loid)
+            if root is None:
+                continue
+            bag = item_goids.setdefault(root, set())
+            for item in row.unsolved_items:
+                g_cls = system.global_schema.global_class_of(
+                    item.loid.db, item.class_name
+                )
+                if g_cls is None:
+                    continue
+                goid = system.catalog.goid_of(g_cls, item.loid)
+                if goid is not None:
+                    bag.add(goid)
+    for result_row in results.maybe:
+        if not result_row.unsolved:
+            continue
+        # The row is affected when an assistant check for it (or
+        # for one of its unsolved items) was skipped, or when the
+        # entity has a copy at a down site (its certification
+        # evidence may live there).
+        unchecked: Dict[GOid, Set[str]] = {}
+        root_sites = set(skipped_goids.get(result_row.goid, ()))
+        if root_sites:
+            unchecked[result_row.goid] = root_sites
+        note_sites = set(root_sites)
+        for goid in item_goids.get(result_row.goid, ()):
+            item_sites = set(skipped_goids.get(goid, ()))
+            if item_sites:
+                unchecked[goid] = item_sites
+                note_sites |= item_sites
+        placements = set(table.loids_of(result_row.goid))
+        note_sites |= placements & down
+        for site in sorted(note_sites):
+            note = str(DegradationReason.site_unavailable(site))
+            if note not in result_row.notes:
+                result_row.notes = result_row.notes + (note,)
+        if not conditions:
+            continue
+        atoms = [
+            UncheckedCopy(site=site, goid=goid)
+            for goid, goid_sites in unchecked.items()
+            for site in sorted(goid_sites)
+        ]
+        atoms.extend(
+            SiteDown(site=site) for site in sorted(placements & atom_down)
+        )
+        if atoms:
+            attach(result_row, *atoms)
+
+
 class _LocalizedStrategy(Strategy):
     """Common machinery of BL and PL; subclasses fix the phase order."""
 
@@ -86,6 +175,7 @@ class _LocalizedStrategy(Strategy):
         work = WorkCounters()
         cost = system.cost_model
         use_columnar = self.effective_columnar(ctx)
+        use_conditions = self.effective_conditions(ctx)
         # Constraint catalog, consulted only under planner=constraints/full.
         # Soundness contract: a prune fires only when the static path
         # would provably produce the identical answer (empty local result
@@ -114,9 +204,12 @@ class _LocalizedStrategy(Strategy):
         failover = ctx is not None and ctx.failover
         if failover:
             ctx.recovery_tracked = True
-        #: (src, dst, pending pairs) per check request that could not be
-        #: dispatched anywhere, awaiting post-verdict resolution.
-        deferred_requests: List[Tuple[str, str, List[PendingSkip]]] = []
+        #: (src, request, pending pairs) per check request that could not
+        #: be dispatched anywhere, awaiting post-verdict resolution.
+        deferred_requests: List[Tuple[str, object, List[PendingSkip]]] = []
+        #: (src site, CheckRequest) pairs that were never executed — the
+        #: re-runnable half of the repair state.
+        skipped_check_requests: List[Tuple[str, object]] = []
 
         branch_classes = query.branch_classes(system.global_schema.schema)
         queried = list(decomposed.local_queries)
@@ -288,7 +381,7 @@ class _LocalizedStrategy(Strategy):
                             continue
                         deferred_requests.append((
                             db_name,
-                            request.db_name,
+                            request,
                             pending_skips_of(system, db_name, request),
                         ))
                         events.append(
@@ -301,6 +394,7 @@ class _LocalizedStrategy(Strategy):
                         )
                         continue
                     unreachable_check_sites.setdefault(request.db_name)
+                    skipped_check_requests.append((db_name, request))
                     g_cls = system.global_schema.global_class_of(
                         request.db_name, request.class_name
                     )
@@ -341,9 +435,11 @@ class _LocalizedStrategy(Strategy):
         predicates = query.all_predicates()
         max_rounds = max((len(p.path) for p in predicates), default=0)
         deferred_chase_skips: List[Tuple] = []
+        chase_skip_log: List[Tuple] = []
         chase_rounds = chase_blocked(
             reports, system, verdicts, max_rounds, ctx=ctx,
             deferred_skips=deferred_chase_skips, columnar=use_columnar,
+            skip_log=chase_skip_log,
         )
         for round_no, chase in enumerate(chase_rounds, start=1):
             events.append(TraceEvent.of(
@@ -369,7 +465,8 @@ class _LocalizedStrategy(Strategy):
         if failover:
             recovered_pairs = 0
             demoted_pairs = 0
-            for src, dst, skips in deferred_requests:
+            for src, request, skips in deferred_requests:
+                dst = request.db_name
                 uncovered = [
                     skip for skip in skips
                     if not covered_by_verdicts(system, verdicts, skip)
@@ -379,10 +476,13 @@ class _LocalizedStrategy(Strategy):
                     continue
                 demoted_pairs += len(uncovered)
                 unreachable_check_sites.setdefault(dst)
+                skipped_check_requests.append((src, request))
                 ctx.note_skipped_check()
                 for skip in uncovered:
                     skipped_goids.setdefault(skip.goid, set()).add(dst)
-            for site, orig_loid, orig_pred, round_no in deferred_chase_skips:
+            for (
+                site, orig_loid, orig_pred, round_no, _holder, _hcls, _rest
+            ) in deferred_chase_skips:
                 if verdicts.get(orig_loid, orig_pred) in (
                     SATISFIED, VIOLATED
                 ):
@@ -444,6 +544,7 @@ class _LocalizedStrategy(Strategy):
             local_results,
             verdicts,
             cert_stats,
+            conditions=use_conditions,
         )
         work.comparisons += cert_stats.comparisons
         certify_node = fed.cpu(
@@ -508,45 +609,61 @@ class _LocalizedStrategy(Strategy):
         # Localized strategies keep per-site provenance, so only the
         # rows whose certification depended on an unreachable assistant
         # site are affected: they simply stay maybe, annotated with why.
-        if ctx is not None and unreachable_check_sites:
-            down = set(unreachable_check_sites)
-            table = system.catalog.table(query.range_class)
-            # root goid -> goids of its unsolved items: the (possibly
-            # branch-class) entities whose assistant checks this row's
-            # certification depended on.
-            item_goids: Dict[GOid, Set[GOid]] = {}
-            for site_result in local_results.values():
-                for row in site_result.maybe_rows:
-                    root = system.catalog.goid_of(
-                        query.range_class, row.loid
-                    )
-                    if root is None:
-                        continue
-                    bag = item_goids.setdefault(root, set())
-                    for item in row.unsolved_items:
-                        g_cls = system.global_schema.global_class_of(
-                            item.loid.db, item.class_name
-                        )
-                        if g_cls is None:
-                            continue
-                        goid = system.catalog.goid_of(g_cls, item.loid)
-                        if goid is not None:
-                            bag.add(goid)
-            for result_row in results.maybe:
-                if not result_row.unsolved:
-                    continue
-                # The row is affected when an assistant check for it (or
-                # for one of its unsolved items) was skipped, or when the
-                # entity has a copy at a down site (its certification
-                # evidence may live there).
-                sites = set(skipped_goids.get(result_row.goid, ()))
-                for goid in item_goids.get(result_row.goid, ()):
-                    sites |= set(skipped_goids.get(goid, ()))
-                sites |= set(table.loids_of(result_row.goid)) & down
-                for site in sorted(sites):
-                    note = f"uncertified: site {site} unavailable"
-                    if note not in result_row.notes:
-                        result_row.notes = result_row.notes + (note,)
+        if ctx is not None and (
+            unreachable_check_sites
+            or (use_conditions and ctx.queried_sites_down)
+        ):
+            annotate_site_loss(
+                system,
+                query,
+                local_results,
+                results,
+                set(unreachable_check_sites),
+                skipped_goids,
+                conditions=use_conditions,
+                queried_down=tuple(ctx.queried_sites_down),
+            )
+
+        # --- repair state: what an incremental re-certification needs ------
+        # Everything this execution *did not* do, plus the evidence it
+        # collected: healed sites can then be re-contacted one by one and
+        # the answer re-certified without re-running anything that
+        # already succeeded.
+        repair_state = None
+        if use_conditions and ctx is not None:
+            down_sites = tuple(sorted(ctx.queried_sites_down))
+            remaining_chase = tuple(
+                (site, orig_loid, orig_pred, holder, holder_cls, rest)
+                for (
+                    site, orig_loid, orig_pred, _round, holder,
+                    holder_cls, rest,
+                ) in chase_skip_log
+                if verdicts.get(orig_loid, orig_pred)
+                not in (SATISFIED, VIOLATED)
+            )
+            if down_sites or skipped_check_requests or remaining_chase:
+                from repro.conditions.recertify import LocalizedRepairState
+
+                repair_state = LocalizedRepairState(
+                    strategy=self.name,
+                    query=query,
+                    use_signatures=self.use_signatures,
+                    columnar=use_columnar,
+                    local_queries=dict(decomposed.local_queries),
+                    local_results=dict(local_results),
+                    down_sites=down_sites,
+                    skipped_requests=tuple(skipped_check_requests),
+                    skipped_chase=remaining_chase,
+                    verdicts=verdicts.clone(),
+                )
+                events.append(TraceEvent.of(
+                    "conditions.attached",
+                    strategy=self.name,
+                    down_sites=",".join(down_sites),
+                    skipped_requests=len(skipped_check_requests),
+                    skipped_chase=len(remaining_chase),
+                    rows=len(results.maybe),
+                ))
 
         fault_windows = ()
         if ctx is not None:
@@ -573,6 +690,7 @@ class _LocalizedStrategy(Strategy):
             availability=(
                 ctx.availability() if ctx is not None else Availability()
             ),
+            repair=repair_state,
         )
 
     # --- phase-O exchanges --------------------------------------------------

@@ -40,6 +40,12 @@ reproduce.  What it checks:
     ``fully_recovered`` must equal the fault-free answer byte for byte
     (``failover-recovery``), and hedged dispatch must never change the
     answer at all (``hedge-invariance``).
+``repair-soundness`` / ``repair-monotonic`` (opt-in: ``recertify=True``)
+    Every degraded fault execution, handed to ``engine.recertify``
+    against the healed federation, must repair to that strategy's own
+    fault-free answer byte for byte — through condition discharge
+    alone, never a re-execution — and promotion must be monotone (no
+    certified entity is demoted by repair).
 ``monotonicity``
     After registering one extra consistent assistant copy, no certain
     result is demoted, no previously-eliminated entity is certified,
@@ -134,6 +140,7 @@ class StrategyOracle:
         registry=DEFAULT_REGISTRY,
         columnar: Optional[bool] = None,
         planner: Optional[str] = None,
+        recertify: bool = False,
     ) -> None:
         self.registry = registry
         #: Base execution path for every invariant run: ``None`` keeps
@@ -149,6 +156,12 @@ class StrategyOracle:
         #: below always compares ``static`` against the adaptive modes
         #: regardless of this base.
         self.planner = planner
+        #: With ``recertify``, every degraded fault execution is handed
+        #: to ``engine.recertify`` against the healed federation and the
+        #: repaired answer must be byte-identical to that strategy's own
+        #: fault-free baseline (``repair-soundness``), with monotone
+        #: promotion (``repair-monotonic``).
+        self.recertify = recertify
 
     @property
     def strategy_names(self) -> List[str]:
@@ -194,6 +207,10 @@ class StrategyOracle:
             violations.extend(
                 self._check_failover(case, session, built, baseline)
             )
+            if self.recertify:
+                violations.extend(
+                    self._check_repair(case, session, built, answers)
+                )
         if case.mutate:
             violations.extend(
                 self._check_monotonicity(case, session, built, answers)
@@ -422,6 +439,71 @@ class StrategyOracle:
                     "hedge-invariance", case.label,
                     f"{name}: hedging changed the answer: "
                     f"{_first_difference(on.results, hedged.results)}",
+                    case,
+                ))
+        return violations
+
+    #: Strategies exercised by the repair invariants — the global path
+    #: (CA: re-export + re-materialize) and both localized phase orders
+    #: (BL/PL: healed-site re-query, skipped-check re-dispatch, chase
+    #: re-seed).  The signature variants share the localized repair seam.
+    REPAIR_STRATEGIES = ("CA", "BL", "PL")
+
+    def _check_repair(self, case, session, built, answers) -> List[Violation]:
+        """Healed degraded answers repair to the fault-free baseline.
+
+        Each strategy runs under the case's fault plan; every execution
+        that degraded hands its report to ``recertify`` against the
+        *healed* federation (no fault plan — every site answers).
+        Repair must reconstruct the strategy's own fault-free answer
+        byte for byte through condition discharge alone — no full
+        re-execution happens — and promotion must be monotone: no
+        entity the degraded run certified loses its certainty.
+        """
+        violations = []
+        fault_options = session.options.with_(
+            fault_plan=built.fault_plan,
+            policy=FAULT_POLICY,
+            fault_seed=case.fault_seed,
+        )
+        for name in self.REPAIR_STRATEGIES:
+            if name not in self.strategy_names:
+                continue
+            report = session.execute(
+                built.query, name, options=fault_options
+            )
+            if report.availability.complete:
+                continue
+            try:
+                repaired = session.recertify(report)
+            except Exception as exc:  # noqa: BLE001 - any raise is a finding
+                violations.append(Violation(
+                    "repair-soundness", case.label,
+                    f"{name}: recertify raised "
+                    f"{type(exc).__name__}: {exc}",
+                    case,
+                ))
+                continue
+            left = answer_digest(answers[name])
+            right = answer_digest(repaired.results)
+            if left != right:
+                violations.append(Violation(
+                    "repair-soundness", case.label,
+                    f"{name}: repaired answer differs from the "
+                    f"fault-free baseline ({left} vs {right}): "
+                    f"{_first_difference(answers[name], repaired.results)}",
+                    case,
+                ))
+            lost = sorted(
+                {r.goid for r in report.results.certain}
+                - {r.goid for r in repaired.results.certain},
+                key=lambda g: g.value,
+            )
+            if lost:
+                violations.append(Violation(
+                    "repair-monotonic", case.label,
+                    f"{name}: repair demoted {len(lost)} certain "
+                    f"result(s), e.g. {lost[0]}",
                     case,
                 ))
         return violations

@@ -164,6 +164,7 @@ class ExecutionContext:
         batch_checks: Optional[bool] = None,
         columnar: Optional[bool] = None,
         planner: Optional[str] = None,
+        conditions: Optional[bool] = None,
     ) -> None:
         self.plan = plan
         self.policy = policy
@@ -184,6 +185,11 @@ class ExecutionContext:
         #: as ``batch_checks``; ``None`` defers to the strategy's own
         #: default — see :meth:`Strategy.effective_planner`.
         self.planner = planner
+        #: Whether this execution attaches discharge conditions and
+        #: captures repair state.  Same carrier pattern as
+        #: ``batch_checks``; ``None`` defers to the strategy's own
+        #: default — see :meth:`Strategy.effective_conditions`.
+        self.conditions = conditions
         self.contacted: List[str] = []
         self.skipped: List[str] = []
         self.retried: Dict[str, int] = {}

@@ -11,6 +11,13 @@ GOid* (paper, step CA_G2 and Figure 6):
 * every object appears in the output even when it has no isomeric partner
   (that is what makes the join *outer*);
 * multi-valued global attributes collect all distinct contributed values.
+
+Under faults the outerjoin may run over a *partial* materialization
+(some export sites unreachable).  The centralized strategy then demotes
+every answer row, attaching ``SiteDown`` condition atoms naming the
+missing extents (:mod:`repro.conditions`); the re-certifier later
+fetches only those extents, re-runs this integration on the completed
+inputs, and promotes — without re-shipping the extents that arrived.
 """
 
 from __future__ import annotations

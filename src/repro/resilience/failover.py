@@ -17,7 +17,13 @@ This module supplies the routing half of the resilience layer:
 * :func:`pending_skips_of` / :func:`covered_by_verdicts` — the
   mapping-table consult that demotes a skipped check to "uncertified"
   only when *no* isomeric copy of the affected entity produced a
-  definitive verdict (i.e. every copy was unreachable or indefinite);
+  definitive verdict (i.e. every copy was unreachable or indefinite).
+  The same pair powers *answer repair*: skips that stay uncovered are
+  carried in the report's repair state as ``UncheckedCopy`` condition
+  atoms, and the :class:`~repro.conditions.recertify.ReCertifier`
+  re-applies :func:`covered_by_verdicts` against its merged verdict
+  index first — so a sibling copy's later verdict discharges the atom
+  with zero messages to the dead site;
 * :func:`plan_hedge` — hedged dispatch: when a link negotiation is
   slower than the policy's seeded hedge delay, race a duplicate of the
   in-flight request through the relay and take the faster route,

@@ -45,6 +45,8 @@ class WorkCounters:
     # checks proven UNKNOWN at decomposition (planner=constraints/full).
     sites_pruned: int = 0
     checks_pruned: int = 0
+    #: Discharge-condition atoms cleared by recertification (repair).
+    conditions_discharged: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -71,6 +73,7 @@ class WorkCounters:
         self.hedges += other.hedges
         self.sites_pruned += other.sites_pruned
         self.checks_pruned += other.checks_pruned
+        self.conditions_discharged += other.conditions_discharged
 
 
 @dataclass
